@@ -1,0 +1,269 @@
+//! Closed-loop harness: the DRS controller driving the discrete-event
+//! simulator.
+//!
+//! This is the experiment driver behind the paper's §V timelines (Figs. 9
+//! and 10): every measurement window the harness pulls the simulator's
+//! metrics, feeds them to [`DrsController::on_window`], and executes any
+//! re-balance action against the simulator — charging the pause cost the
+//! action carries. A [`TimelinePoint`] is recorded per window.
+
+use drs_core::controller::{ControlAction, DrsController};
+use drs_core::measurer::RawSample;
+use drs_core::model::OperatorRates;
+use drs_sim::{MeasurementWindow, SimDuration, Simulator};
+use drs_topology::OperatorId;
+
+/// One measurement window of a harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelinePoint {
+    /// Window index (0-based; one per `window` duration, paper uses
+    /// minutes).
+    pub window: u64,
+    /// Measured mean complete sojourn time in milliseconds, when any tuple
+    /// finished in the window.
+    pub mean_sojourn_ms: Option<f64>,
+    /// Standard deviation of the sojourn times (milliseconds).
+    pub std_sojourn_ms: Option<f64>,
+    /// Tuples fully processed during the window.
+    pub completed: u64,
+    /// The bolt allocation in force at the *end* of the window.
+    pub allocation: Vec<u32>,
+    /// Whether DRS triggered a re-balance during this window.
+    pub rebalanced: bool,
+}
+
+/// The closed-loop harness configuration and state.
+///
+/// The harness owns the simulator and controller; model operators are the
+/// bolts listed in `bolt_ids` (spouts contribute no queueing and are
+/// excluded, as in the paper where `Kmax` counts bolt executors only).
+#[derive(Debug)]
+pub struct SimHarness {
+    sim: Simulator,
+    drs: DrsController,
+    bolt_ids: Vec<OperatorId>,
+    window: SimDuration,
+    timeline: Vec<TimelinePoint>,
+    last_rates: Option<Vec<OperatorRates>>,
+}
+
+impl SimHarness {
+    /// Creates a harness around a simulator and a controller.
+    ///
+    /// `bolt_ids` maps model operator order to topology operators; the
+    /// controller's allocation vectors use this order. `window` is the
+    /// measurement interval (the paper reports per-minute averages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller's operator count differs from
+    /// `bolt_ids.len()` — a wiring error.
+    pub fn new(
+        sim: Simulator,
+        drs: DrsController,
+        bolt_ids: Vec<OperatorId>,
+        window: SimDuration,
+    ) -> Self {
+        assert_eq!(
+            drs.current_allocation().len(),
+            bolt_ids.len(),
+            "controller operator count must match bolt id mapping"
+        );
+        SimHarness {
+            sim,
+            drs,
+            bolt_ids,
+            window,
+            timeline: Vec::new(),
+            last_rates: None,
+        }
+    }
+
+    /// The timeline recorded so far.
+    pub fn timeline(&self) -> &[TimelinePoint] {
+        &self.timeline
+    }
+
+    /// The controller (for inspecting its log or recommendations).
+    pub fn controller(&self) -> &DrsController {
+        &self.drs
+    }
+
+    /// Mutable controller access (e.g. to enable re-balancing mid-run, as
+    /// the paper does at minute 14).
+    pub fn controller_mut(&mut self) -> &mut DrsController {
+        &mut self.drs
+    }
+
+    /// The simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Mutable simulator access, for injecting workload drift mid-run
+    /// (e.g. slowing an operator's service law, the paper's §I motivating
+    /// scenario).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Runs `windows` measurement windows, returning the new timeline
+    /// points.
+    pub fn run_windows(&mut self, windows: u64) -> &[TimelinePoint] {
+        let first_new = self.timeline.len();
+        for _ in 0..windows {
+            self.step();
+        }
+        &self.timeline[first_new..]
+    }
+
+    /// Runs one measurement window.
+    pub fn step(&mut self) {
+        self.sim.run_for(self.window);
+        let measurement = self.sim.take_window();
+        let raw = self.build_raw_sample(&measurement);
+        let mut rebalanced = false;
+        if let Some(raw) = raw {
+            match self.drs.on_window(&raw) {
+                ControlAction::None => {}
+                ControlAction::Rebalance {
+                    allocation,
+                    pause_secs,
+                    ..
+                } => {
+                    rebalanced = true;
+                    let full = self.expand_allocation(&allocation);
+                    self.sim
+                        .rebalance(full, SimDuration::from_secs_f64(pause_secs))
+                        .expect("controller never issues invalid allocations");
+                }
+            }
+        }
+        self.timeline.push(TimelinePoint {
+            window: self.timeline.len() as u64,
+            mean_sojourn_ms: measurement.sojourn.mean().map(|s| s * 1e3),
+            std_sojourn_ms: measurement.sojourn.std_dev().map(|s| s * 1e3),
+            completed: measurement.sojourn.count(),
+            allocation: self.drs.current_allocation().to_vec(),
+            rebalanced,
+        });
+    }
+
+    /// Converts a simulator window into the controller's raw sample.
+    /// Operators that recorded no service activity reuse the last known
+    /// rates (brief starvation under a pause must not zero the model);
+    /// returns `None` when no usable rates exist yet.
+    fn build_raw_sample(&mut self, w: &MeasurementWindow) -> Option<RawSample> {
+        let external_rate = w.external_rate()?;
+        if external_rate <= 0.0 {
+            return None;
+        }
+        let mut operators = Vec::with_capacity(self.bolt_ids.len());
+        for (slot, id) in self.bolt_ids.iter().enumerate() {
+            let arrival = w.operator_arrival_rate(id.index());
+            let service = w.operator_service_rate(id.index());
+            match (arrival, service) {
+                (Some(a), Some(s)) if a > 0.0 && s > 0.0 => {
+                    operators.push(OperatorRates {
+                        arrival_rate: a,
+                        service_rate: s,
+                    });
+                }
+                _ => {
+                    let last = self.last_rates.as_ref()?;
+                    operators.push(last[slot]);
+                }
+            }
+        }
+        self.last_rates = Some(operators.clone());
+        Some(RawSample {
+            external_rate,
+            operators,
+            mean_sojourn: w.mean_sojourn(),
+        })
+    }
+
+    /// Expands a bolt allocation to the full topology vector (spouts keep
+    /// one executor).
+    fn expand_allocation(&self, bolts: &[u32]) -> Vec<u32> {
+        let mut full = vec![1u32; self.sim.topology().len()];
+        for (id, &k) in self.bolt_ids.iter().zip(bolts) {
+            full[id.index()] = k;
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vld::VldProfile;
+    use drs_core::config::DrsConfig;
+    use drs_core::negotiator::{MachinePool, MachinePoolConfig};
+
+    fn harness(initial: [u32; 3], active: bool, seed: u64) -> SimHarness {
+        let profile = VldProfile::paper();
+        let sim = profile.build_simulation(initial, seed);
+        let topology = profile.topology();
+        let bolt_ids = profile.bolt_ids(&topology).to_vec();
+        let pool = MachinePool::new(MachinePoolConfig::default(), 5).unwrap();
+        let mut drs =
+            DrsController::new(DrsConfig::min_latency(22), initial.to_vec(), pool).unwrap();
+        drs.set_active(active);
+        SimHarness::new(sim, drs, bolt_ids, SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn passive_harness_records_timeline_without_rebalancing() {
+        let mut h = harness([8, 12, 2], false, 3);
+        h.run_windows(5);
+        assert_eq!(h.timeline().len(), 5);
+        assert!(h.timeline().iter().all(|p| !p.rebalanced));
+        assert!(h.timeline().iter().all(|p| p.allocation == vec![8, 12, 2]));
+        // Sojourn measurements flow.
+        assert!(h.timeline()[4].mean_sojourn_ms.is_some());
+        // Passive DRS still recommends the optimum.
+        let rec = h.controller().last_recommendation().unwrap();
+        assert_eq!(rec.total(), 22);
+    }
+
+    #[test]
+    fn active_harness_converges_to_recommendation() {
+        let mut h = harness([8, 12, 2], true, 5);
+        h.run_windows(8);
+        let rebalances: Vec<_> = h.timeline().iter().filter(|p| p.rebalanced).collect();
+        assert!(!rebalances.is_empty(), "should rebalance at least once");
+        // Final allocation is the paper's optimum.
+        let last = h.timeline().last().unwrap();
+        assert_eq!(last.allocation, vec![10, 11, 1]);
+        // And it matches the simulator state.
+        let topo = h.simulator().topology().clone();
+        let sift = topo.operator_by_name("sift-extractor").unwrap().id();
+        assert_eq!(h.simulator().allocation()[sift.index()], 10);
+    }
+
+    #[test]
+    fn rebalance_improves_sojourn_across_transition() {
+        // Paper Fig. 9 shape: bad start, passive until window 4, then
+        // active; the post-transition steady state beats the pre-transition
+        // one.
+        let mut h = harness([8, 12, 2], false, 7);
+        h.run_windows(4);
+        h.controller_mut().set_active(true);
+        h.run_windows(8);
+        let before: f64 = h.timeline()[1..4]
+            .iter()
+            .filter_map(|p| p.mean_sojourn_ms)
+            .sum::<f64>()
+            / 3.0;
+        let after: f64 = h.timeline()[8..]
+            .iter()
+            .filter_map(|p| p.mean_sojourn_ms)
+            .sum::<f64>()
+            / 4.0;
+        assert!(
+            after < before,
+            "after rebalance {after} ms should beat before {before} ms"
+        );
+    }
+}

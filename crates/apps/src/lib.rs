@@ -1,0 +1,32 @@
+//! Reference streaming-analytics applications for the DRS reproduction.
+//!
+//! The paper (Fu et al., ICDCS 2015, §V) evaluates DRS on two real-time
+//! applications plus a synthetic chain; this crate implements all three,
+//! each in two forms — a calibrated simulation profile (driving the
+//! `drs-sim` discrete-event simulator, used for every figure/table
+//! reproduction) and live operators (real computation on the `drs-runtime`
+//! threaded engine):
+//!
+//! * [`vld`] — video logo detection: frame spout → SIFT-style feature
+//!   extraction → logo matching → aggregation (paper Fig. 4);
+//! * [`fpd`] — frequent pattern detection over a sliding microblog window,
+//!   with a real maximal-frequent-itemset miner and the detector's loop
+//!   edge (paper Fig. 5);
+//! * [`synthetic`] — the three-bolt chain with tunable CPU burn used for
+//!   the model-underestimation study (paper Fig. 8).
+//!
+//! [`harness`] closes the loop: a `DrsController` supervising a simulated
+//! topology window-by-window, producing the timelines of Figs. 9–10.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fpd;
+pub mod harness;
+pub mod synthetic;
+pub mod vld;
+
+pub use fpd::FpdProfile;
+pub use harness::{SimHarness, TimelinePoint};
+pub use synthetic::SyntheticChain;
+pub use vld::VldProfile;

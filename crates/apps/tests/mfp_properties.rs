@@ -1,0 +1,150 @@
+//! Property-based tests for the maximal-frequent-pattern engine: the
+//! incremental miner must agree with brute-force recomputation on arbitrary
+//! transaction streams, and its notifications must track state exactly.
+
+use drs_apps::fpd::mfp::{Itemset, MinerConfig, SlidingWindowMiner, StateChange};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn transaction() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..10, 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_matches_reference(
+        stream in prop::collection::vec(transaction(), 1..120),
+        window in 2usize..40,
+        threshold in 1u32..6,
+    ) {
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: window,
+            threshold,
+            max_transaction_items: 5,
+        });
+        for tx in stream {
+            miner.insert(Itemset::new(tx));
+        }
+        prop_assert_eq!(
+            miner.maximal_frequent(),
+            miner.recompute_maximal_reference()
+        );
+    }
+
+    #[test]
+    fn maximal_patterns_are_frequent_and_incomparable(
+        stream in prop::collection::vec(transaction(), 1..100),
+        threshold in 1u32..5,
+    ) {
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: 30,
+            threshold,
+            max_transaction_items: 5,
+        });
+        for tx in stream {
+            miner.insert(Itemset::new(tx));
+        }
+        let mfps = miner.maximal_frequent();
+        for p in &mfps {
+            prop_assert!(miner.occurrence_count(p) >= threshold);
+            for q in &mfps {
+                if p != q {
+                    prop_assert!(!p.is_subset_of(q), "{p:?} ⊂ {q:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn notifications_replay_to_current_state(
+        stream in prop::collection::vec(transaction(), 1..100),
+        window in 2usize..25,
+    ) {
+        // Applying the BecameMaximal/NoLongerMaximal notifications in order
+        // to an empty set must yield exactly the current maximal set.
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: window,
+            threshold: 2,
+            max_transaction_items: 5,
+        });
+        let mut replayed: HashSet<Itemset> = HashSet::new();
+        for tx in stream {
+            for change in miner.insert(Itemset::new(tx)) {
+                match change {
+                    StateChange::BecameMaximal(s) => {
+                        prop_assert!(replayed.insert(s), "duplicate promotion");
+                    }
+                    StateChange::NoLongerMaximal(s) => {
+                        prop_assert!(replayed.remove(&s), "demotion without promotion");
+                    }
+                }
+            }
+        }
+        let mut replayed: Vec<Itemset> = replayed.into_iter().collect();
+        replayed.sort();
+        prop_assert_eq!(replayed, miner.maximal_frequent());
+    }
+
+    #[test]
+    fn window_never_exceeds_capacity(
+        stream in prop::collection::vec(transaction(), 1..80),
+        window in 1usize..20,
+    ) {
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: window,
+            threshold: 2,
+            max_transaction_items: 5,
+        });
+        for tx in stream {
+            miner.insert(Itemset::new(tx));
+            prop_assert!(miner.window_len() <= window);
+        }
+    }
+
+    #[test]
+    fn draining_the_window_clears_all_state(
+        stream in prop::collection::vec(transaction(), 1..60),
+    ) {
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: 100,
+            threshold: 2,
+            max_transaction_items: 5,
+        });
+        for tx in &stream {
+            miner.insert(Itemset::new(tx.clone()));
+        }
+        for _ in 0..stream.len() {
+            miner.evict_oldest();
+        }
+        prop_assert_eq!(miner.window_len(), 0);
+        prop_assert_eq!(miner.candidate_count(), 0);
+        prop_assert!(miner.maximal_frequent().is_empty());
+    }
+
+    #[test]
+    fn counts_match_brute_force(
+        stream in prop::collection::vec(transaction(), 1..50),
+        window in 2usize..20,
+        probe in transaction(),
+    ) {
+        let mut miner = SlidingWindowMiner::new(MinerConfig {
+            window_size: window,
+            threshold: 2,
+            max_transaction_items: 5,
+        });
+        let mut in_window: Vec<Itemset> = Vec::new();
+        for tx in stream {
+            let set = Itemset::new(tx);
+            miner.insert(set.clone());
+            in_window.push(set);
+            if in_window.len() > window {
+                in_window.remove(0);
+            }
+        }
+        let probe = Itemset::new(probe);
+        let brute = in_window.iter().filter(|t| probe.is_subset_of(t)).count() as u32;
+        prop_assert_eq!(miner.occurrence_count(&probe), brute);
+    }
+}

@@ -1,0 +1,41 @@
+//! Performance-model evaluation cost: the Erlang delay formula and the
+//! Jackson aggregation (Eq. 1–3), which run inside every marginal-benefit
+//! comparison of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drs_queueing::erlang::{erlang_c, MmKQueue};
+use drs_queueing::jackson::JacksonNetwork;
+use std::hint::black_box;
+
+fn bench_erlang(c: &mut Criterion) {
+    let mut group = c.benchmark_group("erlang/expected_sojourn");
+    for k in [4u32, 16, 64, 256] {
+        let q = MmKQueue::new(0.8 * f64::from(k), 1.0).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(&q).expected_sojourn(black_box(k)));
+        });
+    }
+    group.finish();
+
+    c.bench_function("erlang/erlang_c_k64", |b| {
+        b.iter(|| erlang_c(black_box(64), black_box(51.2)));
+    });
+}
+
+fn bench_jackson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jackson/expected_sojourn");
+    for n in [3usize, 10, 50] {
+        let ops: Vec<(f64, f64)> = (0..n)
+            .map(|i| (10.0 + i as f64, 3.0 + (i % 7) as f64))
+            .collect();
+        let net = JacksonNetwork::from_rates(10.0, &ops).unwrap();
+        let alloc: Vec<u32> = net.min_stable_allocation().iter().map(|k| k + 2).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(&net).expected_sojourn(black_box(&alloc)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_erlang, bench_jackson);
+criterion_main!(benches);

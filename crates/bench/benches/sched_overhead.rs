@@ -1,0 +1,78 @@
+//! Criterion counterpart of Table II: the DRS scheduling computation
+//! (Algorithm 1) across the paper's `Kmax` sweep, plus the Program 6
+//! variant and the measurement-processing path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drs_core::measurer::{Measurer, RawSample, Smoothing};
+use drs_core::model::OperatorRates;
+use drs_core::scheduler::{assign_processors, min_processors_for_target};
+use drs_queueing::jackson::JacksonNetwork;
+use std::hint::black_box;
+
+fn network() -> JacksonNetwork {
+    JacksonNetwork::from_rates(13.0, &[(13.0, 5.2), (390.0, 122.0), (19.5, 43.0)]).unwrap()
+}
+
+fn bench_assign_processors(c: &mut Criterion) {
+    let net = network();
+    let mut group = c.benchmark_group("table2/scheduling");
+    for k_max in [12u32, 24, 48, 96, 192] {
+        group.bench_with_input(BenchmarkId::from_parameter(k_max), &k_max, |b, &k| {
+            b.iter(|| assign_processors(black_box(&net), black_box(k)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_processors(c: &mut Criterion) {
+    let net = network();
+    let mut group = c.benchmark_group("scheduling/min_processors_for_target");
+    // Targets above the network's ≈0.47 s no-queueing bound; tighter targets
+    // need more greedy iterations.
+    for target in [1.2f64, 0.6, 0.5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}ms", target * 1e3)),
+            &target,
+            |b, &t| {
+                b.iter(|| min_processors_for_target(black_box(&net), black_box(t), 4096).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_measurement_processing(c: &mut Criterion) {
+    let sample = RawSample {
+        external_rate: 13.0,
+        operators: vec![
+            OperatorRates {
+                arrival_rate: 13.0,
+                service_rate: 5.2,
+            },
+            OperatorRates {
+                arrival_rate: 390.0,
+                service_rate: 122.0,
+            },
+            OperatorRates {
+                arrival_rate: 19.5,
+                service_rate: 43.0,
+            },
+        ],
+        mean_sojourn: Some(0.42),
+    };
+    c.bench_function("table2/measurement_processing", |b| {
+        let mut measurer = Measurer::new(3, Smoothing::Alpha { alpha: 0.5 }).unwrap();
+        b.iter(|| {
+            measurer.observe(black_box(&sample));
+            black_box(measurer.estimates())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_assign_processors,
+    bench_min_processors,
+    bench_measurement_processing
+);
+criterion_main!(benches);

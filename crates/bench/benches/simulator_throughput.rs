@@ -1,0 +1,37 @@
+//! Discrete-event simulator throughput: how much simulated streaming the
+//! substrate can process per wall-clock second — the practical budget for
+//! the figure reproductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drs_apps::{FpdProfile, VldProfile};
+use drs_sim::SimDuration;
+use std::hint::black_box;
+
+fn bench_vld(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/vld_60s_window");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("(10:11:1)"), |b| {
+        b.iter(|| {
+            let mut sim = VldProfile::paper().build_simulation([10, 11, 1], 5);
+            sim.run_for(SimDuration::from_secs(60));
+            black_box(sim.total_sojourn_stats().count())
+        });
+    });
+    group.finish();
+}
+
+fn bench_fpd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/fpd_10s_window");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("(6:13:3)"), |b| {
+        b.iter(|| {
+            let mut sim = FpdProfile::paper().build_simulation([6, 13, 3], 5);
+            sim.run_for(SimDuration::from_secs(10));
+            black_box(sim.total_sojourn_stats().count())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vld, bench_fpd);
+criterion_main!(benches);

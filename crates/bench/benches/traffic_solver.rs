@@ -1,0 +1,47 @@
+//! Traffic-equation solver cost across network sizes, with and without
+//! feedback loops (the loop-gain spectral check dominates cyclic cases).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drs_queueing::traffic::TrafficEquations;
+use std::hint::black_box;
+
+fn chain_system(n: usize) -> TrafficEquations {
+    let mut eqs = TrafficEquations::new(n);
+    eqs.set_external_rate(0, 100.0).unwrap();
+    for i in 0..n - 1 {
+        eqs.set_gain(i, i + 1, 1.3).unwrap();
+    }
+    eqs
+}
+
+fn looped_system(n: usize) -> TrafficEquations {
+    let mut eqs = chain_system(n);
+    // Feedback from the sink to the source, well under unit loop gain.
+    eqs.set_gain(n - 1, 0, 0.2 / 1.3f64.powi(n as i32 - 1)).unwrap();
+    eqs
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traffic/solve");
+    for n in [5usize, 20, 50] {
+        let acyclic = chain_system(n);
+        group.bench_with_input(BenchmarkId::new("acyclic", n), &acyclic, |b, eqs| {
+            b.iter(|| black_box(eqs).solve().unwrap());
+        });
+        let looped = looped_system(n);
+        group.bench_with_input(BenchmarkId::new("looped", n), &looped, |b, eqs| {
+            b.iter(|| black_box(eqs).solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_loop_gain(c: &mut Criterion) {
+    let eqs = looped_system(20);
+    c.bench_function("traffic/loop_gain_n20", |b| {
+        b.iter(|| black_box(&eqs).loop_gain());
+    });
+}
+
+criterion_group!(benches, bench_solve, bench_loop_gain);
+criterion_main!(benches);

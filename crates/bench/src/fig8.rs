@@ -1,0 +1,118 @@
+//! Fig. 8: degree of model underestimation vs computation intensity.
+//!
+//! The synthetic 3-bolt chain is swept over total CPU times from 0.567 ms
+//! to 309.1 ms per tuple, with a fixed per-hop network delay the model
+//! cannot see. The ratio of measured to estimated sojourn time starts far
+//! above 1 (network-dominated) and decays toward 1 (compute-dominated) —
+//! the paper's justification for trusting the model on
+//! computation-intensive applications.
+
+use crate::report::{fmt, render_table};
+use drs_apps::SyntheticChain;
+use drs_sim::SimDuration;
+
+/// One workload's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Row {
+    /// Total CPU time of the three bolts per tuple (milliseconds).
+    pub total_cpu_ms: f64,
+    /// Measured mean sojourn (milliseconds).
+    pub measured_ms: f64,
+    /// Model estimate (milliseconds).
+    pub estimated_ms: f64,
+    /// `measured / estimated` — the degree of underestimation.
+    pub ratio: f64,
+}
+
+/// Runs the Fig. 8 sweep; `measure_secs` of simulated time per workload.
+pub fn run_fig8(measure_secs: u64, seed: u64) -> Vec<Fig8Row> {
+    SyntheticChain::paper_workloads()
+        .into_iter()
+        .enumerate()
+        .map(|(i, total_cpu)| {
+            let chain = SyntheticChain::new(total_cpu);
+            let allocation = chain.ample_allocation();
+            let mut sim = chain.build_simulation(allocation, seed + i as u64);
+            sim.run_for(SimDuration::from_secs(measure_secs / 5));
+            let _ = sim.take_window();
+            sim.run_for(SimDuration::from_secs(measure_secs));
+            let w = sim.take_window();
+            let measured_ms = w.sojourn.mean().expect("tuples completed") * 1e3;
+            let estimated_ms = chain
+                .reference_model()
+                .expected_sojourn(&allocation)
+                .expect("ample allocation is stable")
+                * 1e3;
+            Fig8Row {
+                total_cpu_ms: total_cpu * 1e3,
+                measured_ms,
+                estimated_ms,
+                ratio: measured_ms / estimated_ms,
+            }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 8 table.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.total_cpu_ms, 3),
+                fmt(r.measured_ms, 2),
+                fmt(r.estimated_ms, 2),
+                fmt(r.ratio, 2),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig. 8 — measured/estimated ratio vs total bolt CPU time (synthetic chain)",
+        &[
+            "total CPU (ms)",
+            "measured (ms)",
+            "estimated (ms)",
+            "ratio",
+        ],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_decays_monotonically_in_the_large() {
+        let rows = run_fig8(120, 23);
+        assert_eq!(rows.len(), 6);
+        // End-to-end decay: first workload's ratio dwarfs the last's.
+        assert!(
+            rows[0].ratio > 10.0 * rows[5].ratio,
+            "first {} vs last {}",
+            rows[0].ratio,
+            rows[5].ratio
+        );
+        // The compute-heavy end approaches 1.
+        assert!(rows[5].ratio < 1.5, "heavy ratio {}", rows[5].ratio);
+        // Broad decay: each workload's ratio is below its
+        // two-steps-lighter predecessor (adjacent pairs can wobble within
+        // simulation noise).
+        for pair in rows.windows(3) {
+            assert!(
+                pair[2].ratio < pair[0].ratio,
+                "{} -> {} does not decay",
+                pair[0].ratio,
+                pair[2].ratio
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_workload() {
+        let rows = run_fig8(60, 29);
+        let s = render_fig8(&rows);
+        assert!(s.contains("0.567"));
+        assert!(s.contains("309.1"));
+    }
+}

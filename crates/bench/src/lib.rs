@@ -1,0 +1,35 @@
+//! Experiment harness regenerating every table and figure of the DRS paper
+//! (Fu et al., ICDCS 2015, §V).
+//!
+//! Each module owns one artifact:
+//!
+//! * [`sweep`] — Figs. 6 & 7 (allocation sweeps, model-vs-measurement);
+//! * [`fig8`] — Fig. 8 (underestimation ratio vs compute intensity);
+//! * [`fig9`] — Fig. 9 (re-balancing timelines, three initial allocations);
+//! * [`fig10`] — Fig. 10 (Tmax-driven scale-up/scale-down, ExpA/ExpB);
+//! * [`table2`] — Table II (DRS layer computation overheads);
+//! * [`ablation`] — design-choice studies beyond the paper: greedy vs
+//!   exhaustive allocation, model robustness under service-law violations,
+//!   and the value of the rebalance cost/benefit gate;
+//! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
+//!   motivation, beyond the paper's fixed-rate evaluation);
+//! * [`report`] — table rendering and rank-correlation helpers.
+//!
+//! The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run -p drs-bench --release --bin repro -- all
+//! cargo run -p drs-bench --release --bin repro -- fig6 --quick
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod surge;
+pub mod sweep;
+pub mod table2;

@@ -1,0 +1,457 @@
+//! The DRS measurer: aggregation and smoothing of raw metrics
+//! (paper App. B).
+//!
+//! The CSP layer reports raw per-window observations — per-operator arrival
+//! and service rates, the external rate and the measured mean sojourn time.
+//! Before the optimiser may use them, the measurer:
+//!
+//! 1. **aggregates** per-*instance* (executor) metrics to the *operator*
+//!    level, because the Jackson model is defined over operators;
+//! 2. **smooths** the sequence of windows to suppress noise, message loss
+//!    and outliers, with either of the paper's two options:
+//!    * α-weighted averaging: `D(n) = α·D(n−1) + (1−α)·d(n)`;
+//!    * window-based averaging: `D(n) = (1/w)·Σ_{j=n−w+1..n} d(j)`.
+
+use crate::model::{ModelInputs, OperatorRates};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Smoothing strategy for measurement streams (paper App. B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// Exponential smoothing `D(n) = α·D(n−1) + (1−α)·d(n)`; `α ∈ [0, 1)`
+    /// controls how fast old measurements fade.
+    Alpha {
+        /// The fading factor.
+        alpha: f64,
+    },
+    /// Arithmetic mean over the last `size` windows.
+    Window {
+        /// Number of windows to average (>= 1).
+        size: usize,
+    },
+}
+
+/// Error for invalid measurer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidSmoothing {
+    reason: String,
+}
+
+impl fmt::Display for InvalidSmoothing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid smoothing: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidSmoothing {}
+
+impl Smoothing {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `alpha` outside `[0, 1)` and `size == 0`.
+    pub fn validate(&self) -> Result<(), InvalidSmoothing> {
+        match *self {
+            Smoothing::Alpha { alpha } => {
+                if !(0.0..1.0).contains(&alpha) {
+                    return Err(InvalidSmoothing {
+                        reason: format!("alpha must be in [0,1), got {alpha}"),
+                    });
+                }
+            }
+            Smoothing::Window { size } => {
+                if size == 0 {
+                    return Err(InvalidSmoothing {
+                        reason: "window size must be >= 1".to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One raw metric stream being smoothed.
+#[derive(Debug, Clone)]
+enum Stream {
+    Alpha { alpha: f64, state: Option<f64> },
+    Window { size: usize, values: VecDeque<f64> },
+}
+
+impl Stream {
+    fn new(smoothing: Smoothing) -> Self {
+        match smoothing {
+            Smoothing::Alpha { alpha } => Stream::Alpha { alpha, state: None },
+            Smoothing::Window { size } => Stream::Window {
+                size,
+                values: VecDeque::with_capacity(size),
+            },
+        }
+    }
+
+    fn observe(&mut self, x: f64) {
+        match self {
+            Stream::Alpha { alpha, state } => {
+                *state = Some(match *state {
+                    None => x,
+                    Some(prev) => *alpha * prev + (1.0 - *alpha) * x,
+                });
+            }
+            Stream::Window { size, values } => {
+                if values.len() == *size {
+                    values.pop_front();
+                }
+                values.push_back(x);
+            }
+        }
+    }
+
+    fn value(&self) -> Option<f64> {
+        match self {
+            Stream::Alpha { state, .. } => *state,
+            Stream::Window { values, .. } => {
+                (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+            }
+        }
+    }
+}
+
+/// A raw (unsmoothed) observation for one measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawSample {
+    /// Measured external arrival rate `λ̂0` (tuples/second).
+    pub external_rate: f64,
+    /// Measured per-operator rates, in model index order.
+    pub operators: Vec<OperatorRates>,
+    /// Measured mean complete sojourn time (seconds), if any tuples
+    /// completed during the window.
+    pub mean_sojourn: Option<f64>,
+}
+
+/// Smoothed estimates ready for the optimiser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmoothedEstimates {
+    /// Smoothed external rate `λ̂0`.
+    pub external_rate: f64,
+    /// Smoothed per-operator rates.
+    pub operators: Vec<OperatorRates>,
+    /// Smoothed mean sojourn time (seconds), once at least one window
+    /// carried one.
+    pub mean_sojourn: Option<f64>,
+}
+
+impl SmoothedEstimates {
+    /// Converts the estimates into [`ModelInputs`] for the performance
+    /// model.
+    pub fn to_model_inputs(&self) -> ModelInputs {
+        ModelInputs {
+            external_rate: self.external_rate,
+            operators: self.operators.clone(),
+        }
+    }
+}
+
+/// The measurer: feeds raw windows in, takes smoothed estimates out.
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::measurer::{Measurer, RawSample, Smoothing};
+/// use drs_core::model::OperatorRates;
+///
+/// let mut m = Measurer::new(1, Smoothing::Alpha { alpha: 0.5 })?;
+/// for rate in [10.0, 20.0] {
+///     m.observe(&RawSample {
+///         external_rate: rate,
+///         operators: vec![OperatorRates { arrival_rate: rate, service_rate: 5.0 }],
+///         mean_sojourn: Some(0.3),
+///     });
+/// }
+/// // D(2) = 0.5·10 + 0.5·20 = 15.
+/// let est = m.estimates().unwrap();
+/// assert!((est.external_rate - 15.0).abs() < 1e-12);
+/// # Ok::<(), drs_core::measurer::InvalidSmoothing>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    external: Stream,
+    arrivals: Vec<Stream>,
+    services: Vec<Stream>,
+    sojourn: Stream,
+    windows_seen: u64,
+}
+
+impl Measurer {
+    /// Creates a measurer for `n_operators` operators.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid smoothing parameters (see [`Smoothing::validate`]).
+    pub fn new(n_operators: usize, smoothing: Smoothing) -> Result<Self, InvalidSmoothing> {
+        smoothing.validate()?;
+        Ok(Measurer {
+            external: Stream::new(smoothing),
+            arrivals: (0..n_operators).map(|_| Stream::new(smoothing)).collect(),
+            services: (0..n_operators).map(|_| Stream::new(smoothing)).collect(),
+            sojourn: Stream::new(smoothing),
+            windows_seen: 0,
+        })
+    }
+
+    /// Number of operators this measurer tracks.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the measurer tracks no operators.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Number of windows observed so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Ingests one raw window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.operators.len()` differs from the configured operator
+    /// count — a programming error in the wiring between CSP layer and DRS.
+    pub fn observe(&mut self, raw: &RawSample) {
+        assert_eq!(
+            raw.operators.len(),
+            self.arrivals.len(),
+            "raw sample operator count mismatch"
+        );
+        self.windows_seen += 1;
+        self.external.observe(raw.external_rate);
+        for (i, rates) in raw.operators.iter().enumerate() {
+            self.arrivals[i].observe(rates.arrival_rate);
+            self.services[i].observe(rates.service_rate);
+        }
+        if let Some(s) = raw.mean_sojourn {
+            self.sojourn.observe(s);
+        }
+    }
+
+    /// Current smoothed estimates; `None` until the first window has been
+    /// observed.
+    pub fn estimates(&self) -> Option<SmoothedEstimates> {
+        let external_rate = self.external.value()?;
+        let mut operators = Vec::with_capacity(self.arrivals.len());
+        for (a, s) in self.arrivals.iter().zip(&self.services) {
+            operators.push(OperatorRates {
+                arrival_rate: a.value()?,
+                service_rate: s.value()?,
+            });
+        }
+        Some(SmoothedEstimates {
+            external_rate,
+            operators,
+            mean_sojourn: self.sojourn.value(),
+        })
+    }
+}
+
+/// Raw metrics reported by a single executor (instance) of an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSample {
+    /// Tuples that arrived at this instance during the window.
+    pub arrivals: u64,
+    /// Tuples this instance finished serving.
+    pub completions: u64,
+    /// Seconds this instance spent serving.
+    pub busy_time: f64,
+}
+
+/// Aggregates per-instance metrics to operator level (paper App. B: "result
+/// aggregation at the operator level"): arrival rates add up; the service
+/// rate is total completions over total busy time, i.e. the
+/// completion-weighted mean of instance service rates.
+///
+/// `window_secs` is the window length. Returns `None` for an empty window or
+/// when no instance accumulated busy time (no service-rate evidence).
+pub fn aggregate_instances(
+    instances: &[InstanceSample],
+    window_secs: f64,
+) -> Option<OperatorRates> {
+    if window_secs <= 0.0 || instances.is_empty() {
+        return None;
+    }
+    let arrivals: u64 = instances.iter().map(|i| i.arrivals).sum();
+    let completions: u64 = instances.iter().map(|i| i.completions).sum();
+    let busy: f64 = instances.iter().map(|i| i.busy_time).sum();
+    if busy <= 0.0 {
+        return None;
+    }
+    Some(OperatorRates {
+        arrival_rate: arrivals as f64 / window_secs,
+        service_rate: completions as f64 / busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rate: f64, sojourn: Option<f64>) -> RawSample {
+        RawSample {
+            external_rate: rate,
+            operators: vec![OperatorRates {
+                arrival_rate: rate,
+                service_rate: rate / 2.0,
+            }],
+            mean_sojourn: sojourn,
+        }
+    }
+
+    #[test]
+    fn alpha_smoothing_follows_recurrence() {
+        let mut m = Measurer::new(1, Smoothing::Alpha { alpha: 0.8 }).unwrap();
+        m.observe(&sample(10.0, None));
+        assert_eq!(m.estimates().unwrap().external_rate, 10.0);
+        m.observe(&sample(20.0, None));
+        // D = 0.8*10 + 0.2*20 = 12.
+        assert!((m.estimates().unwrap().external_rate - 12.0).abs() < 1e-12);
+        m.observe(&sample(20.0, None));
+        // D = 0.8*12 + 0.2*20 = 13.6.
+        assert!((m.estimates().unwrap().external_rate - 13.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_smoothing_averages_last_w() {
+        let mut m = Measurer::new(1, Smoothing::Window { size: 3 }).unwrap();
+        for r in [10.0, 20.0, 30.0, 40.0] {
+            m.observe(&sample(r, None));
+        }
+        // Last three: (20+30+40)/3 = 30.
+        assert!((m.estimates().unwrap().external_rate - 30.0).abs() < 1e-12);
+        assert_eq!(m.windows_seen(), 4);
+    }
+
+    #[test]
+    fn no_estimates_before_first_window() {
+        let m = Measurer::new(2, Smoothing::Alpha { alpha: 0.5 }).unwrap();
+        assert!(m.estimates().is_none());
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn sojourn_is_optional_and_skips_empty_windows() {
+        let mut m = Measurer::new(1, Smoothing::Alpha { alpha: 0.5 }).unwrap();
+        m.observe(&sample(10.0, None));
+        assert_eq!(m.estimates().unwrap().mean_sojourn, None);
+        m.observe(&sample(10.0, Some(0.4)));
+        assert_eq!(m.estimates().unwrap().mean_sojourn, Some(0.4));
+        // A window without sojourn does not dilute the smoothed value.
+        m.observe(&sample(10.0, None));
+        assert_eq!(m.estimates().unwrap().mean_sojourn, Some(0.4));
+        m.observe(&sample(10.0, Some(0.8)));
+        assert!((m.estimates().unwrap().mean_sojourn.unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_converges_to_constant_input() {
+        let mut m = Measurer::new(1, Smoothing::Alpha { alpha: 0.9 }).unwrap();
+        for _ in 0..200 {
+            m.observe(&sample(42.0, Some(0.1)));
+        }
+        let est = m.estimates().unwrap();
+        assert!((est.external_rate - 42.0).abs() < 1e-6);
+        assert!((est.operators[0].arrival_rate - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_dampens_outliers() {
+        let mut alpha = Measurer::new(1, Smoothing::Alpha { alpha: 0.9 }).unwrap();
+        let mut window = Measurer::new(1, Smoothing::Window { size: 10 }).unwrap();
+        for _ in 0..20 {
+            alpha.observe(&sample(10.0, None));
+            window.observe(&sample(10.0, None));
+        }
+        // One outlier window at 10x the rate.
+        alpha.observe(&sample(100.0, None));
+        window.observe(&sample(100.0, None));
+        let a = alpha.estimates().unwrap().external_rate;
+        let w = window.estimates().unwrap().external_rate;
+        assert!(a < 20.0, "alpha-smoothed {a}");
+        assert!(w < 20.0, "window-smoothed {w}");
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Measurer::new(1, Smoothing::Alpha { alpha: 1.0 }).is_err());
+        assert!(Measurer::new(1, Smoothing::Alpha { alpha: -0.1 }).is_err());
+        assert!(Measurer::new(1, Smoothing::Window { size: 0 }).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "operator count mismatch")]
+    fn observe_panics_on_wrong_operator_count() {
+        let mut m = Measurer::new(2, Smoothing::Alpha { alpha: 0.5 }).unwrap();
+        m.observe(&sample(10.0, None)); // sample has 1 operator, measurer has 2
+    }
+
+    #[test]
+    fn to_model_inputs_preserves_rates() {
+        let mut m = Measurer::new(1, Smoothing::Window { size: 2 }).unwrap();
+        m.observe(&sample(10.0, Some(0.5)));
+        let inputs = m.estimates().unwrap().to_model_inputs();
+        assert_eq!(inputs.external_rate, 10.0);
+        assert_eq!(inputs.operators.len(), 1);
+    }
+
+    #[test]
+    fn aggregate_instances_weighted_by_completions() {
+        // Two instances: one served 90 tuples in 9 s (10/s), another 10
+        // tuples in 2 s (5/s). Operator-level µ̂ = 100/11 ≈ 9.09, NOT the
+        // unweighted mean 7.5.
+        let rates = aggregate_instances(
+            &[
+                InstanceSample {
+                    arrivals: 95,
+                    completions: 90,
+                    busy_time: 9.0,
+                },
+                InstanceSample {
+                    arrivals: 12,
+                    completions: 10,
+                    busy_time: 2.0,
+                },
+            ],
+            10.0,
+        )
+        .unwrap();
+        assert!((rates.service_rate - 100.0 / 11.0).abs() < 1e-12);
+        assert!((rates.arrival_rate - 10.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_instances_empty_cases() {
+        assert!(aggregate_instances(&[], 10.0).is_none());
+        assert!(aggregate_instances(
+            &[InstanceSample {
+                arrivals: 0,
+                completions: 0,
+                busy_time: 0.0
+            }],
+            10.0
+        )
+        .is_none());
+        assert!(aggregate_instances(
+            &[InstanceSample {
+                arrivals: 1,
+                completions: 1,
+                busy_time: 1.0
+            }],
+            0.0
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,339 @@
+//! Operator state migration planning (the paper's future work, §VI,
+//! pursuing its reference 42: *Optimal Operator State Migration for
+//! Elastic Data Stream Processing*).
+//!
+//! Storm partitions each operator into a fixed set of *tasks* (paper
+//! App. C); re-scaling reassigns tasks to a different number of executors.
+//! Stateful tasks carry state that must move with them, so the re-balance
+//! pause grows with the amount of state crossing executors. This module
+//! computes task reassignments that (a) keep the load balanced — at most
+//! one task difference between executors, matching Storm's contract — and
+//! (b) move as few tasks as possible, then estimates the resulting pause.
+//!
+//! The plan feeds [`crate::decision`]'s pause input, replacing the constant
+//! pause assumption with a state-aware one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from migration planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MigrationError {
+    /// Executor counts must be positive and no larger than the task count.
+    InvalidExecutors {
+        /// Description of the violation.
+        what: String,
+    },
+}
+
+impl fmt::Display for MigrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationError::InvalidExecutors { what } => {
+                write!(f, "invalid migration request: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrationError {}
+
+/// A task-to-executor assignment for one operator.
+///
+/// `assignment[t]` is the executor index owning task `t`. Executors are
+/// `0..executors`; Storm's balanced contract holds: every executor owns
+/// `⌊tasks/executors⌋` or `⌈tasks/executors⌉` tasks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskAssignment {
+    executors: u32,
+    assignment: Vec<u32>,
+}
+
+impl TaskAssignment {
+    /// The canonical balanced assignment of `tasks` tasks to `executors`
+    /// executors: tasks are dealt round-robin, the layout Storm's default
+    /// scheduler produces.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero executors and `executors > tasks` (an executor would
+    /// idle; Storm caps parallelism at the task count).
+    pub fn balanced(tasks: usize, executors: u32) -> Result<Self, MigrationError> {
+        validate(tasks, executors)?;
+        Ok(TaskAssignment {
+            executors,
+            assignment: (0..tasks).map(|t| (t as u32) % executors).collect(),
+        })
+    }
+
+    /// Number of executors.
+    pub fn executors(&self) -> u32 {
+        self.executors
+    }
+
+    /// Number of tasks.
+    pub fn tasks(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The executor owning task `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= self.tasks()`.
+    pub fn owner(&self, t: usize) -> u32 {
+        self.assignment[t]
+    }
+
+    /// Tasks owned by executor `e`.
+    pub fn tasks_of(&self, e: u32) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(t, &owner)| (owner == e).then_some(t))
+            .collect()
+    }
+
+    /// Whether the balanced-load contract holds (executor loads differ by
+    /// at most one task and every executor owns at least one).
+    pub fn is_balanced(&self) -> bool {
+        let mut counts = vec![0usize; self.executors as usize];
+        for &owner in &self.assignment {
+            counts[owner as usize] += 1;
+        }
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let max = counts.iter().copied().max().unwrap_or(0);
+        min >= 1 && max - min <= 1
+    }
+}
+
+/// A migration plan between two executor counts for one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationPlan {
+    /// The source assignment.
+    pub from: TaskAssignment,
+    /// The destination assignment.
+    pub to: TaskAssignment,
+    /// Tasks whose owning executor changes (state that must move).
+    pub moved_tasks: Vec<usize>,
+}
+
+impl MigrationPlan {
+    /// Number of tasks that move.
+    pub fn moved(&self) -> usize {
+        self.moved_tasks.len()
+    }
+
+    /// Fraction of tasks that move.
+    pub fn moved_fraction(&self) -> f64 {
+        if self.from.tasks() == 0 {
+            0.0
+        } else {
+            self.moved() as f64 / self.from.tasks() as f64
+        }
+    }
+
+    /// Estimates the pause (seconds) this migration imposes:
+    /// `base_pause + moved_state_bytes / bandwidth`, where moved state is
+    /// `moved · state_bytes_per_task`.
+    ///
+    /// Returns `base_pause` when nothing moves.
+    pub fn pause_estimate(
+        &self,
+        state_bytes_per_task: f64,
+        bandwidth_bytes_per_sec: f64,
+        base_pause_secs: f64,
+    ) -> f64 {
+        if self.moved() == 0 {
+            return base_pause_secs;
+        }
+        base_pause_secs
+            + (self.moved() as f64 * state_bytes_per_task) / bandwidth_bytes_per_sec.max(1.0)
+    }
+}
+
+fn validate(tasks: usize, executors: u32) -> Result<(), MigrationError> {
+    if executors == 0 {
+        return Err(MigrationError::InvalidExecutors {
+            what: "zero executors".to_owned(),
+        });
+    }
+    if executors as usize > tasks {
+        return Err(MigrationError::InvalidExecutors {
+            what: format!("{executors} executors exceed {tasks} tasks"),
+        });
+    }
+    Ok(())
+}
+
+/// Plans a minimal-movement migration of `from`'s tasks onto `executors`
+/// executors.
+///
+/// The algorithm keeps every task on its current executor when that
+/// executor survives (`e < executors`) and still has quota, then assigns
+/// the remainder — tasks of removed executors plus overflow of shrunk
+/// quotas — to executors with spare quota. The result is balanced and moves
+/// the minimum possible number of tasks: no balanced target can keep more
+/// tasks in place than each surviving executor's quota allows.
+///
+/// # Errors
+///
+/// Rejects zero `executors` or `executors > tasks` (see
+/// [`TaskAssignment::balanced`]).
+pub fn plan_migration(
+    from: &TaskAssignment,
+    executors: u32,
+) -> Result<MigrationPlan, MigrationError> {
+    let tasks = from.tasks();
+    validate(tasks, executors)?;
+
+    // Quotas: the first `tasks % executors` executors own one extra task.
+    let base = tasks / executors as usize;
+    let extra = tasks % executors as usize;
+    let quota =
+        |e: u32| -> usize { base + usize::from((e as usize) < extra) };
+
+    let mut assignment: Vec<Option<u32>> = vec![None; tasks];
+    let mut remaining: Vec<usize> = (0..executors).map(quota).collect();
+
+    // Pass 1: retain tasks whose executor survives and has quota left.
+    for (t, slot) in assignment.iter_mut().enumerate() {
+        let owner = from.owner(t);
+        if owner < executors && remaining[owner as usize] > 0 {
+            *slot = Some(owner);
+            remaining[owner as usize] -= 1;
+        }
+    }
+    // Pass 2: place displaced tasks into spare quota, lowest executor
+    // first (total quota equals the task count, so every task finds a
+    // slot).
+    let mut next_exec: u32 = 0;
+    let mut moved_tasks = Vec::new();
+    for (t, slot) in assignment.iter_mut().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        while remaining[next_exec as usize] == 0 {
+            next_exec += 1;
+        }
+        *slot = Some(next_exec);
+        remaining[next_exec as usize] -= 1;
+        moved_tasks.push(t);
+    }
+
+    let to = TaskAssignment {
+        executors,
+        assignment: assignment
+            .into_iter()
+            .map(|a| a.expect("every task assigned"))
+            .collect(),
+    };
+    Ok(MigrationPlan {
+        from: from.clone(),
+        to,
+        moved_tasks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_assignment_satisfies_contract() {
+        for (tasks, execs) in [(12usize, 4u32), (13, 4), (25, 5), (7, 7), (8, 1)] {
+            let a = TaskAssignment::balanced(tasks, execs).unwrap();
+            assert!(a.is_balanced(), "{tasks} tasks on {execs}");
+            assert_eq!(a.tasks(), tasks);
+            assert_eq!(a.executors(), execs);
+        }
+    }
+
+    #[test]
+    fn invalid_executor_counts_rejected() {
+        assert!(TaskAssignment::balanced(8, 0).is_err());
+        assert!(TaskAssignment::balanced(4, 5).is_err());
+        let a = TaskAssignment::balanced(8, 4).unwrap();
+        assert!(plan_migration(&a, 0).is_err());
+        assert!(plan_migration(&a, 9).is_err());
+    }
+
+    #[test]
+    fn identity_migration_moves_nothing() {
+        let a = TaskAssignment::balanced(12, 4).unwrap();
+        let plan = plan_migration(&a, 4).unwrap();
+        assert_eq!(plan.moved(), 0);
+        assert_eq!(plan.to, a);
+    }
+
+    #[test]
+    fn scale_out_moves_only_the_new_executors_share() {
+        // 20 tasks: 4 executors own 5 each; going to 5 executors each must
+        // own 4, so exactly 4 tasks move (one from each old executor).
+        let a = TaskAssignment::balanced(20, 4).unwrap();
+        let plan = plan_migration(&a, 5).unwrap();
+        assert_eq!(plan.moved(), 4, "moved {:?}", plan.moved_tasks);
+        assert!(plan.to.is_balanced());
+        // All moved tasks land on the new executor.
+        for &t in &plan.moved_tasks {
+            assert_eq!(plan.to.owner(t), 4);
+        }
+    }
+
+    #[test]
+    fn scale_in_moves_only_the_removed_executors_tasks() {
+        // 20 tasks on 5 executors (4 each) down to 4 executors (5 each):
+        // exactly the removed executor's 4 tasks move.
+        let a = TaskAssignment::balanced(20, 5).unwrap();
+        let plan = plan_migration(&a, 4).unwrap();
+        assert_eq!(plan.moved(), 4);
+        for &t in &plan.moved_tasks {
+            assert_eq!(a.owner(t), 4, "only executor 4's tasks should move");
+        }
+        assert!(plan.to.is_balanced());
+    }
+
+    #[test]
+    fn naive_rebuild_moves_more_than_planned() {
+        // Contrast with rebuilding the round-robin layout from scratch.
+        let a = TaskAssignment::balanced(24, 4).unwrap();
+        let plan = plan_migration(&a, 6).unwrap();
+        let naive = TaskAssignment::balanced(24, 6).unwrap();
+        let naive_moves = (0..24).filter(|&t| naive.owner(t) != a.owner(t)).count();
+        assert!(
+            plan.moved() < naive_moves,
+            "planned {} vs naive {naive_moves}",
+            plan.moved()
+        );
+        // Lower bound: 24 tasks must shed 4 per old executor (6->4 quota):
+        // 8 moves minimum.
+        assert_eq!(plan.moved(), 8);
+    }
+
+    #[test]
+    fn pause_estimate_scales_with_state() {
+        let a = TaskAssignment::balanced(20, 4).unwrap();
+        let plan = plan_migration(&a, 5).unwrap();
+        let small = plan.pause_estimate(1e6, 1e9, 0.5); // 4 MB over 1 GB/s
+        let large = plan.pause_estimate(1e9, 1e9, 0.5); // 4 GB over 1 GB/s
+        assert!((small - 0.504).abs() < 1e-9, "{small}");
+        assert!((large - 4.5).abs() < 1e-9, "{large}");
+        let idle = plan_migration(&a, 4).unwrap();
+        assert_eq!(idle.pause_estimate(1e9, 1e9, 0.5), 0.5);
+    }
+
+    #[test]
+    fn moved_fraction_reported() {
+        let a = TaskAssignment::balanced(20, 4).unwrap();
+        let plan = plan_migration(&a, 5).unwrap();
+        assert!((plan.moved_fraction() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tasks_of_lists_ownership() {
+        let a = TaskAssignment::balanced(6, 3).unwrap();
+        assert_eq!(a.tasks_of(0), vec![0, 3]);
+        assert_eq!(a.tasks_of(2), vec![2, 5]);
+        assert_eq!(a.owner(4), 1);
+    }
+}

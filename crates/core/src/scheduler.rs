@@ -1,0 +1,610 @@
+//! The DRS resource-scheduling algorithms (paper §III-C).
+//!
+//! Two optimisation problems are solved:
+//!
+//! * **Program 4** — given at most `Kmax` processors, place them on operators
+//!   to minimise the expected total sojourn time `E[T]`. Solved by
+//!   [`assign_processors`] (Algorithm 1): start every operator at its minimum
+//!   stable count, then repeatedly give one processor to the operator with
+//!   the largest marginal benefit `δ_i = λ_i·(E[T_i](k_i) − E[T_i](k_i+1))`.
+//!   Because each `E[T_i]` is convex in `k_i`, the greedy solution is exactly
+//!   optimal (Theorem 1).
+//! * **Program 6** — find the *fewest* processors for which `E[T] ≤ Tmax`.
+//!   Solved by [`min_processors_for_target`] with the same greedy ascent,
+//!   stopping as soon as the target is met.
+//!
+//! [`assign_processors_exhaustive`] provides a brute-force reference used by
+//! tests and the ablation benchmarks to confirm greedy optimality.
+
+use drs_queueing::jackson::{JacksonError, JacksonNetwork};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error from the scheduling algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// Even the minimum stable allocation needs more processors than are
+    /// available (Algorithm 1, line 5).
+    InsufficientProcessors {
+        /// Processors required for stability.
+        required: u64,
+        /// Processors available (`Kmax`).
+        available: u32,
+    },
+    /// The latency target is below the no-queueing lower bound
+    /// `Σ λ_i/µ_i / λ0`, so no finite allocation can reach it.
+    TargetUnreachable {
+        /// The requested expected-sojourn target (seconds).
+        target: f64,
+        /// The theoretical lower bound (seconds).
+        lower_bound: f64,
+    },
+    /// The target was not met within the provided processor cap.
+    CapExceeded {
+        /// The processor cap that was hit.
+        cap: u32,
+        /// Best expected sojourn achieved at the cap (seconds).
+        best: f64,
+    },
+    /// The underlying performance model rejected the inputs.
+    Model(JacksonError),
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InsufficientProcessors {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient processors: stability needs {required}, only {available} available"
+            ),
+            ScheduleError::TargetUnreachable {
+                target,
+                lower_bound,
+            } => write!(
+                f,
+                "target {target}s unreachable: lower bound is {lower_bound}s"
+            ),
+            ScheduleError::CapExceeded { cap, best } => {
+                write!(f, "processor cap {cap} reached; best E[T] = {best}s")
+            }
+            ScheduleError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScheduleError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JacksonError> for ScheduleError {
+    fn from(e: JacksonError) -> Self {
+        ScheduleError::Model(e)
+    }
+}
+
+/// The result of a scheduling run: an allocation plus its model-predicted
+/// expected sojourn time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    per_operator: Vec<u32>,
+    expected_sojourn: f64,
+}
+
+impl Allocation {
+    /// Processors assigned to each operator, in model index order.
+    pub fn per_operator(&self) -> &[u32] {
+        &self.per_operator
+    }
+
+    /// Total processors used.
+    pub fn total(&self) -> u64 {
+        self.per_operator.iter().map(|&k| u64::from(k)).sum()
+    }
+
+    /// The model-predicted expected total sojourn time (seconds).
+    pub fn expected_sojourn(&self) -> f64 {
+        self.expected_sojourn
+    }
+
+    /// Consumes the allocation, returning the raw vector.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.per_operator
+    }
+}
+
+impl fmt::Display for Allocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, k) in self.per_operator.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, ") E[T]={:.4}s", self.expected_sojourn)
+    }
+}
+
+/// Algorithm 1 (`AssignProcessors`): optimally place at most `k_max`
+/// processors to minimise `E[T]`.
+///
+/// Uses *all* `k_max` processors: by monotonicity an extra processor never
+/// hurts, and by convexity the greedy argmax placement is exactly optimal.
+///
+/// # Errors
+///
+/// * [`ScheduleError::InsufficientProcessors`] — stability alone needs more
+///   than `k_max` processors.
+pub fn assign_processors(
+    network: &JacksonNetwork,
+    k_max: u32,
+) -> Result<Allocation, ScheduleError> {
+    let mut allocation = network.min_stable_allocation();
+    let required: u64 = allocation.iter().map(|&k| u64::from(k)).sum();
+    if required > u64::from(k_max) {
+        return Err(ScheduleError::InsufficientProcessors {
+            required,
+            available: k_max,
+        });
+    }
+    let mut remaining = u64::from(k_max) - required;
+    while remaining > 0 {
+        let best = argmax_marginal_benefit(network, &allocation);
+        allocation[best] += 1;
+        remaining -= 1;
+    }
+    let expected_sojourn = network
+        .expected_sojourn(&allocation)
+        .expect("allocation length matches network");
+    Ok(Allocation {
+        per_operator: allocation,
+        expected_sojourn,
+    })
+}
+
+/// Program 6: the smallest total allocation whose model-predicted `E[T]` is
+/// at most `t_max` seconds, found by the same greedy ascent as Algorithm 1.
+///
+/// `cap` bounds the total processors the search may use, protecting callers
+/// from unbounded growth when `t_max` sits barely above the theoretical
+/// minimum.
+///
+/// # Errors
+///
+/// * [`ScheduleError::TargetUnreachable`] — `t_max` is below the
+///   zero-queueing lower bound `Σ λ_i/µ_i / λ0`; no allocation can meet it.
+/// * [`ScheduleError::CapExceeded`] — the target was not met within `cap`
+///   processors.
+pub fn min_processors_for_target(
+    network: &JacksonNetwork,
+    t_max: f64,
+    cap: u32,
+) -> Result<Allocation, ScheduleError> {
+    let lower_bound = no_queueing_bound(network);
+    if t_max < lower_bound {
+        return Err(ScheduleError::TargetUnreachable {
+            target: t_max,
+            lower_bound,
+        });
+    }
+    let mut allocation = network.min_stable_allocation();
+    let mut total: u64 = allocation.iter().map(|&k| u64::from(k)).sum();
+    if total > u64::from(cap) {
+        return Err(ScheduleError::InsufficientProcessors {
+            required: total,
+            available: cap,
+        });
+    }
+    let mut current = network
+        .expected_sojourn(&allocation)
+        .expect("allocation length matches network");
+    while current > t_max {
+        if total >= u64::from(cap) {
+            return Err(ScheduleError::CapExceeded { cap, best: current });
+        }
+        let best = argmax_marginal_benefit(network, &allocation);
+        allocation[best] += 1;
+        total += 1;
+        current = network
+            .expected_sojourn(&allocation)
+            .expect("allocation length matches network");
+    }
+    Ok(Allocation {
+        per_operator: allocation,
+        expected_sojourn: current,
+    })
+}
+
+/// Brute-force optimal assignment by enumerating every split of `k_max`
+/// processors. Exponential in the number of operators — use only for tests
+/// and ablation benchmarks on small networks.
+///
+/// Returns `None` when no stable allocation exists within `k_max`.
+pub fn assign_processors_exhaustive(
+    network: &JacksonNetwork,
+    k_max: u32,
+) -> Option<Allocation> {
+    let n = network.len();
+    let min = network.min_stable_allocation();
+    let required: u64 = min.iter().map(|&k| u64::from(k)).sum();
+    if required > u64::from(k_max) {
+        return None;
+    }
+    let mut best: Option<Allocation> = None;
+    let mut current = min.clone();
+    // Distribute the surplus over operators via recursive enumeration.
+    let surplus = (u64::from(k_max) - required) as u32;
+    fn recurse(
+        network: &JacksonNetwork,
+        current: &mut Vec<u32>,
+        op: usize,
+        left: u32,
+        best: &mut Option<Allocation>,
+    ) {
+        let n = current.len();
+        if op == n - 1 {
+            current[op] += left;
+            let t = network
+                .expected_sojourn(current)
+                .expect("length matches network");
+            if best.as_ref().is_none_or(|b| t < b.expected_sojourn) {
+                *best = Some(Allocation {
+                    per_operator: current.clone(),
+                    expected_sojourn: t,
+                });
+            }
+            current[op] -= left;
+            return;
+        }
+        for give in 0..=left {
+            current[op] += give;
+            recurse(network, current, op + 1, left - give, best);
+            current[op] -= give;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    recurse(network, &mut current, 0, surplus, &mut best);
+    best
+}
+
+/// Algorithm 1 on a *heterogeneous* cluster (paper §III-A: "the proposed
+/// models and algorithms can also support settings with heterogeneous
+/// processors").
+///
+/// `speeds[i]` is the relative speed of the processor class serving
+/// operator `i` (1.0 = the reference class whose rate the measured `µ_i`
+/// describes). Faster classes multiply the effective per-processor service
+/// rate; the greedy optimality argument is unchanged because each
+/// `E[T_i](k_i)` stays convex under a fixed rate scaling.
+///
+/// # Errors
+///
+/// * [`ScheduleError::Model`] — `speeds` has the wrong length or contains a
+///   non-positive factor.
+/// * [`ScheduleError::InsufficientProcessors`] — as for
+///   [`assign_processors`].
+pub fn assign_processors_heterogeneous(
+    network: &JacksonNetwork,
+    speeds: &[f64],
+    k_max: u32,
+) -> Result<Allocation, ScheduleError> {
+    let scaled = scale_service_rates(network, speeds)?;
+    assign_processors(&scaled, k_max)
+}
+
+/// Program 6 on a heterogeneous cluster; see
+/// [`assign_processors_heterogeneous`].
+///
+/// # Errors
+///
+/// As for [`min_processors_for_target`], plus invalid `speeds`.
+pub fn min_processors_for_target_heterogeneous(
+    network: &JacksonNetwork,
+    speeds: &[f64],
+    t_max: f64,
+    cap: u32,
+) -> Result<Allocation, ScheduleError> {
+    let scaled = scale_service_rates(network, speeds)?;
+    min_processors_for_target(&scaled, t_max, cap)
+}
+
+/// Builds the speed-adjusted network `µ'_i = µ_i · speeds[i]`.
+fn scale_service_rates(
+    network: &JacksonNetwork,
+    speeds: &[f64],
+) -> Result<JacksonNetwork, ScheduleError> {
+    if speeds.len() != network.len() {
+        return Err(ScheduleError::Model(JacksonError::AllocationLength {
+            expected: network.len(),
+            actual: speeds.len(),
+        }));
+    }
+    let pairs: Vec<(f64, f64)> = network
+        .operators()
+        .iter()
+        .zip(speeds)
+        .map(|(op, &s)| (op.arrival_rate(), op.service_rate() * s))
+        .collect();
+    JacksonNetwork::from_rates(network.external_rate(), &pairs).map_err(ScheduleError::Model)
+}
+
+/// The zero-queueing lower bound on `E[T]`: with unlimited processors every
+/// tuple only pays its service time, so `E[T] → Σ λ_i·(1/µ_i) / λ0`.
+pub fn no_queueing_bound(network: &JacksonNetwork) -> f64 {
+    network
+        .operators()
+        .iter()
+        .map(|op| op.arrival_rate() / op.service_rate())
+        .sum::<f64>()
+        / network.external_rate()
+}
+
+/// Index of the operator with the largest marginal benefit
+/// `δ_i = λ_i · (E[T_i](k_i) − E[T_i](k_i+1))` (Algorithm 1, lines 8–12).
+fn argmax_marginal_benefit(network: &JacksonNetwork, allocation: &[u32]) -> usize {
+    let mut best_idx = 0;
+    let mut best_delta = f64::NEG_INFINITY;
+    for (i, (op, &k)) in network.operators().iter().zip(allocation).enumerate() {
+        let delta = op.arrival_rate() * op.marginal_benefit(k);
+        if delta > best_delta {
+            best_delta = delta;
+            best_idx = i;
+        }
+    }
+    best_idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §V-B VLD-like network: three bolts behind a 13 tuple/s source
+    /// with a 30x feature fan-out.
+    fn vld_like() -> JacksonNetwork {
+        JacksonNetwork::from_rates(
+            13.0,
+            &[(13.0, 1.6), (390.0, 40.0), (390.0, 450.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_uses_entire_budget() {
+        let net = vld_like();
+        let alloc = assign_processors(&net, 22).unwrap();
+        assert_eq!(alloc.total(), 22);
+        assert!(alloc.expected_sojourn().is_finite());
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_vld_like() {
+        let net = vld_like();
+        for k_max in [20u32, 22, 25] {
+            let greedy = assign_processors(&net, k_max).unwrap();
+            let brute = assign_processors_exhaustive(&net, k_max).unwrap();
+            assert!(
+                (greedy.expected_sojourn() - brute.expected_sojourn()).abs() < 1e-12,
+                "k_max={k_max}: greedy {} vs brute {}",
+                greedy.expected_sojourn(),
+                brute.expected_sojourn()
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_asymmetric_network() {
+        let net = JacksonNetwork::from_rates(
+            10.0,
+            &[(10.0, 4.0), (50.0, 9.0), (25.0, 30.0), (10.0, 2.5)],
+        )
+        .unwrap();
+        let greedy = assign_processors(&net, 30).unwrap();
+        let brute = assign_processors_exhaustive(&net, 30).unwrap();
+        assert!((greedy.expected_sojourn() - brute.expected_sojourn()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insufficient_processors_detected() {
+        let net = vld_like();
+        let required = net.min_total_servers();
+        let err = assign_processors(&net, (required - 1) as u32).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::InsufficientProcessors { .. }
+        ));
+    }
+
+    #[test]
+    fn exactly_minimum_budget_returns_min_allocation() {
+        let net = vld_like();
+        let min = net.min_stable_allocation();
+        let alloc = assign_processors(&net, net.min_total_servers() as u32).unwrap();
+        assert_eq!(alloc.per_operator(), min.as_slice());
+    }
+
+    #[test]
+    fn min_processors_meets_target() {
+        // The no-queueing bound of vld_like() is ≈ 1.44 s, so 1.6 s is a
+        // tight but reachable target.
+        let net = vld_like();
+        let alloc = min_processors_for_target(&net, 1.6, 200).unwrap();
+        assert!(alloc.expected_sojourn() <= 1.6);
+        // Minimality: removing any one processor violates the target or
+        // stability.
+        let ks = alloc.per_operator().to_vec();
+        for i in 0..ks.len() {
+            let mut fewer = ks.clone();
+            if fewer[i] == 0 {
+                continue;
+            }
+            fewer[i] -= 1;
+            let t = net.expected_sojourn(&fewer).unwrap();
+            assert!(
+                t > 1.6 || t.is_infinite(),
+                "removing a processor from op {i} still meets target: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_processors_monotone_in_target() {
+        // Looser targets need no more processors.
+        let net = vld_like();
+        let tight = min_processors_for_target(&net, 1.6, 500).unwrap();
+        let loose = min_processors_for_target(&net, 3.0, 500).unwrap();
+        assert!(loose.total() <= tight.total());
+    }
+
+    #[test]
+    fn unreachable_target_detected() {
+        let net = vld_like();
+        let bound = no_queueing_bound(&net);
+        let err = min_processors_for_target(&net, bound * 0.5, 10_000).unwrap_err();
+        assert!(matches!(err, ScheduleError::TargetUnreachable { .. }));
+    }
+
+    #[test]
+    fn cap_exceeded_reported_with_best_effort() {
+        let net = vld_like();
+        let bound = no_queueing_bound(&net);
+        // Target barely above the bound: needs a huge processor count.
+        let err = min_processors_for_target(&net, bound * 1.0001, 40).unwrap_err();
+        match err {
+            ScheduleError::CapExceeded { cap, best } => {
+                assert_eq!(cap, 40);
+                assert!(best.is_finite() && best > bound);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expa_expb_shape_scale_up_and_down() {
+        // Fig. 10 logic: a tighter Tmax needs more processors than a looser
+        // one (the paper's ExpA 500 ms vs ExpB 1000 ms, scaled to this
+        // network's latency regime).
+        let net = vld_like();
+        let strict = min_processors_for_target(&net, 1.6, 500).unwrap();
+        let relaxed = min_processors_for_target(&net, 3.0, 500).unwrap();
+        assert!(strict.total() > relaxed.total());
+    }
+
+    #[test]
+    fn allocation_display_matches_paper_notation() {
+        let net = vld_like();
+        let alloc = assign_processors(&net, 22).unwrap();
+        let s = alloc.to_string();
+        assert!(s.starts_with('('), "{s}");
+        assert!(s.contains(':'), "{s}");
+    }
+
+    #[test]
+    fn greedy_prefers_bottleneck_operator() {
+        // One heavily loaded operator and one idle one: every surplus
+        // processor should go to the busy one.
+        let net = JacksonNetwork::from_rates(100.0, &[(100.0, 11.0), (1.0, 1000.0)]).unwrap();
+        let alloc = assign_processors(&net, 16).unwrap();
+        assert_eq!(alloc.per_operator()[1], 1);
+        assert_eq!(alloc.per_operator()[0], 15);
+    }
+
+    #[test]
+    fn scheduling_is_linear_in_kmax_shape() {
+        // Not a timing test: just confirm the loop executes for large Kmax
+        // without numeric failure (Table II exercises up to 192).
+        let net = vld_like();
+        let alloc = assign_processors(&net, 192).unwrap();
+        assert_eq!(alloc.total(), 192);
+        assert!(alloc.expected_sojourn() > 0.0);
+    }
+
+    #[test]
+    fn no_queueing_bound_is_reached_asymptotically() {
+        let net = vld_like();
+        let bound = no_queueing_bound(&net);
+        let big = assign_processors(&net, 5_000).unwrap();
+        assert!((big.expected_sojourn() - bound) / bound < 0.01);
+    }
+
+    #[test]
+    fn into_vec_round_trips() {
+        let net = vld_like();
+        let alloc = assign_processors(&net, 22).unwrap();
+        let v = alloc.clone().into_vec();
+        assert_eq!(v.as_slice(), alloc.per_operator());
+    }
+
+    #[test]
+    fn heterogeneous_unit_speeds_match_homogeneous() {
+        let net = vld_like();
+        let homo = assign_processors(&net, 22).unwrap();
+        let hetero = assign_processors_heterogeneous(&net, &[1.0, 1.0, 1.0], 22).unwrap();
+        assert_eq!(homo, hetero);
+    }
+
+    #[test]
+    fn faster_processors_attract_less_allocation() {
+        let net = vld_like();
+        let base = assign_processors(&net, 22).unwrap();
+        // Operator 0's class runs 2x faster: its offered load halves, so it
+        // needs strictly fewer processors; the surplus flows elsewhere.
+        let hetero = assign_processors_heterogeneous(&net, &[2.0, 1.0, 1.0], 22).unwrap();
+        assert!(
+            hetero.per_operator()[0] < base.per_operator()[0],
+            "faster class should need fewer processors: {hetero} vs {base}"
+        );
+        assert_eq!(hetero.total(), 22);
+    }
+
+    #[test]
+    fn slower_processors_raise_the_minimum_target_cost() {
+        let net = vld_like();
+        // Target reachable under both speed profiles (the no-queueing bound
+        // doubles from ≈1.44 s to ≈2.88 s when speeds halve).
+        let fast = min_processors_for_target_heterogeneous(&net, &[1.0, 1.0, 1.0], 4.0, 500)
+            .unwrap();
+        let slow = min_processors_for_target_heterogeneous(&net, &[0.5, 0.5, 0.5], 4.0, 500)
+            .unwrap();
+        assert!(
+            slow.total() > fast.total(),
+            "halving speeds must cost more processors: {} vs {}",
+            slow.total(),
+            fast.total()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_rejects_bad_speeds() {
+        let net = vld_like();
+        assert!(assign_processors_heterogeneous(&net, &[1.0, 1.0], 22).is_err());
+        assert!(assign_processors_heterogeneous(&net, &[1.0, 0.0, 1.0], 22).is_err());
+        assert!(assign_processors_heterogeneous(&net, &[1.0, -1.0, 1.0], 22).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_greedy_matches_exhaustive_on_scaled_network() {
+        let net = vld_like();
+        let speeds = [1.5, 0.8, 2.0];
+        let greedy = assign_processors_heterogeneous(&net, &speeds, 24).unwrap();
+        // Exhaustive on the manually scaled network must agree.
+        let pairs: Vec<(f64, f64)> = net
+            .operators()
+            .iter()
+            .zip(speeds)
+            .map(|(op, s)| (op.arrival_rate(), op.service_rate() * s))
+            .collect();
+        let scaled = JacksonNetwork::from_rates(net.external_rate(), &pairs).unwrap();
+        let brute = assign_processors_exhaustive(&scaled, 24).unwrap();
+        assert!((greedy.expected_sojourn() - brute.expected_sojourn()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,496 @@
+//! Small dense linear algebra used by the traffic-equation solver.
+//!
+//! Operator networks in DRS are small (tens of operators), so a simple dense
+//! representation with LU decomposition is both adequate and dependency-free.
+//! The API is intentionally minimal: construct a [`Matrix`], then
+//! [`Matrix::solve`] a linear system or estimate the spectral radius with
+//! [`Matrix::spectral_radius`].
+
+use std::fmt;
+
+/// Error produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// The two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Textual description of the operation that failed.
+        context: &'static str,
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// The matrix is singular (or numerically close to singular) and the
+    /// requested decomposition does not exist.
+    Singular,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// A dense row-major `rows x cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use drs_queueing::linalg::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+/// let x = a.solve(&[2.0, 8.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have unequal
+    /// lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(LinalgError::DimensionMismatch {
+                    context: "Matrix::from_rows",
+                    expected: ncols,
+                    actual: row.len(),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()` or `col >= self.cols()`.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()` or `col >= self.cols()`.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Returns the transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Matrix::mul_vec",
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let out = (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .zip(x)
+                    .map(|(a, b)| a * b)
+                    .sum()
+            })
+            .collect();
+        Ok(out)
+    }
+
+    /// Matrix-matrix product `A * B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols() != other.rows()`.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Matrix::mul",
+                expected: self.cols,
+                actual: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.set(i, j, out.get(i, j) + aik * other.get(k, j));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Component-wise subtraction `A - B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, other: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Matrix::sub",
+                expected: self.rows * self.cols,
+                actual: other.rows * other.cols,
+            });
+        }
+        let mut out = self.clone();
+        for (o, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *o -= b;
+        }
+        Ok(out)
+    }
+
+    /// Solves the linear system `A x = b` using LU decomposition with partial
+    /// pivoting.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::DimensionMismatch`] — `A` is not square or `b` has the
+    ///   wrong length.
+    /// * [`LinalgError::Singular`] — the matrix is singular to working
+    ///   precision.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Matrix::solve (square)",
+                expected: self.rows,
+                actual: self.cols,
+            });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "Matrix::solve (rhs)",
+                expected: self.rows,
+                actual: b.len(),
+            });
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        // Forward elimination with partial pivoting.
+        for col in 0..n {
+            // Find pivot.
+            let mut pivot_row = col;
+            let mut pivot_val = lu[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = lu[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    lu.swap(col * n + j, pivot_row * n + j);
+                }
+                x.swap(col, pivot_row);
+            }
+            let pivot = lu[col * n + col];
+            for row in (col + 1)..n {
+                let factor = lu[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                lu[row * n + col] = 0.0;
+                for j in (col + 1)..n {
+                    lu[row * n + j] -= factor * lu[col * n + j];
+                }
+                x[row] -= factor * x[col];
+            }
+        }
+
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut acc = x[col];
+            for j in (col + 1)..n {
+                acc -= lu[col * n + j] * x[j];
+            }
+            x[col] = acc / lu[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Estimates the spectral radius of the matrix using Gelfand's formula
+    /// `ρ(A) = lim ||A^m||^(1/m)` evaluated by repeated squaring on the
+    /// element-wise absolute value of the matrix.
+    ///
+    /// Unlike plain power iteration, this converges even when several
+    /// eigenvalues share the maximal modulus (e.g. two-operator feedback
+    /// loops, whose gain matrices have eigenvalues `±sqrt(g₁g₂)`).
+    /// `iterations` is the number of squarings; each squaring doubles the
+    /// effective matrix power, so 40 iterations evaluate `||A^(2^40)||^(2^-40)`.
+    ///
+    /// Returns `0.0` for an empty or nilpotent matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn spectral_radius(&self, iterations: usize) -> f64 {
+        assert_eq!(self.rows, self.cols, "spectral radius requires square matrix");
+        let n = self.rows;
+        if n == 0 {
+            return 0.0;
+        }
+        // Work on |A| and renormalise after each squaring, carrying the
+        // accumulated log-magnitude so A^(2^j) = exp(log_scale) * m exactly.
+        let mut m = self.clone();
+        for v in &mut m.data {
+            *v = v.abs();
+        }
+        let squarings = iterations.clamp(1, 64);
+        let mut log_scale = 0.0_f64;
+        let mut power = 1.0_f64; // current exponent 2^j
+        for _ in 0..squarings {
+            let norm = m.norm_inf();
+            if norm == 0.0 {
+                return 0.0; // nilpotent
+            }
+            log_scale += norm.ln();
+            for v in &mut m.data {
+                *v /= norm;
+            }
+            m = m.mul(&m).expect("square matrix");
+            log_scale *= 2.0;
+            power *= 2.0;
+        }
+        let final_norm = m.norm_inf();
+        if final_norm == 0.0 {
+            return 0.0;
+        }
+        ((log_scale + final_norm.ln()) / power).exp()
+    }
+
+    /// Maximum absolute row sum (infinity norm); an upper bound on the
+    /// spectral radius.
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j).abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self.get(i, j))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} !~ {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert_close(*xi, *bi, 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_known_3x3_system() {
+        // 2x + y - z = 8; -3x - y + 2z = -11; -2x + y + 2z = -3 => x=2, y=3, z=-1
+        let a = Matrix::from_rows(&[
+            &[2.0, 1.0, -1.0],
+            &[-3.0, -1.0, 2.0],
+            &[-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert_close(x[0], 2.0, 1e-10);
+        assert_close(x[1], 3.0, 1e-10);
+        assert_close(x[2], -1.0, 1e-10);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_close(x[0], 7.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn non_square_solve_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = Matrix::identity(3);
+        assert!(matches!(
+            a.solve(&[1.0, 2.0]),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let y = a.mul_vec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(0, 1), 4.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i).unwrap(), a);
+        assert_eq!(i.mul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[0.5, 0.0], &[0.0, 0.25]]).unwrap();
+        assert_close(a.spectral_radius(100), 0.5, 1e-9);
+    }
+
+    #[test]
+    fn spectral_radius_of_rotation_like_matrix() {
+        // [[0, 1], [1, 0]] has eigenvalues +-1.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert_close(a.spectral_radius(100), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn spectral_radius_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        assert_eq!(a.spectral_radius(10), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_bounds_spectral_radius() {
+        let a = Matrix::from_rows(&[&[0.2, 0.3], &[0.1, 0.4]]).unwrap();
+        assert!(a.spectral_radius(200) <= a.norm_inf() + 1e-9);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        let s = format!("{a}");
+        assert!(s.contains("1.000000"));
+    }
+}

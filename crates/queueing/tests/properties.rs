@@ -1,0 +1,186 @@
+//! Property-based tests for the queueing substrate: structural invariants of
+//! the Erlang model, traffic equations and Jackson aggregation over randomly
+//! drawn parameters.
+
+use drs_queueing::erlang::{erlang_b, erlang_c, MmKQueue};
+use drs_queueing::jackson::JacksonNetwork;
+use drs_queueing::linalg::Matrix;
+use drs_queueing::traffic::TrafficEquations;
+use proptest::prelude::*;
+
+fn rate() -> impl Strategy<Value = f64> {
+    // Positive, comfortably away from denormals and overflow.
+    (0.01f64..5_000.0).prop_map(|x| x)
+}
+
+proptest! {
+    #[test]
+    fn erlang_b_is_a_probability(servers in 0u32..500, a in 0.0f64..2_000.0) {
+        let b = erlang_b(servers, a);
+        prop_assert!(b.is_finite());
+        prop_assert!((0.0..=1.0).contains(&b), "B({servers},{a}) = {b}");
+    }
+
+    #[test]
+    fn erlang_b_decreases_in_servers(servers in 1u32..200, a in 0.01f64..500.0) {
+        prop_assert!(erlang_b(servers + 1, a) <= erlang_b(servers, a) + 1e-15);
+    }
+
+    #[test]
+    fn erlang_c_dominates_erlang_b(servers in 1u32..200, rho in 0.01f64..0.99) {
+        // Delayed customers wait at least as often as they'd be blocked:
+        // C(k, a) >= B(k, a) for stable systems. Parameterise by utilisation
+        // so the sampled system is always stable.
+        let a = rho * f64::from(servers);
+        let b = erlang_b(servers, a);
+        let c = erlang_c(servers, a);
+        prop_assert!(c >= b - 1e-12, "C={c} < B={b}");
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn sojourn_monotone_and_convex(lambda in rate(), mu in rate(), span in 1u32..30) {
+        let q = MmKQueue::new(lambda, mu).unwrap();
+        let k0 = q.min_stable_servers();
+        prop_assume!(k0 < 10_000);
+        let k = k0 + span;
+        let t0 = q.expected_sojourn(k);
+        let t1 = q.expected_sojourn(k + 1);
+        let t2 = q.expected_sojourn(k + 2);
+        prop_assert!(t0.is_finite() && t0 > 0.0);
+        // Monotone decreasing.
+        prop_assert!(t1 <= t0 + 1e-12);
+        // Convex: marginal improvements shrink.
+        prop_assert!((t0 - t1) >= (t1 - t2) - 1e-9, "d1={} d2={}", t0 - t1, t1 - t2);
+    }
+
+    #[test]
+    fn sojourn_bounded_below_by_service_time(lambda in rate(), mu in rate(), span in 0u32..50) {
+        let q = MmKQueue::new(lambda, mu).unwrap();
+        let k0 = q.min_stable_servers();
+        prop_assume!(k0 < 10_000);
+        let t = q.expected_sojourn(k0 + span);
+        prop_assert!(t >= 1.0 / mu - 1e-12, "E[T] {t} below service time {}", 1.0 / mu);
+    }
+
+    #[test]
+    fn paper_form_agrees_with_stable_form(lambda in 0.1f64..100.0, mu in 0.1f64..100.0, span in 0u32..20) {
+        let q = MmKQueue::new(lambda, mu).unwrap();
+        let k0 = q.min_stable_servers();
+        prop_assume!(k0 + span < 150); // factorial form is representable
+        let k = k0 + span;
+        let a = q.expected_sojourn(k);
+        let b = q.expected_sojourn_paper_form(k);
+        prop_assert!(((a - b) / a).abs() < 1e-6, "k={k}: {a} vs {b}");
+    }
+
+    #[test]
+    fn little_law_consistency(lambda in rate(), mu in rate(), span in 0u32..20) {
+        let q = MmKQueue::new(lambda, mu).unwrap();
+        let k = q.min_stable_servers() + span;
+        prop_assume!(k < 10_000);
+        let l = q.expected_in_system(k);
+        let lq = q.expected_queue_len(k);
+        // L = Lq + a (expected busy servers).
+        prop_assert!((l - (lq + q.offered_load())).abs() < 1e-6 * l.max(1.0));
+    }
+
+    #[test]
+    fn acyclic_traffic_solution_is_nonnegative(
+        ext in prop::collection::vec(0.0f64..100.0, 2..8),
+        gains in prop::collection::vec(0.0f64..3.0, 1..28),
+    ) {
+        let n = ext.len();
+        let mut eqs = TrafficEquations::new(n);
+        for (i, &e) in ext.iter().enumerate() {
+            eqs.set_external_rate(i, e).unwrap();
+        }
+        // Only forward edges (i < j): guaranteed acyclic, any gain is stable.
+        let mut gi = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if gi < gains.len() {
+                    eqs.set_gain(i, j, gains[gi]).unwrap();
+                    gi += 1;
+                }
+            }
+        }
+        let rates = eqs.solve().unwrap();
+        for (i, r) in rates.iter().enumerate() {
+            prop_assert!(*r >= 0.0, "negative rate {r} at {i}");
+            prop_assert!(r.is_finite());
+        }
+    }
+
+    #[test]
+    fn traffic_fixed_point_residual_is_small(
+        ext in prop::collection::vec(0.1f64..50.0, 2..6),
+        loop_gain in 0.0f64..0.9,
+    ) {
+        // Ring topology with uniform gain: stable iff gain < 1.
+        let n = ext.len();
+        let mut eqs = TrafficEquations::new(n);
+        for (i, &e) in ext.iter().enumerate() {
+            eqs.set_external_rate(i, e).unwrap();
+            eqs.set_gain(i, (i + 1) % n, loop_gain).unwrap();
+        }
+        let rates = eqs.solve().unwrap();
+        // Check λ = ext + G^T λ componentwise.
+        for j in 0..n {
+            let inflow: f64 = (0..n).map(|i| eqs.gain(i, j) * rates[i]).sum();
+            let resid = (rates[j] - (ext[j] + inflow)).abs();
+            prop_assert!(resid < 1e-6 * rates[j].max(1.0), "residual {resid} at {j}");
+        }
+    }
+
+    #[test]
+    fn spectral_radius_bounded_by_norm(
+        vals in prop::collection::vec(0.0f64..2.0, 9),
+    ) {
+        let m = Matrix::from_rows(&[&vals[0..3], &vals[3..6], &vals[6..9]]).unwrap();
+        let r = m.spectral_radius(40);
+        prop_assert!(r <= m.norm_inf() + 1e-6, "radius {r} > norm {}", m.norm_inf());
+        prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn network_sojourn_improves_with_more_processors(
+        lambda0 in 0.5f64..50.0,
+        fanout in 0.5f64..20.0,
+        mu1 in rate(),
+        mu2 in rate(),
+    ) {
+        let net = JacksonNetwork::from_rates(
+            lambda0,
+            &[(lambda0, mu1), (lambda0 * fanout, mu2)],
+        ).unwrap();
+        let min = net.min_stable_allocation();
+        prop_assume!(min.iter().all(|&k| k < 5_000));
+        let base = net.expected_sojourn(&min).unwrap();
+        let more: Vec<u32> = min.iter().map(|&k| k + 1).collect();
+        let better = net.expected_sojourn(&more).unwrap();
+        prop_assert!(better <= base + 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_random_solution(
+        x in prop::collection::vec(-10.0f64..10.0, 3),
+        perturb in prop::collection::vec(0.1f64..1.0, 9),
+    ) {
+        // Build a diagonally dominant (hence nonsingular) matrix.
+        let mut rows = vec![vec![0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                rows[i][j] = perturb[i * 3 + j];
+            }
+            rows[i][i] += 5.0;
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&refs).unwrap();
+        let b = a.mul_vec(&x).unwrap();
+        let solved = a.solve(&b).unwrap();
+        for (xs, xt) in solved.iter().zip(x.iter()) {
+            prop_assert!((xs - xt).abs() < 1e-8, "{xs} != {xt}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A miniature threaded stream-processing engine (the "CSP layer").
+//!
+//! This crate stands in for Apache Storm in the DRS reproduction (Fu et al.,
+//! ICDCS 2015): spouts and bolts run on real threads, tuples flow through
+//! real channels, and the engine measures exactly what the paper's
+//! `MeasurableSpout`/`MeasurableBolt` instrumentation measures — per-operator
+//! arrival rates, per-executor service rates, and the complete sojourn time
+//! of every root tuple via acker-style tuple trees.
+//!
+//! Use it to demonstrate DRS driving a *live* system (see the `live_runtime`
+//! example at the repository root); the deterministic experiments of the
+//! paper are reproduced on the `drs-sim` discrete-event simulator instead.
+//!
+//! # Architecture
+//!
+//! * [`mod@tuple`] — tuple values.
+//! * [`operator`] — the `Spout`/`Bolt` traits users implement.
+//! * [`engine`] — executor threads, channels, acking, re-balancing.
+//! * [`metrics`] — the shared lock-free metrics registry.
+//!
+//! Groupings: the engine distributes tuples to executors through one shared
+//! queue per operator (shuffle semantics). Other Storm groupings affect
+//! executor-level placement, not operator-level rates, which is what DRS
+//! models; they are treated as shuffle here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod metrics;
+pub mod operator;
+pub mod tuple;
+
+pub use engine::{RuntimeBuilder, RuntimeEngine, RuntimeError};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, OperatorMetrics};
+pub use operator::{Bolt, BoltFactory, Collector, Spout, SpoutEmission, VecCollector};
+pub use tuple::{Tuple, Value};

@@ -1,0 +1,237 @@
+//! Live metrics registry shared by all executor threads.
+//!
+//! This is the runtime analogue of the paper's `DRSMetricCollector`: each
+//! executor updates lock-free counters while processing; the DRS layer pulls
+//! a consistent [`MetricsSnapshot`] every measurement interval.
+
+use drs_queueing::stats::RunningStats;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Per-operator atomic counters.
+#[derive(Debug, Default)]
+pub(crate) struct OperatorCounters {
+    /// Tuples delivered to the operator's input channel.
+    pub arrivals: AtomicU64,
+    /// Tuples whose execution finished.
+    pub completions: AtomicU64,
+    /// Nanoseconds executors spent inside `execute`.
+    pub busy_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of all metrics, with rates derived over the window
+/// since the previous snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Wall-clock length of the window (seconds).
+    pub window_secs: f64,
+    /// Per-operator windows, indexed by operator id.
+    pub operators: Vec<OperatorMetrics>,
+    /// External (root) tuples emitted by spouts during the window.
+    pub external_arrivals: u64,
+    /// Sojourn statistics (seconds) of root tuples fully processed during
+    /// the window.
+    pub sojourn: RunningStats,
+}
+
+/// One operator's measurements for a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatorMetrics {
+    /// Tuples that arrived during the window.
+    pub arrivals: u64,
+    /// Executions completed during the window.
+    pub completions: u64,
+    /// Executor-seconds spent executing.
+    pub busy_secs: f64,
+}
+
+impl OperatorMetrics {
+    /// Measured arrival rate `λ̂` (tuples/second) over the window.
+    pub fn arrival_rate(&self, window_secs: f64) -> Option<f64> {
+        (window_secs > 0.0).then(|| self.arrivals as f64 / window_secs)
+    }
+
+    /// Measured per-executor service rate `µ̂` (completions per busy
+    /// second).
+    pub fn service_rate(&self) -> Option<f64> {
+        (self.busy_secs > 0.0).then(|| self.completions as f64 / self.busy_secs)
+    }
+}
+
+/// The shared registry. Cheap to clone behind an `Arc`; executors touch only
+/// atomics on the hot path.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    operators: Vec<OperatorCounters>,
+    external: AtomicU64,
+    sojourn: Mutex<RunningStats>,
+    window_started: Mutex<Instant>,
+    // Snapshot baselines (counters are cumulative; windows are deltas).
+    baseline: Mutex<Baseline>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Baseline {
+    arrivals: Vec<u64>,
+    completions: Vec<u64>,
+    busy_nanos: Vec<u64>,
+    external: u64,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry for `n_operators` operators.
+    pub fn new(n_operators: usize) -> Self {
+        MetricsRegistry {
+            operators: (0..n_operators).map(|_| OperatorCounters::default()).collect(),
+            external: AtomicU64::new(0),
+            sojourn: Mutex::new(RunningStats::new()),
+            window_started: Mutex::new(Instant::now()),
+            baseline: Mutex::new(Baseline {
+                arrivals: vec![0; n_operators],
+                completions: vec![0; n_operators],
+                busy_nanos: vec![0; n_operators],
+                external: 0,
+            }),
+        }
+    }
+
+    /// Number of operators tracked.
+    pub fn len(&self) -> usize {
+        self.operators.len()
+    }
+
+    /// Whether the registry tracks no operators.
+    pub fn is_empty(&self) -> bool {
+        self.operators.is_empty()
+    }
+
+    pub(crate) fn record_arrival(&self, op: usize) {
+        self.operators[op].arrivals.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completion(&self, op: usize, busy_nanos: u64) {
+        self.operators[op].completions.fetch_add(1, Ordering::Relaxed);
+        self.operators[op]
+            .busy_nanos
+            .fetch_add(busy_nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_external(&self) {
+        self.external.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_sojourn(&self, secs: f64) {
+        self.sojourn.lock().record(secs);
+    }
+
+    /// Takes a windowed snapshot: rates cover the interval since the last
+    /// snapshot (or registry creation) and the window is reset.
+    pub fn take_snapshot(&self) -> MetricsSnapshot {
+        let mut started = self.window_started.lock();
+        let window_secs = started.elapsed().as_secs_f64();
+        *started = Instant::now();
+        drop(started);
+
+        let mut baseline = self.baseline.lock();
+        let mut operators = Vec::with_capacity(self.operators.len());
+        for (i, c) in self.operators.iter().enumerate() {
+            let arrivals = c.arrivals.load(Ordering::Relaxed);
+            let completions = c.completions.load(Ordering::Relaxed);
+            let busy = c.busy_nanos.load(Ordering::Relaxed);
+            operators.push(OperatorMetrics {
+                arrivals: arrivals - baseline.arrivals[i],
+                completions: completions - baseline.completions[i],
+                busy_secs: (busy - baseline.busy_nanos[i]) as f64 / 1e9,
+            });
+            baseline.arrivals[i] = arrivals;
+            baseline.completions[i] = completions;
+            baseline.busy_nanos[i] = busy;
+        }
+        let external_total = self.external.load(Ordering::Relaxed);
+        let external_arrivals = external_total - baseline.external;
+        baseline.external = external_total;
+        drop(baseline);
+
+        let sojourn = std::mem::replace(&mut *self.sojourn.lock(), RunningStats::new());
+        MetricsSnapshot {
+            window_secs,
+            operators,
+            external_arrivals,
+            sojourn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_window_resets() {
+        let m = MetricsRegistry::new(2);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+        m.record_arrival(0);
+        m.record_arrival(0);
+        m.record_arrival(1);
+        m.record_completion(0, 1_000_000); // 1 ms
+        m.record_external();
+        m.record_sojourn(0.25);
+
+        let snap = m.take_snapshot();
+        assert_eq!(snap.operators[0].arrivals, 2);
+        assert_eq!(snap.operators[1].arrivals, 1);
+        assert_eq!(snap.operators[0].completions, 1);
+        assert!((snap.operators[0].busy_secs - 0.001).abs() < 1e-9);
+        assert_eq!(snap.external_arrivals, 1);
+        assert_eq!(snap.sojourn.count(), 1);
+
+        // The next window starts empty.
+        let snap2 = m.take_snapshot();
+        assert_eq!(snap2.operators[0].arrivals, 0);
+        assert_eq!(snap2.external_arrivals, 0);
+        assert_eq!(snap2.sojourn.count(), 0);
+    }
+
+    #[test]
+    fn operator_metrics_rates() {
+        let om = OperatorMetrics {
+            arrivals: 100,
+            completions: 80,
+            busy_secs: 4.0,
+        };
+        assert_eq!(om.arrival_rate(10.0), Some(10.0));
+        assert_eq!(om.service_rate(), Some(20.0));
+        assert_eq!(om.arrival_rate(0.0), None);
+        let idle = OperatorMetrics {
+            arrivals: 0,
+            completions: 0,
+            busy_secs: 0.0,
+        };
+        assert_eq!(idle.service_rate(), None);
+    }
+
+    #[test]
+    fn concurrent_updates_are_counted() {
+        use std::sync::Arc;
+        let m = Arc::new(MetricsRegistry::new(1));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_arrival(0);
+                        m.record_completion(0, 10);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = m.take_snapshot();
+        assert_eq!(snap.operators[0].arrivals, 4000);
+        assert_eq!(snap.operators[0].completions, 4000);
+    }
+}

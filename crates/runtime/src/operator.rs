@@ -1,0 +1,157 @@
+//! User-facing operator traits: spouts produce tuples, bolts process them.
+//!
+//! These mirror Storm's programming interface (paper App. C) in miniature.
+//! The engine wraps every spout and bolt in measurement logic — the
+//! `MeasurableSpout`/`MeasurableBolt` instrumentation the paper adds to
+//! Storm — so user code stays measurement-free.
+
+use crate::tuple::Tuple;
+use std::time::Duration;
+
+/// One spout emission: a tuple plus the pause before the *next* emission,
+/// which determines the stream's arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpoutEmission {
+    /// The emitted tuple.
+    pub tuple: Tuple,
+    /// Time to wait before asking for the next emission.
+    pub wait: Duration,
+}
+
+/// A data source. The engine runs each spout on its own thread, calling
+/// [`Spout::next`] in a loop and sleeping [`SpoutEmission::wait`] between
+/// emissions.
+pub trait Spout: Send {
+    /// Produces the next tuple, or `None` when the stream is exhausted
+    /// (the spout thread then exits).
+    fn next(&mut self) -> Option<SpoutEmission>;
+}
+
+/// Sink for tuples emitted by a bolt during [`Bolt::execute`].
+///
+/// Every emitted tuple is delivered to *each* downstream operator of the
+/// emitting operator (one copy per outgoing edge), preserving the tuple-tree
+/// accounting used for complete-sojourn-time measurement.
+pub trait Collector {
+    /// Emits one tuple downstream.
+    fn emit(&mut self, tuple: Tuple);
+}
+
+/// A processing operator. The engine creates one `Bolt` instance per
+/// executor via [`BoltFactory`], so implementations may keep executor-local
+/// state without synchronisation.
+pub trait Bolt: Send {
+    /// Processes one input tuple, emitting any derived tuples through
+    /// `collector`.
+    fn execute(&mut self, tuple: &Tuple, collector: &mut dyn Collector);
+}
+
+/// Creates fresh [`Bolt`] instances — one per executor, re-invoked after
+/// re-balancing.
+pub type BoltFactory = Box<dyn Fn() -> Box<dyn Bolt> + Send + Sync>;
+
+/// A buffering [`Collector`] that records emissions in order; used by the
+/// engine and handy in unit tests of bolt logic.
+///
+/// # Examples
+///
+/// ```
+/// use drs_runtime::operator::{Bolt, Collector, VecCollector};
+/// use drs_runtime::tuple::Tuple;
+///
+/// struct Doubler;
+/// impl Bolt for Doubler {
+///     fn execute(&mut self, tuple: &Tuple, collector: &mut dyn Collector) {
+///         collector.emit(tuple.clone());
+///         collector.emit(tuple.clone());
+///     }
+/// }
+///
+/// let mut out = VecCollector::new();
+/// Doubler.execute(&Tuple::of(1i64), &mut out);
+/// assert_eq!(out.tuples().len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct VecCollector {
+    tuples: Vec<Tuple>,
+}
+
+impl VecCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        VecCollector::default()
+    }
+
+    /// The tuples emitted so far, in order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consumes the collector, returning the buffered tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+}
+
+impl Collector for VecCollector {
+    fn emit(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Value;
+
+    struct CountingSpout {
+        remaining: u32,
+    }
+
+    impl Spout for CountingSpout {
+        fn next(&mut self) -> Option<SpoutEmission> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            Some(SpoutEmission {
+                tuple: Tuple::of(i64::from(self.remaining)),
+                wait: Duration::from_millis(1),
+            })
+        }
+    }
+
+    #[test]
+    fn spout_exhausts() {
+        let mut s = CountingSpout { remaining: 2 };
+        assert!(s.next().is_some());
+        assert!(s.next().is_some());
+        assert!(s.next().is_none());
+    }
+
+    struct Filter;
+
+    impl Bolt for Filter {
+        fn execute(&mut self, tuple: &Tuple, collector: &mut dyn Collector) {
+            if tuple.field(0).and_then(Value::as_int).unwrap_or(0) % 2 == 0 {
+                collector.emit(tuple.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn bolt_with_vec_collector() {
+        let mut out = VecCollector::new();
+        let mut bolt = Filter;
+        for i in 0..6i64 {
+            bolt.execute(&Tuple::of(i), &mut out);
+        }
+        assert_eq!(out.tuples().len(), 3);
+        let vals: Vec<i64> = out
+            .into_tuples()
+            .iter()
+            .map(|t| t.field(0).and_then(Value::as_int).unwrap())
+            .collect();
+        assert_eq!(vals, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The simulator's event queue.
+//!
+//! Events are ordered by `(time, sequence)`, where the sequence number is a
+//! monotonically increasing tie-breaker. This makes event processing fully
+//! deterministic: two events scheduled for the same instant fire in the order
+//! they were scheduled.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence inside the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// An external tuple arrives at a spout; the spout immediately emits
+    /// downstream and schedules its next arrival.
+    ExternalArrival {
+        /// Index of the spout operator.
+        spout: usize,
+    },
+    /// A tuple arrives at an operator's input queue (possibly after a
+    /// network delay).
+    TupleArrival {
+        /// Destination operator index.
+        op: usize,
+        /// Tuple-tree the tuple belongs to.
+        tree: u64,
+    },
+    /// An executor at `op` finishes serving a tuple.
+    ServiceComplete {
+        /// Operator index.
+        op: usize,
+        /// Tuple-tree of the tuple that finished service.
+        tree: u64,
+        /// When the service started (for busy-time accounting).
+        started: SimTime,
+    },
+    /// End of a rebalance pause: apply the pending allocation and restart
+    /// processing.
+    Resume,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the max-heap pops the *earliest* (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of [`Event`]s keyed by [`SimTime`].
+///
+/// # Examples
+///
+/// ```
+/// use drs_sim::event::{Event, EventQueue};
+/// use drs_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), Event::Resume);
+/// q.schedule(SimTime::from_nanos(10), Event::ExternalArrival { spout: 0 });
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t.as_nanos(), 10);
+/// assert!(matches!(e, Event::ExternalArrival { spout: 0 }));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), Event::Resume);
+        q.schedule(SimTime::from_nanos(10), Event::ExternalArrival { spout: 1 });
+        q.schedule(
+            SimTime::from_nanos(20),
+            Event::ServiceComplete {
+                op: 0,
+                tree: 7,
+                started: SimTime::from_nanos(15),
+            },
+        );
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_nanos())
+            .collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for spout in 0..10 {
+            q.schedule(t, Event::ExternalArrival { spout });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ExternalArrival { spout } => spout,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::from_nanos(42), Event::Resume);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(42)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.peek_time().is_none());
+    }
+}

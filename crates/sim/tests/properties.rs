@@ -1,0 +1,187 @@
+//! Property-based tests for the discrete-event simulator: conservation
+//! laws, determinism, measurement consistency and stability boundaries over
+//! randomly drawn workloads.
+
+use drs_queueing::distribution::Distribution;
+use drs_sim::workload::{CountDistribution, EdgeBehavior, OperatorBehavior};
+use drs_sim::{SimDuration, SimulationBuilder, Simulator};
+use drs_topology::{EdgeOptions, TopologyBuilder};
+use proptest::prelude::*;
+
+/// Builds a two-stage pipeline with the given rates and fan-out.
+fn pipeline(
+    lambda: f64,
+    mu1: f64,
+    mu2: f64,
+    fanout: f64,
+    k1: u32,
+    k2: u32,
+    seed: u64,
+) -> Simulator {
+    let mut b = TopologyBuilder::new();
+    let spout = b.spout("src");
+    let a = b.bolt("a");
+    let bb = b.bolt("b");
+    b.edge(spout, a).unwrap();
+    b.edge_with(
+        a,
+        bb,
+        EdgeOptions {
+            gain: fanout,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let topo = b.build().unwrap();
+    SimulationBuilder::new(topo)
+        .behavior(
+            spout,
+            OperatorBehavior::Spout {
+                interarrival: Distribution::exponential(lambda).unwrap(),
+            },
+        )
+        .behavior(
+            a,
+            OperatorBehavior::Bolt {
+                service: Distribution::exponential(mu1).unwrap(),
+            },
+        )
+        .behavior(
+            bb,
+            OperatorBehavior::Bolt {
+                service: Distribution::exponential(mu2).unwrap(),
+            },
+        )
+        .edge_behavior(
+            a,
+            bb,
+            EdgeBehavior::instant(CountDistribution::with_mean(fanout).unwrap()),
+        )
+        .allocation(vec![1, k1, k2])
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn conservation_of_tuple_trees(
+        lambda in 5.0f64..80.0,
+        util in 0.3f64..0.9,
+        fanout in 0.2f64..4.0,
+        seed in 0u64..1000,
+    ) {
+        // Size each stage for the target utilisation.
+        let k1 = 4u32;
+        let k2 = 4u32;
+        let mu1 = lambda / (util * f64::from(k1));
+        let mu2 = lambda * fanout / (util * f64::from(k2));
+        let mut sim = pipeline(lambda, mu1, mu2, fanout, k1, k2, seed);
+        sim.run_for(SimDuration::from_secs(40));
+        // Every external tuple is either fully processed or still open.
+        prop_assert_eq!(
+            sim.total_external_arrivals(),
+            sim.total_sojourn_stats().count() + sim.open_trees() as u64
+        );
+    }
+
+    #[test]
+    fn determinism_across_reruns(
+        lambda in 5.0f64..50.0,
+        seed in 0u64..500,
+    ) {
+        let run = |seed| {
+            let mut sim = pipeline(lambda, lambda / 2.0, lambda / 2.0, 1.0, 4, 4, seed);
+            sim.run_for(SimDuration::from_secs(20));
+            (
+                sim.total_external_arrivals(),
+                sim.total_sojourn_stats().mean().map(f64::to_bits),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn windows_partition_totals(
+        lambda in 5.0f64..50.0,
+        seed in 0u64..500,
+        splits in 2u64..6,
+    ) {
+        // Taking N windows or one big window yields the same totals.
+        let mut split_sim = pipeline(lambda, lambda, lambda, 1.0, 3, 3, seed);
+        let mut split_external = 0;
+        let mut split_completed = 0;
+        for _ in 0..splits {
+            split_sim.run_for(SimDuration::from_secs(30 / splits));
+            let w = split_sim.take_window();
+            split_external += w.external_arrivals;
+            split_completed += w.sojourn.count();
+        }
+        let mut whole_sim = pipeline(lambda, lambda, lambda, 1.0, 3, 3, seed);
+        whole_sim.run_for(SimDuration::from_secs(30 / splits * splits));
+        let w = whole_sim.take_window();
+        prop_assert_eq!(split_external, w.external_arrivals);
+        prop_assert_eq!(split_completed, w.sojourn.count());
+    }
+
+    #[test]
+    fn measured_arrival_rate_tracks_configuration(
+        lambda in 10.0f64..100.0,
+        seed in 0u64..500,
+    ) {
+        let mut sim = pipeline(lambda, lambda, lambda, 1.0, 3, 3, seed);
+        sim.run_for(SimDuration::from_secs(120));
+        let w = sim.take_window();
+        let measured = w.external_rate().unwrap();
+        // 5 sigma of a Poisson count over 120 s.
+        let sigma = (lambda * 120.0).sqrt() / 120.0;
+        prop_assert!(
+            (measured - lambda).abs() < 5.0 * sigma + 0.5,
+            "λ̂ = {measured}, λ = {lambda}"
+        );
+    }
+
+    #[test]
+    fn overloaded_stage_grows_queue_stable_stage_does_not(
+        lambda in 20.0f64..60.0,
+        seed in 0u64..500,
+    ) {
+        // Stage a gets half the capacity it needs; stage b double.
+        let k = 2u32;
+        let mu_unstable = lambda / (2.0 * f64::from(k));
+        let mu_stable = lambda / f64::from(k);
+        let mut sim = pipeline(lambda, mu_unstable, 2.0 * mu_stable, 1.0, k, k, seed);
+        sim.run_for(SimDuration::from_secs(60));
+        let a = sim.topology().operator_by_name("a").unwrap().id();
+        let b = sim.topology().operator_by_name("b").unwrap().id();
+        prop_assert!(
+            sim.queue_len(a) > 10 * (sim.queue_len(b) + 1),
+            "unstable queue {} vs stable queue {}",
+            sim.queue_len(a),
+            sim.queue_len(b)
+        );
+    }
+
+    #[test]
+    fn sojourn_exceeds_total_service_floor(
+        lambda in 5.0f64..40.0,
+        seed in 0u64..500,
+    ) {
+        // Mean sojourn sits at or above the sum of mean service times (both
+        // stages visited once). The bound holds in expectation; allow 15%
+        // slack for finite-sample fluctuation — proptest's search would
+        // otherwise reliably dig up 2–3σ deviations.
+        let mu = lambda * 1.5;
+        let mut sim = pipeline(lambda, mu, mu, 1.0, 4, 4, seed);
+        sim.run_for(SimDuration::from_secs(60));
+        if let Some(mean) = sim.total_sojourn_stats().mean() {
+            prop_assert!(
+                mean >= 0.85 * 2.0 / mu,
+                "mean {mean} far below floor {}",
+                2.0 / mu
+            );
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Structural presets matching the topologies used in the paper.
+//!
+//! These return bare structures (operator names, edges, default gains). The
+//! calibrated workload parameters — arrival laws, service-time laws,
+//! per-edge amplification — live in `drs-apps`, which attaches behaviour to
+//! these shapes.
+
+use crate::build::{EdgeOptions, TopologyBuilder};
+use crate::spec::Grouping;
+use crate::topology::Topology;
+
+/// A linear chain: one spout followed by `bolts` bolts with unit gains.
+///
+/// `bolts = 3` gives the synthetic topology of the paper's Fig. 8
+/// experiment.
+///
+/// # Panics
+///
+/// Panics if `bolts == 0` (a topology needs at least one processing stage
+/// for the chain to be meaningful).
+pub fn chain(bolts: usize) -> Topology {
+    assert!(bolts > 0, "chain requires at least one bolt");
+    let mut b = TopologyBuilder::new();
+    let spout = b.spout("source");
+    let mut prev = spout;
+    for i in 0..bolts {
+        let bolt = b.bolt(format!("bolt{i}"));
+        b.edge(prev, bolt).expect("chain edges are valid");
+        prev = bolt;
+    }
+    b.build().expect("chain is structurally valid")
+}
+
+/// The video logo detection pipeline of paper Fig. 4:
+/// `spout → sift-extractor → feature-matcher → matching-aggregator`.
+///
+/// Default gains: `feature_gain` SIFT features per frame on the
+/// extractor→matcher edge; `match_gain` match notifications per feature on
+/// the matcher→aggregator edge.
+pub fn vld(feature_gain: f64, match_gain: f64) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let spout = b.spout("video-spout");
+    let sift = b.bolt("sift-extractor");
+    let matcher = b.bolt("feature-matcher");
+    let aggregator = b.bolt("matching-aggregator");
+    b.edge(spout, sift).expect("valid edge");
+    b.edge_with(
+        sift,
+        matcher,
+        EdgeOptions {
+            gain: feature_gain,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.edge_with(
+        matcher,
+        aggregator,
+        EdgeOptions {
+            gain: match_gain,
+            grouping: Grouping::Fields,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.build().expect("vld is structurally valid")
+}
+
+/// The frequent pattern detection topology of paper Fig. 5: two spouts
+/// (window enter "+" and leave "−" events) feed a pattern generator, a
+/// detector with a loop-back notification edge, and a reporter.
+///
+/// * `candidate_gain` — candidate itemsets generated per window event.
+/// * `notify_gain` — state-change notifications per candidate processed at
+///   the detector, fed back to the detector itself (must stay `< 1` for the
+///   traffic equations to converge).
+/// * `report_gain` — reported MFP updates per detector input.
+pub fn fpd(candidate_gain: f64, notify_gain: f64, report_gain: f64) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let plus = b.spout("window-enter");
+    let minus = b.spout("window-leave");
+    let generator = b.bolt("pattern-generator");
+    let detector = b.bolt("detector");
+    let reporter = b.bolt("reporter");
+    b.edge(plus, generator).expect("valid edge");
+    b.edge(minus, generator).expect("valid edge");
+    b.edge_with(
+        generator,
+        detector,
+        EdgeOptions {
+            gain: candidate_gain,
+            grouping: Grouping::Fields,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.edge_with(
+        detector,
+        detector,
+        EdgeOptions {
+            gain: notify_gain,
+            grouping: Grouping::All,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.edge_with(
+        detector,
+        reporter,
+        EdgeOptions {
+            gain: report_gain,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.build().expect("fpd is structurally valid")
+}
+
+/// The complex operator network of paper Fig. 2: a split (`A → B, C`), a
+/// join (`C, D → E`) and a feedback loop (`E → A`).
+///
+/// Gains are chosen so the loop gain stays well below 1 (E routes 20% of its
+/// output back to A).
+pub fn diamond_with_loop() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let source = b.spout("source");
+    let a = b.bolt("A");
+    let b_op = b.bolt("B");
+    let c = b.bolt("C");
+    let d = b.bolt("D");
+    let e = b.bolt("E");
+    b.edge(source, a).expect("valid edge");
+    b.edge_with(
+        a,
+        b_op,
+        EdgeOptions {
+            gain: 0.5,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.edge_with(
+        a,
+        c,
+        EdgeOptions {
+            gain: 0.5,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.edge(b_op, d).expect("valid edge");
+    b.edge(c, e).expect("valid edge");
+    b.edge(d, e).expect("valid edge");
+    b.edge_with(
+        e,
+        a,
+        EdgeOptions {
+            gain: 0.2,
+            ..Default::default()
+        },
+    )
+    .expect("valid edge");
+    b.build().expect("diamond is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_has_expected_shape() {
+        let t = chain(3);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.spouts().count(), 1);
+        assert_eq!(t.edges().len(), 3);
+        assert!(t.is_acyclic());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bolt")]
+    fn chain_zero_bolts_panics() {
+        let _ = chain(0);
+    }
+
+    #[test]
+    fn vld_matches_fig4() {
+        let t = vld(30.0, 0.5);
+        assert_eq!(t.len(), 4);
+        assert!(t.is_acyclic());
+        let sift = t.operator_by_name("sift-extractor").unwrap().id();
+        let edge = t.downstream(sift).next().unwrap();
+        assert_eq!(edge.gain(), 30.0);
+    }
+
+    #[test]
+    fn fpd_matches_fig5_with_loop() {
+        let t = fpd(8.0, 0.2, 0.1);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.spouts().count(), 2);
+        assert!(!t.is_acyclic());
+        assert!((t.loop_gain() - 0.2).abs() < 1e-6);
+        // Detector has the self edge plus generator input.
+        let det = t.operator_by_name("detector").unwrap().id();
+        assert_eq!(t.upstream(det).count(), 2);
+    }
+
+    #[test]
+    fn diamond_matches_fig2() {
+        let t = diamond_with_loop();
+        assert_eq!(t.len(), 6); // source + A..E
+        assert!(!t.is_acyclic());
+        let a = t.operator_by_name("A").unwrap().id();
+        assert_eq!(t.downstream(a).count(), 2); // split
+        let e = t.operator_by_name("E").unwrap().id();
+        assert_eq!(t.upstream(e).count(), 2); // join
+        assert!(t.loop_gain() < 1.0);
+    }
+
+    #[test]
+    fn diamond_traffic_solves() {
+        let t = diamond_with_loop();
+        let source = t.operator_by_name("source").unwrap().id();
+        let eqs = t.traffic_equations(&[(source, 50.0)]).unwrap();
+        let rates = eqs.solve().unwrap();
+        let a = t.operator_by_name("A").unwrap().id().index();
+        // λA = 50 + 0.2 λE and λE = λA (all of A's output reaches E).
+        assert!((rates[a] - 62.5).abs() < 1e-6, "λA = {}", rates[a]);
+    }
+}

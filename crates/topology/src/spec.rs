@@ -1,0 +1,202 @@
+//! Identifier and specification types for operators and edges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identifier of an operator inside one [`crate::Topology`].
+///
+/// Ids are dense indices assigned in insertion order by the
+/// [`crate::TopologyBuilder`]; they index directly into allocation vectors
+/// `k = (k_1, …, k_N)` used by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OperatorId(pub(crate) usize);
+
+impl OperatorId {
+    /// The dense index of this operator (0-based insertion order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// The role of an operator, following Storm's vocabulary (paper App. C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// A data source connected to external streams; spouts receive no
+    /// internal edges.
+    Spout,
+    /// Any non-source operator.
+    Bolt,
+}
+
+impl fmt::Display for OperatorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OperatorKind::Spout => write!(f, "spout"),
+            OperatorKind::Bolt => write!(f, "bolt"),
+        }
+    }
+}
+
+/// How tuples emitted on an edge are distributed among the downstream
+/// operator's executors (Storm partitioning rules, paper App. C).
+///
+/// The DRS model assumes load balancing within an operator (§III-A), which
+/// all of these groupings provide for the *rates*; the distinction matters to
+/// the runtime/simulator when reproducing queue behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Round-robin / random executor choice; best load balance.
+    #[default]
+    Shuffle,
+    /// Hash partitioning on a tuple key; balanced in expectation.
+    Fields,
+    /// Every executor receives a copy (used for loop-back state-change
+    /// notifications in FPD). Multiplies effective downstream arrivals by
+    /// the executor count.
+    All,
+    /// The producer picks the destination executor explicitly.
+    Direct,
+}
+
+impl fmt::Display for Grouping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Grouping::Shuffle => write!(f, "shuffle"),
+            Grouping::Fields => write!(f, "fields"),
+            Grouping::All => write!(f, "all"),
+            Grouping::Direct => write!(f, "direct"),
+        }
+    }
+}
+
+/// Static description of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    pub(crate) id: OperatorId,
+    pub(crate) name: String,
+    pub(crate) kind: OperatorKind,
+}
+
+impl OperatorSpec {
+    /// The operator id.
+    pub fn id(&self) -> OperatorId {
+        self.id
+    }
+
+    /// The unique operator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this is a spout or a bolt.
+    pub fn kind(&self) -> OperatorKind {
+        self.kind
+    }
+
+    /// Convenience: `kind() == OperatorKind::Spout`.
+    pub fn is_spout(&self) -> bool {
+        self.kind == OperatorKind::Spout
+    }
+}
+
+/// Static description of a directed edge between two operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeSpec {
+    pub(crate) from: OperatorId,
+    pub(crate) to: OperatorId,
+    pub(crate) gain: f64,
+    pub(crate) grouping: Grouping,
+    pub(crate) network_delay: f64,
+}
+
+impl EdgeSpec {
+    /// Source operator.
+    pub fn from(&self) -> OperatorId {
+        self.from
+    }
+
+    /// Destination operator.
+    pub fn to(&self) -> OperatorId {
+        self.to
+    }
+
+    /// Expected number of tuples emitted on this edge per tuple processed at
+    /// the source (selectivity < 1, fan-out > 1).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Executor-level routing rule.
+    pub fn grouping(&self) -> Grouping {
+        self.grouping
+    }
+
+    /// Mean one-way network delay in seconds experienced by tuples crossing
+    /// this edge. The DRS performance model deliberately ignores this (paper
+    /// §III-B); the simulator applies it, which reproduces the measured-vs-
+    /// estimated gap of Figs. 7–8.
+    pub fn network_delay(&self) -> f64 {
+        self.network_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_id_exposes_index_and_displays() {
+        let id = OperatorId(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "op#3");
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(OperatorKind::Spout.to_string(), "spout");
+        assert_eq!(OperatorKind::Bolt.to_string(), "bolt");
+    }
+
+    #[test]
+    fn grouping_default_is_shuffle() {
+        assert_eq!(Grouping::default(), Grouping::Shuffle);
+        assert_eq!(Grouping::Fields.to_string(), "fields");
+        assert_eq!(Grouping::All.to_string(), "all");
+        assert_eq!(Grouping::Direct.to_string(), "direct");
+        assert_eq!(Grouping::Shuffle.to_string(), "shuffle");
+    }
+
+    #[test]
+    fn operator_spec_accessors() {
+        let spec = OperatorSpec {
+            id: OperatorId(0),
+            name: "frames".into(),
+            kind: OperatorKind::Spout,
+        };
+        assert_eq!(spec.name(), "frames");
+        assert!(spec.is_spout());
+        assert_eq!(spec.id().index(), 0);
+    }
+
+    #[test]
+    fn edge_spec_accessors() {
+        let edge = EdgeSpec {
+            from: OperatorId(0),
+            to: OperatorId(1),
+            gain: 30.0,
+            grouping: Grouping::Shuffle,
+            network_delay: 0.002,
+        };
+        assert_eq!(edge.from().index(), 0);
+        assert_eq!(edge.to().index(), 1);
+        assert_eq!(edge.gain(), 30.0);
+        assert_eq!(edge.network_delay(), 0.002);
+        assert_eq!(edge.grouping(), Grouping::Shuffle);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: model a streaming application, ask DRS where processors
+//! belong, and check the answer against a simulation.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use drs::core::model::{ModelInputs, OperatorRates, PerformanceModel};
+use drs::core::scheduler::{assign_processors, min_processors_for_target};
+use drs::queueing::erlang::MmKQueue;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. A single operator is an M/M/k queue (paper Eq. 1) -----------
+    // 10 tuples/s arrive; each processor serves 3/s.
+    let operator = MmKQueue::new(10.0, 3.0)?;
+    println!("single operator, λ=10, µ=3:");
+    for k in operator.min_stable_servers()..operator.min_stable_servers() + 4 {
+        println!(
+            "  k={k}: E[T] = {:.1} ms (utilisation {:.0}%)",
+            operator.expected_sojourn(k) * 1e3,
+            operator.utilization(k) * 100.0
+        );
+    }
+
+    // --- 2. A whole application is a Jackson network (Eq. 3) ------------
+    // Three operators of the video-logo-detection pipeline with measured
+    // rates: 13 frames/s fan out to 390 features/s, 5% of which match.
+    let model = PerformanceModel::new(&ModelInputs {
+        external_rate: 13.0,
+        operators: vec![
+            OperatorRates { arrival_rate: 13.0, service_rate: 1.78 },
+            OperatorRates { arrival_rate: 390.0, service_rate: 49.1 },
+            OperatorRates { arrival_rate: 19.5, service_rate: 45.0 },
+        ],
+    })?;
+
+    // --- 3. Where should 22 processors go? (Algorithm 1 / Program 4) ----
+    let best = assign_processors(model.network(), 22)?;
+    println!("\noptimal placement of 22 processors: {best}");
+
+    // An intuitive-but-wrong split for comparison:
+    let naive = [8u32, 12, 2];
+    println!(
+        "naive (8:12:2) would give E[T] = {:.0} ms vs optimal {:.0} ms",
+        model.expected_sojourn(&naive)? * 1e3,
+        best.expected_sojourn() * 1e3
+    );
+
+    // --- 4. How few processors meet a latency target? (Program 6) -------
+    let target = 2.0; // seconds
+    let cheapest = min_processors_for_target(model.network(), target, 512)?;
+    println!(
+        "\ncheapest allocation with E[T] <= {:.0} ms: {} ({} processors)",
+        target * 1e3,
+        cheapest,
+        cheapest.total()
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! # DRS — Dynamic Resource Scheduling for Real-Time Analytics over Fast Streams
+//!
+//! A comprehensive Rust reproduction of Fu, Ding, Ma, Winslett, Yang &
+//! Zhang (ICDCS 2015). This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Re-exported as | Contents |
+//! |---|---|---|
+//! | `drs-core` | [`core`] | the DRS scheduler: performance model (Eq. 1–3), Algorithm 1, Program 6, measurer, decision gate, negotiator, controller |
+//! | `drs-queueing` | [`queueing`] | Erlang `M/M/k`, Jackson networks, traffic equations with loops, distributions |
+//! | `drs-topology` | [`topology`] | operator networks: spouts, bolts, gains, groupings, validation |
+//! | `drs-sim` | [`sim`] | deterministic discrete-event CSP-layer simulator with tuple-tree acking |
+//! | `drs-runtime` | [`runtime`] | threaded mini-Storm: executor threads, channels, live metrics, re-balancing |
+//! | `drs-apps` | [`apps`] | VLD, FPD (real maximal-frequent-pattern miner), synthetic chain, DRS-on-simulator harness |
+//!
+//! See the repository `examples/` for runnable walkthroughs and
+//! `crates/bench` for the harness regenerating every figure and table of
+//! the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use drs::core::model::{ModelInputs, OperatorRates, PerformanceModel};
+//! use drs::core::scheduler::assign_processors;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = PerformanceModel::new(&ModelInputs {
+//!     external_rate: 13.0,
+//!     operators: vec![
+//!         OperatorRates { arrival_rate: 13.0,  service_rate: 1.78 },
+//!         OperatorRates { arrival_rate: 390.0, service_rate: 49.1 },
+//!         OperatorRates { arrival_rate: 19.5,  service_rate: 45.0 },
+//!     ],
+//! })?;
+//! let best = assign_processors(model.network(), 22)?;
+//! println!("optimal allocation: {best}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use drs_apps as apps;
+pub use drs_core as core;
+pub use drs_queueing as queueing;
+pub use drs_runtime as runtime;
+pub use drs_sim as sim;
+pub use drs_topology as topology;
