@@ -68,7 +68,7 @@ impl FpdProfile {
             detect_mean_secs: 1.0 / 465.0,   // a2 = 5389/465 ≈ 11.6 → min 12
             notify_probability: 0.05,
             report_probability: 0.1,
-            report_mean_secs: 1.0 / 299.0,   // a3 = 539/299 ≈ 1.8 → min 2
+            report_mean_secs: 1.0 / 299.0, // a3 = 539/299 ≈ 1.8 → min 2
             network_delay_secs: 0.025,
         }
     }
@@ -140,8 +140,7 @@ impl FpdProfile {
     pub fn reference_rates(&self) -> (f64, Vec<(f64, f64)>) {
         let lambda0 = 2.0 * self.tweet_rate; // enter + leave events
         let lambda_gen = lambda0;
-        let lambda_det =
-            lambda_gen * self.candidates_per_event / (1.0 - self.notify_probability);
+        let lambda_det = lambda_gen * self.candidates_per_event / (1.0 - self.notify_probability);
         let lambda_rep = lambda_det * self.report_probability;
         (
             lambda0,
@@ -167,8 +166,7 @@ impl FpdProfile {
             .id();
         let [generator, detector, reporter] = self.bolt_ids(&topology);
 
-        let interarrival =
-            Distribution::exponential(self.tweet_rate).expect("valid exponential");
+        let interarrival = Distribution::exponential(self.tweet_rate).expect("valid exponential");
         let generate =
             Distribution::exponential(1.0 / self.generate_mean_secs).expect("valid exponential");
         let detect =
@@ -207,8 +205,7 @@ impl FpdProfile {
                 generator,
                 detector,
                 EdgeBehavior::with_fixed_delay(
-                    CountDistribution::poisson(self.candidates_per_event)
-                        .expect("valid poisson"),
+                    CountDistribution::poisson(self.candidates_per_event).expect("valid poisson"),
                     delay,
                 ),
             )
@@ -216,8 +213,7 @@ impl FpdProfile {
                 detector,
                 detector,
                 EdgeBehavior::with_fixed_delay(
-                    CountDistribution::bernoulli(self.notify_probability)
-                        .expect("valid bernoulli"),
+                    CountDistribution::bernoulli(self.notify_probability).expect("valid bernoulli"),
                     delay / 5.0, // loop messages stay node-local more often
                 ),
             )
@@ -225,8 +221,7 @@ impl FpdProfile {
                 detector,
                 reporter,
                 EdgeBehavior::with_fixed_delay(
-                    CountDistribution::bernoulli(self.report_probability)
-                        .expect("valid bernoulli"),
+                    CountDistribution::bernoulli(self.report_probability).expect("valid bernoulli"),
                     delay,
                 ),
             )

@@ -109,8 +109,8 @@ impl SyntheticChain {
             .expect("chain topology")
             .id();
         let bolts = self.bolt_ids(&topology);
-        let service = Distribution::exponential(1.0 / self.per_bolt_cpu_secs())
-            .expect("valid exponential");
+        let service =
+            Distribution::exponential(1.0 / self.per_bolt_cpu_secs()).expect("valid exponential");
 
         let mut full_allocation = vec![1u32; topology.len()];
         for (bolt, k) in bolts.iter().zip(allocation) {
@@ -222,10 +222,7 @@ mod tests {
             let mut sim = chain.build_simulation(alloc, 13);
             sim.run_for(SimDuration::from_secs(120));
             let measured = sim.total_sojourn_stats().mean().unwrap();
-            let estimated = chain
-                .reference_model()
-                .expected_sojourn(&alloc)
-                .unwrap();
+            let estimated = chain.reference_model().expected_sojourn(&alloc).unwrap();
             measured / estimated
         };
         let light = ratio(0.000_567);
@@ -234,7 +231,10 @@ mod tests {
             light > 10.0 * heavy,
             "light ratio {light} should dwarf heavy ratio {heavy}"
         );
-        assert!(heavy < 2.0, "heavy workload ratio {heavy} should approach 1");
+        assert!(
+            heavy < 2.0,
+            "heavy workload ratio {heavy} should approach 1"
+        );
     }
 
     #[test]

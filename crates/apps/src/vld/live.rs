@@ -76,8 +76,7 @@ pub fn extract_descriptors(frame: &[u8], threshold: f32) -> Vec<Descriptor> {
                         - f32::from(frame[(y - 1) * FRAME_SIZE + x]);
                     let mag = (gx * gx + gy * gy).sqrt();
                     let angle = gy.atan2(gx); // [-pi, pi]
-                    let bin = (((angle + std::f32::consts::PI)
-                        / (2.0 * std::f32::consts::PI))
+                    let bin = (((angle + std::f32::consts::PI) / (2.0 * std::f32::consts::PI))
                         * BINS as f32)
                         .min(BINS as f32 - 1.0) as usize;
                     hist[bin] += mag;
@@ -101,10 +100,7 @@ pub fn extract_descriptors(frame: &[u8], threshold: f32) -> Vec<Descriptor> {
 
 /// Squared L2 distance between two descriptors.
 pub fn descriptor_distance(a: &Descriptor, b: &Descriptor) -> f32 {
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
 fn descriptor_tuple(frame_id: i64, d: &Descriptor) -> Tuple {

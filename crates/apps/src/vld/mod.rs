@@ -178,8 +178,9 @@ impl VldProfile {
         // stresses the model's robustness to exactly this).
         let interarrival =
             Distribution::uniform(0.0, 2.0 / self.frame_rate).expect("valid uniform");
-        let extract = Distribution::log_normal_with_mean_cv2(self.extract_mean_secs, self.extract_cv2)
-            .expect("valid log-normal");
+        let extract =
+            Distribution::log_normal_with_mean_cv2(self.extract_mean_secs, self.extract_cv2)
+                .expect("valid log-normal");
         let matching =
             Distribution::exponential(1.0 / self.match_mean_secs).expect("valid exponential");
         let aggregate =
@@ -196,10 +197,7 @@ impl VldProfile {
             .behavior(spout, OperatorBehavior::Spout { interarrival })
             .behavior(sift, OperatorBehavior::Bolt { service: extract })
             .behavior(matcher, OperatorBehavior::Bolt { service: matching })
-            .behavior(
-                aggregator,
-                OperatorBehavior::Bolt { service: aggregate },
-            )
+            .behavior(aggregator, OperatorBehavior::Bolt { service: aggregate })
             .edge_behavior(
                 spout,
                 sift,
@@ -209,8 +207,7 @@ impl VldProfile {
                 sift,
                 matcher,
                 EdgeBehavior::with_fixed_delay(
-                    CountDistribution::poisson(self.features_per_frame)
-                        .expect("valid poisson"),
+                    CountDistribution::poisson(self.features_per_frame).expect("valid poisson"),
                     feature_delay,
                 ),
             )
@@ -218,8 +215,7 @@ impl VldProfile {
                 matcher,
                 aggregator,
                 EdgeBehavior::with_fixed_delay(
-                    CountDistribution::bernoulli(self.match_selectivity)
-                        .expect("valid bernoulli"),
+                    CountDistribution::bernoulli(self.match_selectivity).expect("valid bernoulli"),
                     feature_delay,
                 ),
             )

@@ -1,16 +1,37 @@
 //! Criterion counterpart of Table II: the DRS scheduling computation
 //! (Algorithm 1) across the paper's `Kmax` sweep, plus the Program 6
 //! variant and the measurement-processing path.
+//!
+//! The `scheduling_reference` groups time the retained from-scratch
+//! implementation against the heap+incremental production path, so the
+//! `O(Kmax·n·k̄)` → `O((n + Kmax)·log n)` speedup stays visible in every
+//! bench run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drs_core::measurer::{Measurer, RawSample, Smoothing};
 use drs_core::model::OperatorRates;
-use drs_core::scheduler::{assign_processors, min_processors_for_target};
+use drs_core::scheduler::{
+    assign_processors, assign_processors_reference, min_processors_for_target,
+    min_processors_for_target_reference,
+};
 use drs_queueing::jackson::JacksonNetwork;
 use std::hint::black_box;
 
 fn network() -> JacksonNetwork {
     JacksonNetwork::from_rates(13.0, &[(13.0, 5.2), (390.0, 122.0), (19.5, 43.0)]).unwrap()
+}
+
+/// A wider network (32 operators) where the heap's `log n` term and the
+/// reference's `n` rescan term actually differ.
+fn wide_network() -> JacksonNetwork {
+    let ops: Vec<(f64, f64)> = (0..32)
+        .map(|i| {
+            let lambda = 20.0 + 11.0 * f64::from(i % 7);
+            let mu = 3.0 + f64::from(i % 5);
+            (lambda, mu)
+        })
+        .collect();
+    JacksonNetwork::from_rates(13.0, &ops).unwrap()
 }
 
 fn bench_assign_processors(c: &mut Criterion) {
@@ -19,6 +40,30 @@ fn bench_assign_processors(c: &mut Criterion) {
     for k_max in [12u32, 24, 48, 96, 192] {
         group.bench_with_input(BenchmarkId::from_parameter(k_max), &k_max, |b, &k| {
             b.iter(|| assign_processors(black_box(&net), black_box(k)).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table2/scheduling_reference");
+    for k_max in [12u32, 24, 48, 96, 192] {
+        group.bench_with_input(BenchmarkId::from_parameter(k_max), &k_max, |b, &k| {
+            b.iter(|| assign_processors_reference(black_box(&net), black_box(k)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_assign_processors_wide(c: &mut Criterion) {
+    let net = wide_network();
+    let min = net.min_total_servers() as u32;
+    let mut group = c.benchmark_group("scheduling/wide_n32");
+    for surplus in [64u32, 256, 1024] {
+        let k = min + surplus;
+        group.bench_with_input(BenchmarkId::new("heap", surplus), &k, |b, &k| {
+            b.iter(|| assign_processors(black_box(&net), black_box(k)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("reference", surplus), &k, |b, &k| {
+            b.iter(|| assign_processors_reference(black_box(&net), black_box(k)).unwrap());
         });
     }
     group.finish();
@@ -31,10 +76,20 @@ fn bench_min_processors(c: &mut Criterion) {
     // need more greedy iterations.
     for target in [1.2f64, 0.6, 0.5] {
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}ms", target * 1e3)),
+            BenchmarkId::new("heap", format!("{}ms", target * 1e3)),
             &target,
             |b, &t| {
                 b.iter(|| min_processors_for_target(black_box(&net), black_box(t), 4096).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reference", format!("{}ms", target * 1e3)),
+            &target,
+            |b, &t| {
+                b.iter(|| {
+                    min_processors_for_target_reference(black_box(&net), black_box(t), 4096)
+                        .unwrap()
+                });
             },
         );
     }
@@ -72,6 +127,7 @@ fn bench_measurement_processing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_assign_processors,
+    bench_assign_processors_wide,
     bench_min_processors,
     bench_measurement_processing
 );

@@ -17,7 +17,8 @@ fn chain_system(n: usize) -> TrafficEquations {
 fn looped_system(n: usize) -> TrafficEquations {
     let mut eqs = chain_system(n);
     // Feedback from the sink to the source, well under unit loop gain.
-    eqs.set_gain(n - 1, 0, 0.2 / 1.3f64.powi(n as i32 - 1)).unwrap();
+    eqs.set_gain(n - 1, 0, 0.2 / 1.3f64.powi(n as i32 - 1))
+        .unwrap();
     eqs
 }
 

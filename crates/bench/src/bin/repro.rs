@@ -10,7 +10,7 @@
 //! the paper's horizons (10-minute measurements, 27-minute timelines).
 
 use drs_bench::sweep::{run_sweep, App};
-use drs_bench::{ablation, fig10, fig8, fig9, surge, table2};
+use drs_bench::{ablation, fig10, fig8, fig9, perf, surge, table2};
 use std::env;
 use std::process::ExitCode;
 
@@ -39,7 +39,10 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|all] [--quick] [--seed N]"
+                    "usage: repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]"
+                );
+                println!(
+                    "  perf also writes machine-readable BENCH_PERF.json to the current directory"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
         "table2" => run_table2(options),
         "ablation" => run_ablation(options),
         "surge" => run_surge(options),
+        "perf" => run_perf(options),
         "all" => {
             fig6_and_7(options, true, true);
             run_fig8(options);
@@ -68,6 +72,7 @@ fn main() -> ExitCode {
             run_table2(options);
             run_ablation(options);
             run_surge(options);
+            run_perf(options);
         }
         other => {
             eprintln!("unknown target {other}; try --help");
@@ -127,6 +132,17 @@ fn run_ablation(options: Options) {
     let (windows, window_secs) = if options.quick { (8, 30) } else { (15, 60) };
     let rows = ablation::run_gate_value(windows, window_secs, options.seed);
     print!("{}", ablation::render_gate_value(&rows));
+}
+
+fn run_perf(options: Options) {
+    let iterations = if options.quick { 2_000 } else { 20_000 };
+    let report = perf::run_perf(iterations, options.seed);
+    print!("{}", perf::render_perf(&report));
+    let json = perf::perf_json(&report);
+    match std::fs::write("BENCH_PERF.json", &json) {
+        Ok(()) => println!("wrote BENCH_PERF.json"),
+        Err(e) => eprintln!("could not write BENCH_PERF.json: {e}"),
+    }
 }
 
 fn run_surge(options: Options) {

@@ -55,7 +55,7 @@ impl Experiment {
     /// Initial bolt allocation and machine count.
     pub fn initial(self) -> ([u32; 3], u32) {
         match self {
-            Experiment::ExpA => ([8, 8, 1], 4),  // Kmax = 17
+            Experiment::ExpA => ([8, 8, 1], 4),   // Kmax = 17
             Experiment::ExpB => ([10, 11, 1], 5), // Kmax = 22
         }
     }
@@ -126,10 +126,7 @@ pub fn run_fig10(experiment: Experiment, seed: u64, window_secs: u64) -> Fig10Ru
             rebalanced: p.rebalanced,
         });
     }
-    Fig10Run {
-        experiment,
-        points,
-    }
+    Fig10Run { experiment, points }
 }
 
 fn machines_after_window(harness: &SimHarness, window: usize, current: u32) -> u32 {
@@ -178,7 +175,11 @@ impl Fig10Run {
                     },
                     fmt_allocation(&p.allocation),
                     p.machines.to_string(),
-                    if p.rebalanced { "R".to_owned() } else { String::new() },
+                    if p.rebalanced {
+                        "R".to_owned()
+                    } else {
+                        String::new()
+                    },
                 ]
             })
             .collect();

@@ -68,12 +68,7 @@ pub fn render_fig8(rows: &[Fig8Row]) -> String {
         .collect();
     render_table(
         "Fig. 8 — measured/estimated ratio vs total bolt CPU time (synthetic chain)",
-        &[
-            "total CPU (ms)",
-            "measured (ms)",
-            "estimated (ms)",
-            "ratio",
-        ],
+        &["total CPU (ms)", "measured (ms)", "estimated (ms)", "ratio"],
         &table,
     )
 }

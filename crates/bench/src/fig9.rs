@@ -46,12 +46,18 @@ fn build_harness(app: App, initial: [u32; 3], seed: u64, window_secs: u64) -> Si
         App::Vld => {
             let p = VldProfile::paper();
             let topo = p.topology();
-            (p.build_simulation(initial, seed), p.bolt_ids(&topo).to_vec())
+            (
+                p.build_simulation(initial, seed),
+                p.bolt_ids(&topo).to_vec(),
+            )
         }
         App::Fpd => {
             let p = FpdProfile::paper();
             let topo = p.topology();
-            (p.build_simulation(initial, seed), p.bolt_ids(&topo).to_vec())
+            (
+                p.build_simulation(initial, seed),
+                p.bolt_ids(&topo).to_vec(),
+            )
         }
     };
     let pool = MachinePool::new(MachinePoolConfig::default(), 5).expect("valid pool");
@@ -134,7 +140,10 @@ pub fn render_fig9(app: App, runs: &[Fig9Run]) -> String {
             "initial {} -> final {} (rebalances at minutes {:?})\n",
             fmt_allocation(&r.initial),
             fmt_allocation(&r.final_allocation),
-            r.rebalance_windows.iter().map(|w| w + 1).collect::<Vec<_>>(),
+            r.rebalance_windows
+                .iter()
+                .map(|w| w + 1)
+                .collect::<Vec<_>>(),
         ));
     }
     out

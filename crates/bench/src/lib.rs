@@ -11,6 +11,9 @@
 //! * [`ablation`] — design-choice studies beyond the paper: greedy vs
 //!   exhaustive allocation, model robustness under service-law violations,
 //!   and the value of the rebalance cost/benefit gate;
+//! * [`perf`] — the perf trajectory: heap+incremental scheduling vs the
+//!   retained from-scratch reference, simulator throughput, and the
+//!   machine-readable `BENCH_PERF.json` export;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -29,7 +32,9 @@ pub mod ablation;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod perf;
 pub mod report;
 pub mod surge;
 pub mod sweep;
 pub mod table2;
+mod timing;

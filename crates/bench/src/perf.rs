@@ -1,0 +1,246 @@
+//! Perf trajectory: heap+incremental scheduling vs the retained reference
+//! implementation, and end-to-end simulator throughput — rendered as a table
+//! and exported as machine-readable `BENCH_PERF.json` so successive PRs can
+//! compare like for like.
+
+use crate::report::render_table;
+use crate::timing::time_per_call_us;
+use drs_apps::{FpdProfile, VldProfile};
+use drs_core::scheduler::{assign_processors, assign_processors_reference};
+use drs_sim::SimDuration;
+use std::time::Instant;
+
+/// Scheduling comparison at one `Kmax`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedPoint {
+    /// The processor budget.
+    pub k_max: u32,
+    /// Mean microseconds per heap+incremental `assign_processors` call.
+    pub heap_us: f64,
+    /// Mean microseconds per from-scratch reference call.
+    pub reference_us: f64,
+}
+
+impl SchedPoint {
+    /// `reference / heap` — how many times faster the production path is.
+    pub fn speedup(&self) -> f64 {
+        self.reference_us / self.heap_us
+    }
+}
+
+/// Simulator throughput for one workload profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    /// Workload name (`vld` / `fpd`).
+    pub name: &'static str,
+    /// Simulated seconds driven per run.
+    pub simulated_secs: u64,
+    /// Wall-clock milliseconds the run took.
+    pub wall_ms: f64,
+    /// Fully processed tuple trees per wall-clock second.
+    pub trees_per_wall_sec: f64,
+}
+
+/// The whole perf snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Scheduling sweep over the Table II `Kmax` values.
+    pub scheduling: Vec<SchedPoint>,
+    /// Simulator end-to-end runs.
+    pub simulator: Vec<SimPoint>,
+}
+
+/// Times both scheduling implementations across the `Kmax` sweep
+/// (`iterations` calls each) and the two simulator profiles.
+///
+/// The network is [`crate::table2::overhead_network`], so the JSON
+/// trajectory is comparable like for like with the Table II rows.
+pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
+    let net = crate::table2::overhead_network();
+    let scheduling = crate::table2::K_MAX_SWEEP
+        .iter()
+        .map(|&k_max| {
+            let heap_us = time_per_call_us(iterations, || {
+                std::hint::black_box(assign_processors(&net, k_max).expect("feasible"));
+            });
+            // Same iteration cap as table2: the reference is ~25x slower
+            // per call, so full iterations would add seconds for no
+            // precision.
+            let reference_us = time_per_call_us(iterations.div_ceil(10), || {
+                std::hint::black_box(assign_processors_reference(&net, k_max).expect("feasible"));
+            });
+            SchedPoint {
+                k_max,
+                heap_us,
+                reference_us,
+            }
+        })
+        .collect();
+
+    let mut simulator = Vec::new();
+    for (name, secs) in [("vld", 60u64), ("fpd", 10u64)] {
+        let start = Instant::now();
+        let trees = match name {
+            "vld" => {
+                let mut sim = VldProfile::paper().build_simulation([10, 11, 1], seed);
+                sim.run_for(SimDuration::from_secs(secs));
+                sim.total_sojourn_stats().count()
+            }
+            _ => {
+                let mut sim = FpdProfile::paper().build_simulation([6, 13, 3], seed);
+                sim.run_for(SimDuration::from_secs(secs));
+                sim.total_sojourn_stats().count()
+            }
+        };
+        let wall = start.elapsed().as_secs_f64();
+        simulator.push(SimPoint {
+            name,
+            simulated_secs: secs,
+            wall_ms: wall * 1e3,
+            trees_per_wall_sec: trees as f64 / wall,
+        });
+    }
+
+    PerfReport {
+        scheduling,
+        simulator,
+    }
+}
+
+/// Renders the report as ASCII tables.
+pub fn render_perf(report: &PerfReport) -> String {
+    let sched_rows: Vec<Vec<String>> = report
+        .scheduling
+        .iter()
+        .map(|p| {
+            vec![
+                p.k_max.to_string(),
+                format!("{:.2}", p.heap_us),
+                format!("{:.2}", p.reference_us),
+                format!("{:.1}x", p.speedup()),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "Scheduling: heap+incremental vs from-scratch reference (µs per call)",
+        &["Kmax", "heap (µs)", "reference (µs)", "speedup"],
+        &sched_rows,
+    );
+    let sim_rows: Vec<Vec<String>> = report
+        .simulator
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_owned(),
+                p.simulated_secs.to_string(),
+                format!("{:.1}", p.wall_ms),
+                format!("{:.0}", p.trees_per_wall_sec),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Simulator throughput",
+        &["app", "sim secs", "wall (ms)", "trees/wall-sec"],
+        &sim_rows,
+    ));
+    out
+}
+
+/// Serialises the report as JSON (hand-rolled: the offline build has no
+/// serde_json; the schema is flat enough that escaping never arises).
+pub fn perf_json(report: &PerfReport) -> String {
+    let mut s = String::from("{\n  \"scheduling\": [\n");
+    for (i, p) in report.scheduling.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"k_max\": {}, \"heap_us\": {:.4}, \"reference_us\": {:.4}, \"speedup\": {:.2}}}{}\n",
+            p.k_max,
+            p.heap_us,
+            p.reference_us,
+            p.speedup(),
+            if i + 1 < report.scheduling.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"simulator\": [\n");
+    for (i, p) in report.simulator.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"app\": \"{}\", \"simulated_secs\": {}, \"wall_ms\": {:.2}, \"trees_per_wall_sec\": {:.1}}}{}\n",
+            p.name,
+            p.simulated_secs,
+            p.wall_ms,
+            p.trees_per_wall_sec,
+            if i + 1 < report.simulator.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_path_beats_reference_at_large_kmax() {
+        // Times only the Kmax = 192 pair (not the full run_perf sweep with
+        // its simulator runs — that is repro's job). Wall-clock assertion:
+        // measured ≈ 25x in release and ≈ 20x in debug, so the 5x
+        // acceptance bar has a wide margin — but a loaded runner can still
+        // produce an outlier, so take the best of a few attempts.
+        let net = crate::table2::overhead_network();
+        let best = (0..3)
+            .map(|_| {
+                let heap_us = time_per_call_us(300, || {
+                    std::hint::black_box(assign_processors(&net, 192).expect("feasible"));
+                });
+                let reference_us = time_per_call_us(30, || {
+                    std::hint::black_box(assign_processors_reference(&net, 192).expect("feasible"));
+                });
+                SchedPoint {
+                    k_max: 192,
+                    heap_us,
+                    reference_us,
+                }
+            })
+            .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .expect("three attempts");
+        assert!(
+            best.speedup() >= 5.0,
+            "speedup at Kmax=192 only {:.1}x ({:.2}µs vs {:.2}µs)",
+            best.speedup(),
+            best.heap_us,
+            best.reference_us
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = PerfReport {
+            scheduling: vec![SchedPoint {
+                k_max: 12,
+                heap_us: 1.0,
+                reference_us: 5.0,
+            }],
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: 100.0,
+            }],
+        };
+        let json = perf_json(&report);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"k_max\": 12"));
+        assert!(json.contains("\"speedup\": 5.00"));
+        assert!(json.contains("\"app\": \"vld\""));
+        assert!(!json.contains("},\n  ]"), "no trailing commas:\n{json}");
+    }
+
+    #[test]
+    fn render_includes_speedup_column() {
+        let report = run_perf(50, 1);
+        let s = render_perf(&report);
+        assert!(s.contains("speedup"));
+        assert!(s.contains("trees/wall-sec"));
+    }
+}

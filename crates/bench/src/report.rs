@@ -106,10 +106,7 @@ mod tests {
         let s = render_table(
             "demo",
             &["a", "bee"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(s.contains("demo"));
         assert!(s.contains("333"));

@@ -148,7 +148,11 @@ pub fn render_surge(config: &SurgeConfig, points: &[SurgePoint]) -> String {
                 },
                 p.executors.to_string(),
                 p.machines.to_string(),
-                if p.rebalanced { "R".to_owned() } else { String::new() },
+                if p.rebalanced {
+                    "R".to_owned()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
@@ -160,7 +164,14 @@ pub fn render_surge(config: &SurgeConfig, points: &[SurgePoint]) -> String {
             config.surge_at + 1,
             config.relax_at
         ),
-        &["minute", "frames/s", "sojourn (ms)", "executors", "machines", ""],
+        &[
+            "minute",
+            "frames/s",
+            "sojourn (ms)",
+            "executors",
+            "machines",
+            "",
+        ],
         &rows,
     )
 }

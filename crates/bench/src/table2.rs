@@ -7,11 +7,11 @@
 //! (~0.1 ms). We time our implementations the same way.
 
 use crate::report::{fmt, render_table};
+use crate::timing::time_per_call_us;
 use drs_core::measurer::{aggregate_instances, InstanceSample, Measurer, RawSample, Smoothing};
 use drs_core::model::OperatorRates;
-use drs_core::scheduler::assign_processors;
+use drs_core::scheduler::{assign_processors, assign_processors_reference};
 use drs_queueing::jackson::JacksonNetwork;
-use std::time::Instant;
 
 /// The paper's Kmax sweep.
 pub const K_MAX_SWEEP: [u32; 5] = [12, 24, 48, 96, 192];
@@ -21,20 +21,22 @@ pub const K_MAX_SWEEP: [u32; 5] = [12, 24, 48, 96, 192];
 pub struct Table2Column {
     /// The processor budget.
     pub k_max: u32,
-    /// Mean scheduling time (milliseconds).
+    /// Mean scheduling time of the heap+incremental path (milliseconds).
     pub scheduling_ms: f64,
+    /// Mean scheduling time of the retained from-scratch reference
+    /// implementation (milliseconds).
+    pub scheduling_reference_ms: f64,
     /// Mean measurement-processing time (milliseconds).
     pub measurement_ms: f64,
 }
 
 /// A 3-operator network feasible across the whole sweep (offered loads
 /// 2.5 + 3.2 + 0.45 → minimum 8 processors, below the smallest Kmax).
-fn overhead_network() -> JacksonNetwork {
-    JacksonNetwork::from_rates(
-        13.0,
-        &[(13.0, 5.2), (390.0, 122.0), (19.5, 43.0)],
-    )
-    .expect("valid network")
+/// Shared with [`crate::perf`] so the `BENCH_PERF.json` trajectory measures
+/// exactly the Table II network.
+pub(crate) fn overhead_network() -> JacksonNetwork {
+    JacksonNetwork::from_rates(13.0, &[(13.0, 5.2), (390.0, 122.0), (19.5, 43.0)])
+        .expect("valid network")
 }
 
 /// Raw per-executor metrics as pulled from the topology: the paper's
@@ -62,21 +64,25 @@ pub fn run_table2(iterations: u32) -> Vec<Table2Column> {
     K_MAX_SWEEP
         .iter()
         .map(|&k_max| {
-            // Scheduling: Algorithm 1 end to end.
-            let start = Instant::now();
-            for _ in 0..iterations {
-                let alloc = assign_processors(&net, k_max).expect("feasible budget");
-                std::hint::black_box(alloc);
-            }
-            let scheduling_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iterations);
+            // Scheduling: Algorithm 1 end to end, heap+incremental path.
+            let scheduling_ms = time_per_call_us(iterations, || {
+                std::hint::black_box(assign_processors(&net, k_max).expect("feasible budget"));
+            }) / 1e3;
+
+            // The from-scratch reference, for the speedup column. Capped
+            // iterations: at Kmax = 192 it is ≈ 25x slower per call.
+            let scheduling_reference_ms = time_per_call_us(iterations.div_ceil(10), || {
+                std::hint::black_box(
+                    assign_processors_reference(&net, k_max).expect("feasible budget"),
+                );
+            }) / 1e3;
 
             // Measurement processing: per-instance aggregation to operator
             // level plus smoothing and estimate extraction (App. B). Not a
             // function of Kmax; timed alongside for a fair comparison.
             let mut measurer =
                 Measurer::new(3, Smoothing::Alpha { alpha: 0.5 }).expect("valid smoothing");
-            let start = Instant::now();
-            for _ in 0..iterations {
+            let measurement_ms = time_per_call_us(iterations, || {
                 let operators: Vec<OperatorRates> = instances
                     .iter()
                     .map(|ops| {
@@ -91,12 +97,12 @@ pub fn run_table2(iterations: u32) -> Vec<Table2Column> {
                 };
                 measurer.observe(&sample);
                 std::hint::black_box(measurer.estimates());
-            }
-            let measurement_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(iterations);
+            }) / 1e3;
 
             Table2Column {
                 k_max,
                 scheduling_ms,
+                scheduling_reference_ms,
                 measurement_ms,
             }
         })
@@ -110,12 +116,18 @@ pub fn render_table2(columns: &[Table2Column]) -> String {
     let header: Vec<&str> = header_cells.iter().map(String::as_str).collect();
     let mut sched = vec!["Scheduling (µs)".to_owned()];
     sched.extend(columns.iter().map(|c| fmt(c.scheduling_ms * 1e3, 2)));
+    let mut sched_ref = vec!["Scheduling, reference (µs)".to_owned()];
+    sched_ref.extend(
+        columns
+            .iter()
+            .map(|c| fmt(c.scheduling_reference_ms * 1e3, 2)),
+    );
     let mut meas = vec!["Measurement (µs)".to_owned()];
     meas.extend(columns.iter().map(|c| fmt(c.measurement_ms * 1e3, 2)));
     render_table(
         "Table II — DRS computation overheads (µs, mean per invocation; paper reports ms)",
         &header,
-        &[sched, meas],
+        &[sched, sched_ref, meas],
     )
 }
 

@@ -1,0 +1,14 @@
+//! Shared wall-clock timing helper for the overhead studies, so every
+//! module measures with the same loop discipline.
+
+use std::time::Instant;
+
+/// Mean microseconds per call of `f` over `iterations` invocations.
+pub(crate) fn time_per_call_us(iterations: u32, mut f: impl FnMut()) -> f64 {
+    let iterations = iterations.max(1);
+    let start = Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / f64::from(iterations)
+}

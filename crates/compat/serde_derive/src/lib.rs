@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The build environment cannot reach crates.io, and nothing in this
+//! workspace actually serialises at runtime — the `#[derive(Serialize,
+//! Deserialize)]` annotations across the crates exist so downstream users
+//! of the real serde can swap it in. These derives therefore accept the
+//! annotated item (including `#[serde(...)]` helper attributes) and expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -135,9 +135,7 @@ impl DrsConfig {
             }
         }
         if self.sampling.sample_every == 0 {
-            return Err(InvalidConfig::Other(
-                "sample_every must be >= 1".to_owned(),
-            ));
+            return Err(InvalidConfig::Other("sample_every must be >= 1".to_owned()));
         }
         if !self.sampling.pull_interval_secs.is_finite() || self.sampling.pull_interval_secs <= 0.0
         {

@@ -206,7 +206,10 @@ impl DrsController {
 
     /// The most recent recommendation, if any round produced one.
     pub fn last_recommendation(&self) -> Option<&Allocation> {
-        self.log.iter().rev().find_map(|e| e.recommendation.as_ref())
+        self.log
+            .iter()
+            .rev()
+            .find_map(|e| e.recommendation.as_ref())
     }
 
     /// Informs the controller of an externally applied allocation (e.g. an
@@ -366,7 +369,9 @@ mod tests {
     }
 
     fn feed(drs: &mut DrsController, n: usize, sojourn: f64) -> Vec<ControlAction> {
-        (0..n).map(|_| drs.on_window(&vld_sample(sojourn))).collect()
+        (0..n)
+            .map(|_| drs.on_window(&vld_sample(sojourn)))
+            .collect()
     }
 
     #[test]
@@ -479,10 +484,10 @@ mod tests {
             DrsController::new(DrsConfig::min_latency(5), vec![2, 2, 1], pool(1)).unwrap();
         let actions = feed(&mut drs, 4, 2.0);
         assert!(actions.iter().all(|a| !a.is_rebalance()));
-        assert!(drs
-            .log()
-            .iter()
-            .any(|e| e.error.as_deref().is_some_and(|s| s.contains("insufficient"))));
+        assert!(drs.log().iter().any(|e| e
+            .error
+            .as_deref()
+            .is_some_and(|s| s.contains("insufficient"))));
     }
 
     #[test]
@@ -519,7 +524,11 @@ mod tests {
         // The windows during cooldown carry no recommendation in the log.
         let first = idx[0];
         for e in &drs.log()[first + 1..first + 4] {
-            assert!(e.recommendation.is_none(), "window {} acted in cooldown", e.window);
+            assert!(
+                e.recommendation.is_none(),
+                "window {} acted in cooldown",
+                e.window
+            );
         }
     }
 

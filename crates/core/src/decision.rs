@@ -138,9 +138,7 @@ pub fn decide(policy: &DecisionPolicy, inputs: &DecisionInputs) -> Decision {
             reason: KeepReason::AlreadyOptimal,
         };
     }
-    let threshold = inputs
-        .t_max
-        .map(|t| t * (1.0 + policy.violation_margin));
+    let threshold = inputs.t_max.map(|t| t * (1.0 + policy.violation_margin));
     if inputs.current_estimate.is_infinite() && inputs.candidate_estimate.is_finite() {
         let delivering = match (threshold, inputs.measured_sojourn) {
             (Some(t), Some(m)) => m <= t,
@@ -167,7 +165,11 @@ pub fn decide(policy: &DecisionPolicy, inputs: &DecisionInputs) -> Decision {
         }
         // Scale-down: candidate meets the target with enough fewer
         // processors to pay for the pause.
-        let current_total: u64 = inputs.current_allocation.iter().map(|&k| u64::from(k)).sum();
+        let current_total: u64 = inputs
+            .current_allocation
+            .iter()
+            .map(|&k| u64::from(k))
+            .sum();
         let candidate_total: u64 = inputs
             .candidate_allocation
             .iter()
@@ -398,7 +400,7 @@ mod tests {
             pause_secs: 4.8,
             t_max: Some(1.4),
             measured_sojourn: Some(3.0), // well above target
-            };
+        };
         let d = decide(&DecisionPolicy::default(), &inputs);
         assert!(d.is_rebalance(), "{d}");
     }

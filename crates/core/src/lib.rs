@@ -64,7 +64,7 @@ pub mod scheduler;
 pub use config::{DrsConfig, OptimizationGoal, SamplingConfig};
 pub use controller::{ControlAction, DrsController, LogEntry};
 pub use decision::{Decision, DecisionPolicy};
-pub use measurer::{Measurer, RawSample, Smoothing, SmoothedEstimates};
+pub use measurer::{Measurer, RawSample, SmoothedEstimates, Smoothing};
 pub use migration::{plan_migration, MigrationPlan, TaskAssignment};
 pub use model::{ModelInputs, OperatorRates, PerformanceModel};
 pub use negotiator::{MachinePool, MachinePoolConfig, NegotiationPlan};

@@ -190,8 +190,7 @@ pub fn plan_migration(
     // Quotas: the first `tasks % executors` executors own one extra task.
     let base = tasks / executors as usize;
     let extra = tasks % executors as usize;
-    let quota =
-        |e: u32| -> usize { base + usize::from((e as usize) < extra) };
+    let quota = |e: u32| -> usize { base + usize::from((e as usize) < extra) };
 
     let mut assignment: Vec<Option<u32>> = vec![None; tasks];
     let mut remaining: Vec<usize> = (0..executors).map(quota).collect();

@@ -4,8 +4,8 @@ use drs_core::measurer::{Measurer, RawSample, Smoothing};
 use drs_core::migration::{plan_migration, TaskAssignment};
 use drs_core::model::OperatorRates;
 use drs_core::scheduler::{
-    assign_processors, assign_processors_exhaustive, min_processors_for_target,
-    no_queueing_bound,
+    assign_processors, assign_processors_exhaustive, assign_processors_reference,
+    min_processors_for_target, min_processors_for_target_reference, no_queueing_bound,
 };
 use drs_queueing::jackson::JacksonNetwork;
 use proptest::prelude::*;
@@ -37,6 +37,49 @@ proptest! {
             greedy.expected_sojourn(),
             brute.expected_sojourn()
         );
+    }
+
+    #[test]
+    fn heap_greedy_equals_reference_greedy_equals_exhaustive(
+        net in small_network(),
+        surplus in 0u32..8,
+    ) {
+        // The tentpole equivalence: the O((n+K)·log n) heap path, the
+        // O(K·n·k̄) from-scratch path, and brute force all land on the same
+        // optimum; heap and reference match allocation-for-allocation.
+        let k_max = net.min_total_servers() as u32 + surplus;
+        let heap = assign_processors(&net, k_max).unwrap();
+        let reference = assign_processors_reference(&net, k_max).unwrap();
+        let brute = assign_processors_exhaustive(&net, k_max).unwrap();
+        prop_assert_eq!(heap.per_operator(), reference.per_operator());
+        prop_assert_eq!(
+            heap.expected_sojourn().to_bits(),
+            reference.expected_sojourn().to_bits()
+        );
+        prop_assert!(
+            (heap.expected_sojourn() - brute.expected_sojourn()).abs() <= 1e-9,
+            "heap {} vs brute {}",
+            heap.expected_sojourn(),
+            brute.expected_sojourn()
+        );
+    }
+
+    #[test]
+    fn heap_min_target_equals_reference(
+        net in small_network(),
+        slack in 1.05f64..4.0,
+    ) {
+        let target = no_queueing_bound(&net) * slack;
+        let heap = min_processors_for_target(&net, target, 10_000);
+        let reference = min_processors_for_target_reference(&net, target, 10_000);
+        match (heap, reference) {
+            (Ok(h), Ok(r)) => {
+                prop_assert_eq!(h.per_operator(), r.per_operator());
+                prop_assert_eq!(h.total(), r.total());
+            }
+            (Err(_), Err(_)) => {}
+            (h, r) => prop_assert!(false, "divergent outcomes: {h:?} vs {r:?}"),
+        }
     }
 
     #[test]

@@ -259,9 +259,7 @@ impl Distribution {
             Distribution::Uniform { lo, hi } => (lo + hi) / 2.0,
             Distribution::Erlang { shape, rate } => f64::from(shape) / rate,
             Distribution::LogNormal { mu, sigma } => (mu + sigma * sigma / 2.0).exp(),
-            Distribution::Hyperexponential { p1, rate1, rate2 } => {
-                p1 / rate1 + (1.0 - p1) / rate2
-            }
+            Distribution::Hyperexponential { p1, rate1, rate2 } => p1 / rate1 + (1.0 - p1) / rate2,
         }
     }
 

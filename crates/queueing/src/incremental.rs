@@ -1,0 +1,401 @@
+//! Incremental evaluation of the Erlang and Jackson models.
+//!
+//! The greedy scheduler (Algorithm 1) explores allocations one processor at
+//! a time: every step changes exactly one operator's `k_i` by `+1`. Evaluating
+//! each candidate from scratch costs `O(k)` for the Erlang-B recurrence and
+//! `O(n)` for the network aggregation, which made the original implementation
+//! `O(Kmax · n · k̄)` overall. The two types here carry the recurrence state
+//! across steps instead:
+//!
+//! * [`ErlangStepper`] pins an [`MmKQueue`] at a concrete server count and
+//!   carries `B(k, a)` so that stepping `k → k+1` — and peeking at `E[T](k+1)`
+//!   — is `O(1)` via `B(k+1) = a·B(k) / (k+1 + a·B(k))`.
+//! * [`NetworkSojourn`] caches every operator's λ-weighted sojourn term and
+//!   their compensated (Kahan) sum, so one operator's increment updates the
+//!   network-wide `E[T]` in `O(1)` instead of re-aggregating all `n`
+//!   operators.
+//!
+//! [`ErlangStepper`] follows *exactly* the same floating-point operation
+//! sequence as the direct forms ([`crate::erlang::erlang_b`],
+//! [`MmKQueue::expected_sojourn`]), so its stepped values are bit-identical
+//! to from-scratch evaluation. [`NetworkSojourn`]'s cached network sum is
+//! **not** bit-identical to a fresh aggregation — the incremental
+//! `+new − old` updates order operations differently — only accurate to a
+//! few ulps thanks to the compensation; boundary-sensitive callers (e.g.
+//! Program 6's target test) must confirm near-threshold decisions against
+//! an exact re-aggregation, as `drs_core::scheduler` does.
+
+use crate::erlang::MmKQueue;
+use crate::jackson::{JacksonError, JacksonNetwork};
+
+/// An [`MmKQueue`] evaluated at a concrete, monotonically growing server
+/// count, carrying the Erlang-B recurrence state for O(1) stepping.
+///
+/// # Examples
+///
+/// ```
+/// use drs_queueing::erlang::MmKQueue;
+/// use drs_queueing::incremental::ErlangStepper;
+///
+/// let q = MmKQueue::new(10.0, 3.0)?;
+/// let mut s = ErlangStepper::new(q, q.min_stable_servers());
+/// assert_eq!(s.expected_sojourn(), q.expected_sojourn(4));
+/// s.step(); // k = 5, O(1)
+/// assert_eq!(s.expected_sojourn(), q.expected_sojourn(5));
+/// # Ok::<(), drs_queueing::erlang::InvalidQueue>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErlangStepper {
+    queue: MmKQueue,
+    servers: u32,
+    erlang_b: f64,
+}
+
+impl ErlangStepper {
+    /// Builds the stepper at `servers` processors. Costs `O(servers)` — the
+    /// one-time price of seeding the recurrence.
+    pub fn new(queue: MmKQueue, servers: u32) -> Self {
+        let a = queue.offered_load();
+        let mut b = 1.0;
+        for j in 1..=servers {
+            let jb = f64::from(j);
+            b = a * b / (jb + a * b);
+        }
+        ErlangStepper {
+            queue,
+            servers,
+            erlang_b: b,
+        }
+    }
+
+    /// The underlying queue model.
+    pub fn queue(&self) -> &MmKQueue {
+        &self.queue
+    }
+
+    /// The current server count `k`.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// The carried Erlang-B blocking probability `B(k, a)`.
+    pub fn erlang_b(&self) -> f64 {
+        self.erlang_b
+    }
+
+    /// Advances to `k + 1` in O(1) by one unrolling of the B recurrence.
+    pub fn step(&mut self) {
+        self.servers += 1;
+        let a = self.queue.offered_load();
+        let jb = f64::from(self.servers);
+        self.erlang_b = a * self.erlang_b / (jb + a * self.erlang_b);
+    }
+
+    /// `B(k + 1, a)` without mutating the stepper.
+    fn next_erlang_b(&self) -> f64 {
+        let a = self.queue.offered_load();
+        let jb = f64::from(self.servers + 1);
+        a * self.erlang_b / (jb + a * self.erlang_b)
+    }
+
+    /// Evaluates `E[T](k)` from a given `B(k, a)`; mirrors the exact
+    /// operation sequence of [`MmKQueue::expected_sojourn`].
+    fn sojourn_from_b(&self, servers: u32, b: f64) -> f64 {
+        let queue = &self.queue;
+        if !queue.is_stable(servers) {
+            return f64::INFINITY;
+        }
+        if queue.arrival_rate() == 0.0 {
+            return 1.0 / queue.service_rate();
+        }
+        let a = queue.offered_load();
+        let k = f64::from(servers);
+        let c = k * b / (k - a * (1.0 - b));
+        let w = c / (k * queue.service_rate() - queue.arrival_rate());
+        w + 1.0 / queue.service_rate()
+    }
+
+    /// `E[T](k)` at the current server count, in O(1).
+    pub fn expected_sojourn(&self) -> f64 {
+        self.sojourn_from_b(self.servers, self.erlang_b)
+    }
+
+    /// `E[T](k + 1)` without stepping, in O(1).
+    pub fn next_expected_sojourn(&self) -> f64 {
+        self.sojourn_from_b(self.servers + 1, self.next_erlang_b())
+    }
+
+    /// The marginal decrease `E[T](k) − E[T](k+1)` in O(1); same semantics
+    /// as [`MmKQueue::marginal_benefit`] (infinite when the extra processor
+    /// restores stability, zero when both counts are unstable).
+    pub fn marginal_benefit(&self) -> f64 {
+        let now = self.expected_sojourn();
+        let next = self.next_expected_sojourn();
+        if now.is_infinite() {
+            if next.is_infinite() {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (now - next).max(0.0)
+        }
+    }
+}
+
+/// Kahan-compensated accumulator: keeps the running network sum accurate to
+/// an ulp across thousands of incremental `+new − old` updates.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct Compensated {
+    sum: f64,
+    correction: f64,
+}
+
+impl Compensated {
+    fn add(&mut self, x: f64) {
+        let y = x - self.correction;
+        let t = self.sum + y;
+        self.correction = (t - self.sum) - y;
+        self.sum = t;
+    }
+}
+
+/// The network-level Eq. 3 aggregate under a mutable allocation, with O(1)
+/// single-operator updates.
+///
+/// # Examples
+///
+/// ```
+/// use drs_queueing::incremental::NetworkSojourn;
+/// use drs_queueing::jackson::JacksonNetwork;
+///
+/// let net = JacksonNetwork::from_rates(13.0, &[(13.0, 2.0), (390.0, 45.0)])?;
+/// let mut state = NetworkSojourn::at_min_stable(&net);
+/// let before = state.expected_sojourn();
+/// state.increment(1); // one more processor on operator 1, O(1)
+/// assert!(state.expected_sojourn() <= before);
+/// assert_eq!(state.servers(1), net.min_stable_allocation()[1] + 1);
+/// # Ok::<(), drs_queueing::jackson::JacksonError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkSojourn {
+    external_rate: f64,
+    steppers: Vec<ErlangStepper>,
+    /// λ_i · E[T_i](k_i) per operator (∞ while unstable).
+    weighted: Vec<f64>,
+    /// Compensated sum of the *finite* weighted terms.
+    total: Compensated,
+    /// Operators whose current allocation is unstable.
+    unstable: usize,
+}
+
+impl NetworkSojourn {
+    /// Builds the state for `network` under `allocation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JacksonError::AllocationLength`] on length mismatch.
+    pub fn new(network: &JacksonNetwork, allocation: &[u32]) -> Result<Self, JacksonError> {
+        if allocation.len() != network.len() {
+            return Err(JacksonError::AllocationLength {
+                expected: network.len(),
+                actual: allocation.len(),
+            });
+        }
+        let steppers: Vec<ErlangStepper> = network
+            .operators()
+            .iter()
+            .zip(allocation)
+            .map(|(&queue, &k)| ErlangStepper::new(queue, k))
+            .collect();
+        let mut state = NetworkSojourn {
+            external_rate: network.external_rate(),
+            weighted: Vec::with_capacity(steppers.len()),
+            steppers,
+            total: Compensated::default(),
+            unstable: 0,
+        };
+        for i in 0..state.steppers.len() {
+            let term = state.term(i);
+            state.weighted.push(term);
+            if term.is_finite() {
+                state.total.add(term);
+            } else {
+                state.unstable += 1;
+            }
+        }
+        Ok(state)
+    }
+
+    /// Builds the state at the network's minimum stable allocation.
+    pub fn at_min_stable(network: &JacksonNetwork) -> Self {
+        let min = network.min_stable_allocation();
+        Self::new(network, &min).expect("min allocation length matches network")
+    }
+
+    fn term(&self, op: usize) -> f64 {
+        let s = &self.steppers[op];
+        s.queue().arrival_rate() * s.expected_sojourn()
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.steppers.len()
+    }
+
+    /// Whether the network has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.steppers.is_empty()
+    }
+
+    /// Current processors at operator `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn servers(&self, op: usize) -> u32 {
+        self.steppers[op].servers()
+    }
+
+    /// The full current allocation.
+    pub fn allocation(&self) -> Vec<u32> {
+        self.steppers.iter().map(ErlangStepper::servers).collect()
+    }
+
+    /// Network `E[T]` under the current allocation, in O(1). Infinite while
+    /// any operator is unstable.
+    pub fn expected_sojourn(&self) -> f64 {
+        if self.unstable > 0 {
+            f64::INFINITY
+        } else {
+            self.total.sum / self.external_rate
+        }
+    }
+
+    /// The weighted marginal benefit `δ_op = λ_op · (E[T_op](k) − E[T_op](k+1))`
+    /// — Algorithm 1's ranking key — in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn weighted_marginal_benefit(&self, op: usize) -> f64 {
+        let s = &self.steppers[op];
+        s.queue().arrival_rate() * s.marginal_benefit()
+    }
+
+    /// Gives operator `op` one more processor, updating the cached network
+    /// sojourn in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range.
+    pub fn increment(&mut self, op: usize) {
+        let old = self.weighted[op];
+        self.steppers[op].step();
+        let new = self.term(op);
+        self.weighted[op] = new;
+        match (old.is_finite(), new.is_finite()) {
+            (true, true) => {
+                self.total.add(new - old);
+            }
+            (false, true) => {
+                self.total.add(new);
+                self.unstable -= 1;
+            }
+            (false, false) => {}
+            (true, false) => unreachable!("adding a processor cannot destabilise an operator"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepper_matches_direct_evaluation_bitwise() {
+        for &(lambda, mu) in &[(10.0, 3.0), (390.0, 45.0), (0.0, 2.0), (1.0, 1000.0)] {
+            let q = MmKQueue::new(lambda, mu).unwrap();
+            let k0 = q.min_stable_servers();
+            let mut s = ErlangStepper::new(q, k0);
+            for k in k0..k0 + 200 {
+                assert_eq!(s.servers(), k);
+                assert_eq!(
+                    s.expected_sojourn().to_bits(),
+                    q.expected_sojourn(k).to_bits(),
+                    "λ={lambda} µ={mu} k={k}"
+                );
+                assert_eq!(
+                    s.next_expected_sojourn().to_bits(),
+                    q.expected_sojourn(k + 1).to_bits()
+                );
+                assert_eq!(
+                    s.marginal_benefit().to_bits(),
+                    q.marginal_benefit(k).to_bits()
+                );
+                s.step();
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_through_instability_boundary() {
+        let q = MmKQueue::new(10.0, 3.0).unwrap();
+        let mut s = ErlangStepper::new(q, 0);
+        // k = 0..=3 unstable, k = 4 stable.
+        for k in 0..4u32 {
+            assert_eq!(s.servers(), k);
+            assert!(s.expected_sojourn().is_infinite());
+            assert_eq!(
+                s.marginal_benefit().to_bits(),
+                q.marginal_benefit(k).to_bits()
+            );
+            s.step();
+        }
+        assert!(s.expected_sojourn().is_finite());
+    }
+
+    #[test]
+    fn network_state_tracks_direct_jackson() {
+        let net = JacksonNetwork::from_rates(13.0, &[(13.0, 2.0), (390.0, 45.0), (390.0, 400.0)])
+            .unwrap();
+        let mut state = NetworkSojourn::at_min_stable(&net);
+        let mut alloc = net.min_stable_allocation();
+        // Deterministic rotation of increments across operators.
+        for round in 0..200 {
+            let op = (round * 7 + round / 3) % 3;
+            state.increment(op);
+            alloc[op] += 1;
+            let direct = net.expected_sojourn(&alloc).unwrap();
+            let cached = state.expected_sojourn();
+            assert!(
+                (direct - cached).abs() <= 1e-12 * direct.max(1.0),
+                "round {round}: direct {direct} vs cached {cached}"
+            );
+            assert_eq!(state.allocation(), alloc);
+        }
+    }
+
+    #[test]
+    fn network_state_handles_unstable_start() {
+        let net = JacksonNetwork::from_rates(10.0, &[(10.0, 3.0), (10.0, 3.0)]).unwrap();
+        let mut state = NetworkSojourn::new(&net, &[1, 4]).unwrap();
+        assert!(state.expected_sojourn().is_infinite());
+        state.increment(0); // k0 = 2, still unstable
+        assert!(state.expected_sojourn().is_infinite());
+        state.increment(0); // 3: a = 10/3 ≈ 3.33, still unstable
+        assert!(state.expected_sojourn().is_infinite());
+        state.increment(0); // 4: stable now
+        let direct = net.expected_sojourn(&[4, 4]).unwrap();
+        assert!((state.expected_sojourn() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let net = JacksonNetwork::from_rates(1.0, &[(1.0, 2.0)]).unwrap();
+        assert!(matches!(
+            NetworkSojourn::new(&net, &[1, 1]),
+            Err(JacksonError::AllocationLength { .. })
+        ));
+    }
+}

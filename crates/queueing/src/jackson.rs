@@ -48,7 +48,10 @@ impl fmt::Display for JacksonError {
         match self {
             JacksonError::InvalidQueue(e) => write!(f, "{e}"),
             JacksonError::InvalidExternalRate { rate } => {
-                write!(f, "external arrival rate must be finite and > 0, got {rate}")
+                write!(
+                    f,
+                    "external arrival rate must be finite and > 0, got {rate}"
+                )
             }
             JacksonError::Traffic(e) => write!(f, "{e}"),
             JacksonError::AllocationLength { expected, actual } => write!(
@@ -132,10 +135,7 @@ impl JacksonNetwork {
     ///
     /// * [`JacksonError::InvalidExternalRate`] — `λ0` non-positive/non-finite.
     /// * [`JacksonError::InvalidQueue`] — some `(λ_i, µ_i)` pair is invalid.
-    pub fn from_rates(
-        external_rate: f64,
-        operators: &[(f64, f64)],
-    ) -> Result<Self, JacksonError> {
+    pub fn from_rates(external_rate: f64, operators: &[(f64, f64)]) -> Result<Self, JacksonError> {
         if !external_rate.is_finite() || external_rate <= 0.0 {
             return Err(JacksonError::InvalidExternalRate {
                 rate: external_rate,
@@ -261,7 +261,10 @@ impl JacksonNetwork {
     /// The minimum feasible allocation: each operator gets its
     /// [`MmKQueue::min_stable_servers`].
     pub fn min_stable_allocation(&self) -> Vec<u32> {
-        self.nodes.iter().map(MmKQueue::min_stable_servers).collect()
+        self.nodes
+            .iter()
+            .map(MmKQueue::min_stable_servers)
+            .collect()
     }
 
     /// Total processors of the minimum feasible allocation.
@@ -369,9 +372,8 @@ mod tests {
 
     #[test]
     fn breakdown_sums_to_total() {
-        let net =
-            JacksonNetwork::from_rates(13.0, &[(13.0, 2.0), (390.0, 45.0), (390.0, 400.0)])
-                .unwrap();
+        let net = JacksonNetwork::from_rates(13.0, &[(13.0, 2.0), (390.0, 45.0), (390.0, 400.0)])
+            .unwrap();
         let alloc = [8u32, 10, 2];
         let total = net.expected_sojourn(&alloc).unwrap();
         let breakdown = net.sojourn_breakdown(&alloc).unwrap();

@@ -10,6 +10,15 @@
 //! * [`jackson`] — open Jackson-network aggregation (Eq. 3): the expected
 //!   total sojourn time of an external input is the λ-weighted average of
 //!   per-operator sojourn times.
+//! * [`incremental`] — carried-state evaluators for the scheduler's hot
+//!   loop: [`incremental::ErlangStepper`] steps `E[T](k) → E[T](k+1)` in
+//!   O(1) by carrying the Erlang-B recurrence, and
+//!   [`incremental::NetworkSojourn`] updates the network-wide `E[T]` in O(1)
+//!   when one operator's allocation changes, instead of re-aggregating all
+//!   `n` operators. Together they drop Algorithm 1 from `O(Kmax·n·k̄)` to
+//!   `O((n + Kmax)·log n)` — measured ≈ 25× faster at `Kmax = 192` on the
+//!   3-operator Table II network and ≈ 140× on a 32-operator network with
+//!   1024 surplus processors (see `crates/bench`).
 //! * [`traffic`] — generalised traffic equations `λ = λ_ext + Gᵀλ` with
 //!   amplification gains, supporting splits, joins and feedback loops
 //!   (paper Fig. 2), plus loop-gain stability analysis.
@@ -50,6 +59,7 @@
 
 pub mod distribution;
 pub mod erlang;
+pub mod incremental;
 pub mod jackson;
 pub mod linalg;
 pub mod mgk;
@@ -58,6 +68,7 @@ pub mod traffic;
 
 pub use distribution::{ArrivalProcess, Distribution};
 pub use erlang::{erlang_b, erlang_c, MmKQueue};
+pub use incremental::{ErlangStepper, NetworkSojourn};
 pub use jackson::{JacksonNetwork, OperatorSojourn};
 pub use mgk::GgKQueue;
 pub use stats::RunningStats;

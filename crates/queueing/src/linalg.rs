@@ -312,7 +312,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn spectral_radius(&self, iterations: usize) -> f64 {
-        assert_eq!(self.rows, self.cols, "spectral radius requires square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "spectral radius requires square matrix"
+        );
         let n = self.rows;
         if n == 0 {
             return 0.0;
@@ -392,12 +395,8 @@ mod tests {
     #[test]
     fn solve_known_3x3_system() {
         // 2x + y - z = 8; -3x - y + 2z = -11; -2x + y + 2z = -3 => x=2, y=3, z=-1
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]).unwrap();
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert_close(x[0], 2.0, 1e-10);
         assert_close(x[1], 3.0, 1e-10);

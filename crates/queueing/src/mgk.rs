@@ -160,9 +160,7 @@ mod tests {
         assert!(smooth.expected_wait(k) < erlang.expected_wait(k));
         assert!(bursty.expected_wait(k) > erlang.expected_wait(k));
         // Service time itself is unchanged.
-        assert!(
-            (smooth.expected_sojourn(k) - smooth.expected_wait(k) - 0.1).abs() < 1e-12
-        );
+        assert!((smooth.expected_sojourn(k) - smooth.expected_wait(k) - 0.1).abs() < 1e-12);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! drawn parameters.
 
 use drs_queueing::erlang::{erlang_b, erlang_c, MmKQueue};
+use drs_queueing::incremental::{ErlangStepper, NetworkSojourn};
 use drs_queueing::jackson::JacksonNetwork;
 use drs_queueing::linalg::Matrix;
 use drs_queueing::traffic::TrafficEquations;
@@ -141,6 +142,72 @@ proptest! {
         let r = m.spectral_radius(40);
         prop_assert!(r <= m.norm_inf() + 1e-6, "radius {r} > norm {}", m.norm_inf());
         prop_assert!(r >= 0.0);
+    }
+
+    #[test]
+    fn incremental_stepping_matches_direct_erlang_across_k_sweep(
+        lambda in rate(),
+        mu in rate(),
+        start_offset in 0u32..20,
+        sweep in 1u32..120,
+    ) {
+        let q = MmKQueue::new(lambda, mu).unwrap();
+        let k0 = q.min_stable_servers();
+        prop_assume!(k0 < 10_000);
+        let start = k0.saturating_sub(start_offset);
+        let mut stepper = ErlangStepper::new(q, start);
+        for k in start..start + sweep {
+            prop_assert_eq!(stepper.servers(), k);
+            let direct_b = erlang_b(k, q.offered_load());
+            prop_assert!(
+                (stepper.erlang_b() - direct_b).abs() <= 1e-9,
+                "B({k}): stepped {} vs direct {direct_b}",
+                stepper.erlang_b()
+            );
+            let direct_t = q.expected_sojourn(k);
+            let stepped_t = stepper.expected_sojourn();
+            if direct_t.is_finite() {
+                prop_assert!(
+                    (stepped_t - direct_t).abs() <= 1e-9 * direct_t.max(1.0),
+                    "E[T]({k}): stepped {stepped_t} vs direct {direct_t}"
+                );
+                prop_assert!(
+                    (stepper.next_expected_sojourn() - q.expected_sojourn(k + 1)).abs()
+                        <= 1e-9 * direct_t.max(1.0)
+                );
+            } else {
+                prop_assert!(stepped_t.is_infinite());
+            }
+            stepper.step();
+        }
+    }
+
+    #[test]
+    fn incremental_network_sojourn_matches_direct_jackson(
+        lambda0 in 0.5f64..50.0,
+        ops in prop::collection::vec((0.5f64..100.0, 0.2f64..8.0), 2..6),
+        increments in prop::collection::vec(0usize..6, 0..80),
+    ) {
+        // (arrival, offered load) pairs keep min allocations small.
+        let pairs: Vec<(f64, f64)> = ops
+            .iter()
+            .map(|&(lambda, load)| (lambda, lambda / load))
+            .collect();
+        let net = JacksonNetwork::from_rates(lambda0, &pairs).unwrap();
+        let mut state = NetworkSojourn::at_min_stable(&net);
+        let mut alloc = net.min_stable_allocation();
+        for &pick in &increments {
+            let op = pick % net.len();
+            state.increment(op);
+            alloc[op] += 1;
+            let direct = net.expected_sojourn(&alloc).unwrap();
+            let cached = state.expected_sojourn();
+            prop_assert!(
+                (cached - direct).abs() <= 1e-9 * direct.max(1.0),
+                "cached {cached} vs direct {direct} at {alloc:?}"
+            );
+        }
+        prop_assert_eq!(state.allocation(), alloc);
     }
 
     #[test]

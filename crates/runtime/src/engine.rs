@@ -85,7 +85,8 @@ impl AckHandle {
 
     fn done(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            self.metrics.record_sojourn(self.root.elapsed().as_secs_f64());
+            self.metrics
+                .record_sojourn(self.root.elapsed().as_secs_f64());
             self.open_trees.fetch_sub(1, Ordering::AcqRel);
         }
     }

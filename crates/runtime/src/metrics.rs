@@ -83,7 +83,9 @@ impl MetricsRegistry {
     /// Creates a registry for `n_operators` operators.
     pub fn new(n_operators: usize) -> Self {
         MetricsRegistry {
-            operators: (0..n_operators).map(|_| OperatorCounters::default()).collect(),
+            operators: (0..n_operators)
+                .map(|_| OperatorCounters::default())
+                .collect(),
             external: AtomicU64::new(0),
             sojourn: Mutex::new(RunningStats::new()),
             window_started: Mutex::new(Instant::now()),
@@ -111,7 +113,9 @@ impl MetricsRegistry {
     }
 
     pub(crate) fn record_completion(&self, op: usize, busy_nanos: u64) {
-        self.operators[op].completions.fetch_add(1, Ordering::Relaxed);
+        self.operators[op]
+            .completions
+            .fetch_add(1, Ordering::Relaxed);
         self.operators[op]
             .busy_nanos
             .fetch_add(busy_nanos, Ordering::Relaxed);

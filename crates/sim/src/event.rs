@@ -23,15 +23,16 @@ pub enum Event {
     TupleArrival {
         /// Destination operator index.
         op: usize,
-        /// Tuple-tree the tuple belongs to.
-        tree: u64,
+        /// Slot of the tuple-tree the tuple belongs to, in the simulator's
+        /// dense tree slab (slots are recycled once a tree completes).
+        tree: u32,
     },
     /// An executor at `op` finishes serving a tuple.
     ServiceComplete {
         /// Operator index.
         op: usize,
-        /// Tuple-tree of the tuple that finished service.
-        tree: u64,
+        /// Tree-slab slot of the tuple that finished service.
+        tree: u32,
         /// When the service started (for busy-time accounting).
         started: SimTime,
     },

@@ -92,10 +92,6 @@ impl MeasurementWindow {
 mod tests {
     use super::*;
 
-
-
-
-
     #[test]
     fn operator_window_rates() {
         let w = OperatorWindow {

@@ -27,7 +27,7 @@ use drs_queueing::distribution::Distribution;
 use drs_topology::{OperatorId, OperatorKind, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Error from building or driving a [`Simulator`].
@@ -232,9 +232,22 @@ impl SimulationBuilder {
         let allocation = self.allocation.unwrap_or_else(|| vec![1; n]);
         validate_allocation(&self.topology, &allocation)?;
 
-        let mut out_edges = vec![Vec::new(); n];
+        // Compressed-sparse-row layout of outgoing edges: the hot emit path
+        // walks `out_edge_index[out_edge_start[op]..out_edge_start[op+1]]`
+        // by value, so no per-tuple clone of an adjacency Vec is needed.
+        let mut out_edge_start = vec![0u32; n + 1];
+        for e in self.topology.edges() {
+            out_edge_start[e.from().index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_edge_start[i + 1] += out_edge_start[i];
+        }
+        let mut cursor = out_edge_start.clone();
+        let mut out_edge_index = vec![0u32; self.topology.edges().len()];
         for (idx, e) in self.topology.edges().iter().enumerate() {
-            out_edges[e.from().index()].push(idx);
+            let slot = &mut cursor[e.from().index()];
+            out_edge_index[*slot as usize] = idx as u32;
+            *slot += 1;
         }
 
         let mut sim = Simulator {
@@ -248,13 +261,15 @@ impl SimulationBuilder {
             topology: self.topology,
             behaviors,
             edge_behaviors,
-            out_edges,
+            out_edge_start,
+            out_edge_index,
             allocation,
             now: SimTime::ZERO,
             events: EventQueue::new(),
             rng: StdRng::seed_from_u64(self.seed),
-            trees: HashMap::new(),
-            next_tree: 0,
+            trees: Vec::new(),
+            free_trees: Vec::new(),
+            open: 0,
             paused_until: None,
             pending_allocation: None,
             window_start: SimTime::ZERO,
@@ -293,10 +308,15 @@ struct OpState {
 
 #[derive(Debug, Clone, Copy)]
 struct QueuedTuple {
-    tree: u64,
+    tree: u32,
     enqueued: SimTime,
 }
 
+/// One open tuple tree in the slab. `pending` counts every descendant tuple
+/// that is scheduled, queued or in service; the tree completes — and its
+/// slot returns to the free list — exactly when `pending` drops to zero, at
+/// which point no event can reference the slot any more, making recycling
+/// safe without generation counters.
 #[derive(Debug, Clone, Copy)]
 struct TreeState {
     root_time: SimTime,
@@ -310,14 +330,20 @@ pub struct Simulator {
     topology: Topology,
     behaviors: Vec<OperatorBehavior>,
     edge_behaviors: Vec<EdgeBehavior>,
-    out_edges: Vec<Vec<usize>>,
+    /// CSR adjacency: edge indices of operator `op`'s outgoing edges live at
+    /// `out_edge_index[out_edge_start[op] as usize..out_edge_start[op + 1] as usize]`.
+    out_edge_start: Vec<u32>,
+    out_edge_index: Vec<u32>,
     allocation: Vec<u32>,
     now: SimTime,
     events: EventQueue,
     rng: StdRng,
     ops: Vec<OpState>,
-    trees: HashMap<u64, TreeState>,
-    next_tree: u64,
+    /// Tuple-tree slab; slots listed in `free_trees` are recyclable.
+    trees: Vec<TreeState>,
+    free_trees: Vec<u32>,
+    /// Number of live (non-free) slots in `trees`.
+    open: usize,
     paused_until: Option<SimTime>,
     pending_allocation: Option<Vec<u32>>,
     // Measurement-window accumulators.
@@ -366,7 +392,7 @@ impl Simulator {
 
     /// Number of external tuples whose processing trees are still open.
     pub fn open_trees(&self) -> usize {
-        self.trees.len()
+        self.open
     }
 
     /// Total external tuples injected so far.
@@ -468,9 +494,7 @@ impl Simulator {
     ) -> Result<(), SimError> {
         let i = spout.index();
         match &mut self.behaviors[i] {
-            OperatorBehavior::Spout {
-                interarrival: slot,
-            } => {
+            OperatorBehavior::Spout { interarrival: slot } => {
                 *slot = interarrival;
                 Ok(())
             }
@@ -510,11 +534,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn prime_spouts(&mut self) {
-        let spout_ids: Vec<usize> = self
-            .topology
-            .spouts()
-            .map(|s| s.id().index())
-            .collect();
+        let spout_ids: Vec<usize> = self.topology.spouts().map(|s| s.id().index()).collect();
         for spout in spout_ids {
             let next = self.sample_interarrival(spout);
             self.events
@@ -551,23 +571,31 @@ impl Simulator {
         }
     }
 
+    /// Claims a tree slot from the slab (recycling a free one if possible).
+    fn alloc_tree(&mut self) -> u32 {
+        self.open += 1;
+        let state = TreeState {
+            root_time: self.now,
+            pending: 0,
+        };
+        if let Some(slot) = self.free_trees.pop() {
+            self.trees[slot as usize] = state;
+            slot
+        } else {
+            self.trees.push(state);
+            (self.trees.len() - 1) as u32
+        }
+    }
+
     fn on_external_arrival(&mut self, spout: usize) {
         // Register the root tuple.
-        let tree_id = self.next_tree;
-        self.next_tree += 1;
+        let tree_id = self.alloc_tree();
         self.window_external += 1;
         self.total_external += 1;
-        self.trees.insert(
-            tree_id,
-            TreeState {
-                root_time: self.now,
-                pending: 0,
-            },
-        );
         // The spout emits instantly (spouts are sources, not servers; their
         // executors in the paper's experiments are excluded from Kmax).
         let emitted = self.emit_children(spout, tree_id);
-        let tree = self.trees.get_mut(&tree_id).expect("just inserted");
+        let tree = &mut self.trees[tree_id as usize];
         tree.pending += emitted;
         if tree.pending == 0 {
             // A root that spawns nothing is trivially fully processed.
@@ -581,20 +609,21 @@ impl Simulator {
 
     /// Samples emissions for every outgoing edge of `op`, scheduling child
     /// arrivals. Returns the number of children created.
-    fn emit_children(&mut self, op: usize, tree: u64) -> u32 {
+    ///
+    /// Iterates the CSR adjacency by value, so the hot path performs no
+    /// allocation per processed tuple.
+    fn emit_children(&mut self, op: usize, tree: u32) -> u32 {
         let mut emitted = 0;
-        let edge_indices = self.out_edges[op].clone();
-        for edge_idx in edge_indices {
+        let start = self.out_edge_start[op];
+        let end = self.out_edge_start[op + 1];
+        for slot in start..end {
+            let edge_idx = self.out_edge_index[slot as usize] as usize;
             let target = self.topology.edges()[edge_idx].to().index();
-            let n = {
-                let behavior = &self.edge_behaviors[edge_idx];
-                behavior.count.sample(&mut self.rng)
-            };
+            let n = self.edge_behaviors[edge_idx].count.sample(&mut self.rng);
             for _ in 0..n {
-                let delay = {
-                    let behavior = &self.edge_behaviors[edge_idx];
-                    SimDuration::from_secs_f64(behavior.delay.sample(&mut self.rng))
-                };
+                let delay = SimDuration::from_secs_f64(
+                    self.edge_behaviors[edge_idx].delay.sample(&mut self.rng),
+                );
                 self.events
                     .schedule(self.now + delay, Event::TupleArrival { op: target, tree });
             }
@@ -603,10 +632,9 @@ impl Simulator {
         emitted
     }
 
-    fn on_tuple_arrival(&mut self, op: usize, tree: u64) {
+    fn on_tuple_arrival(&mut self, op: usize, tree: u32) {
         self.window_ops[op].arrivals += 1;
-        let can_serve =
-            !self.is_paused() && self.ops[op].busy < self.allocation[op];
+        let can_serve = !self.is_paused() && self.ops[op].busy < self.allocation[op];
         if can_serve {
             self.ops[op].busy += 1;
             let service = self.sample_service(op);
@@ -626,17 +654,14 @@ impl Simulator {
         }
     }
 
-    fn on_service_complete(&mut self, op: usize, tree: u64, started: SimTime) {
+    fn on_service_complete(&mut self, op: usize, tree: u32, started: SimTime) {
         let w = &mut self.window_ops[op];
         w.completions += 1;
         w.busy_time += self.now.duration_since(started).as_secs_f64();
 
         // Emit children, then settle the tree bookkeeping: +children − self.
         let children = self.emit_children(op, tree);
-        let state = self
-            .trees
-            .get_mut(&tree)
-            .expect("tree exists while tuples are pending");
+        let state = &mut self.trees[tree as usize];
         state.pending = state.pending + children - 1;
         if state.pending == 0 {
             self.complete_tree(tree);
@@ -664,8 +689,10 @@ impl Simulator {
         self.ops[op].busy -= 1;
     }
 
-    fn complete_tree(&mut self, tree: u64) {
-        let state = self.trees.remove(&tree).expect("completing a live tree");
+    fn complete_tree(&mut self, tree: u32) {
+        let state = self.trees[tree as usize];
+        self.free_trees.push(tree);
+        self.open -= 1;
         let sojourn = self.now.duration_since(state.root_time).as_secs_f64();
         self.window_sojourn.record(sojourn);
         self.total_sojourn.record(sojourn);
@@ -849,6 +876,30 @@ mod tests {
     }
 
     #[test]
+    fn tree_slab_recycles_slots() {
+        let mut sim = chain_sim(200.0, 60.0, 5, 97);
+        sim.run_for(SimDuration::from_secs(120));
+        assert!(sim.total_external_arrivals() > 10_000);
+        // The slab only ever grows to the peak number of simultaneously
+        // open trees — completed slots are recycled, not leaked.
+        assert!(
+            sim.trees.len() < 1_000,
+            "slab grew to {} slots for {} trees",
+            sim.trees.len(),
+            sim.total_external_arrivals()
+        );
+        assert_eq!(
+            sim.open_trees() + sim.free_trees.len(),
+            sim.trees.len(),
+            "every slot is either open or free"
+        );
+        assert_eq!(
+            sim.total_external_arrivals(),
+            sim.total_sojourn_stats().count() + sim.open_trees() as u64
+        );
+    }
+
+    #[test]
     fn conservation_arrivals_equal_completions_plus_open() {
         let mut sim = chain_sim(80.0, 30.0, 4, 3);
         sim.run_for(SimDuration::from_secs(60));
@@ -904,7 +955,8 @@ mod tests {
         let backlog = sim.queue_len(bolt);
         assert!(backlog > 100);
         // Scale out to 6 executors with a 2-second pause.
-        sim.rebalance(vec![1, 6], SimDuration::from_secs(2)).unwrap();
+        sim.rebalance(vec![1, 6], SimDuration::from_secs(2))
+            .unwrap();
         assert!(sim.is_paused());
         sim.run_for(SimDuration::from_secs(120));
         assert!(
@@ -919,7 +971,8 @@ mod tests {
     fn pause_blocks_service_starts() {
         let mut sim = chain_sim(100.0, 50.0, 3, 23);
         sim.run_for(SimDuration::from_secs(5));
-        sim.rebalance(vec![1, 3], SimDuration::from_secs(3)).unwrap();
+        sim.rebalance(vec![1, 3], SimDuration::from_secs(3))
+            .unwrap();
         // Run 1 s into the pause: busy executors drain, none restart.
         sim.run_for(SimDuration::from_secs(1));
         assert!(sim.is_paused());
@@ -938,7 +991,8 @@ mod tests {
     fn double_rebalance_rejected_during_pause() {
         let mut sim = chain_sim(10.0, 30.0, 2, 29);
         sim.run_for(SimDuration::from_secs(1));
-        sim.rebalance(vec![1, 3], SimDuration::from_secs(5)).unwrap();
+        sim.rebalance(vec![1, 3], SimDuration::from_secs(5))
+            .unwrap();
         sim.run_for(SimDuration::from_millis(100));
         let err = sim
             .rebalance(vec![1, 4], SimDuration::from_secs(1))

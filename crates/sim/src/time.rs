@@ -195,7 +195,10 @@ mod tests {
         assert_eq!(t3, t2);
 
         assert_eq!(d + d, SimDuration::from_secs(1));
-        assert_eq!(d - SimDuration::from_millis(100), SimDuration::from_millis(400));
+        assert_eq!(
+            d - SimDuration::from_millis(100),
+            SimDuration::from_millis(400)
+        );
         assert_eq!(SimDuration::from_millis(100) - d, SimDuration::ZERO);
     }
 

@@ -159,9 +159,7 @@ impl Topology {
     /// `>= 1` make the traffic equations divergent.
     pub fn loop_gain(&self) -> f64 {
         // External rates are irrelevant to the gain matrix.
-        let eqs = self
-            .traffic_equations(&[])
-            .expect("no rates: cannot fail");
+        let eqs = self.traffic_equations(&[]).expect("no rates: cannot fail");
         eqs.loop_gain()
     }
 

@@ -21,8 +21,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let matcher = b.bolt("match");
     let aggregate = b.bolt("aggregate");
     b.edge(frames, extract)?;
-    b.edge_with(extract, matcher, EdgeOptions { gain: 8.0, ..Default::default() })?;
-    b.edge_with(matcher, aggregate, EdgeOptions { gain: 0.3, ..Default::default() })?;
+    b.edge_with(
+        extract,
+        matcher,
+        EdgeOptions {
+            gain: 8.0,
+            ..Default::default()
+        },
+    )?;
+    b.edge_with(
+        matcher,
+        aggregate,
+        EdgeOptions {
+            gain: 0.3,
+            ..Default::default()
+        },
+    )?;
     let topo = b.build()?;
 
     // Launch: 200 frames/s of synthetic video on real threads.
@@ -55,9 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let model = PerformanceModel::new(&ModelInputs {
-        external_rate: snap
-            .external_arrivals as f64
-            / snap.window_secs.max(1e-9),
+        external_rate: snap.external_arrivals as f64 / snap.window_secs.max(1e-9),
         operators: rates,
     })?;
     let best = assign_processors(model.network(), 8)?;
@@ -68,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     allocation[matcher.index()] = best.per_operator()[1];
     allocation[aggregate.index()] = best.per_operator()[2];
     let pause = engine.rebalance(allocation)?;
-    println!("re-balanced in {:.1} ms (queues preserved)", pause.as_secs_f64() * 1e3);
+    println!(
+        "re-balanced in {:.1} ms (queues preserved)",
+        pause.as_secs_f64() * 1e3
+    );
 
     std::thread::sleep(Duration::from_millis(1500));
     let snap = engine.metrics_snapshot();

@@ -28,9 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = PerformanceModel::new(&ModelInputs {
         external_rate: 13.0,
         operators: vec![
-            OperatorRates { arrival_rate: 13.0, service_rate: 1.78 },
-            OperatorRates { arrival_rate: 390.0, service_rate: 49.1 },
-            OperatorRates { arrival_rate: 19.5, service_rate: 45.0 },
+            OperatorRates {
+                arrival_rate: 13.0,
+                service_rate: 1.78,
+            },
+            OperatorRates {
+                arrival_rate: 390.0,
+                service_rate: 49.1,
+            },
+            OperatorRates {
+                arrival_rate: 19.5,
+                service_rate: 45.0,
+            },
         ],
     })?;
 

@@ -60,8 +60,7 @@ fn simulator_agrees_with_erlang_for_mmk_operator() {
 fn controller_from_raw_rates_reaches_paper_optimum() {
     // Pure control path (no simulator): measured VLD rates in, the paper's
     // (10:11:1) out.
-    let mut drs =
-        DrsController::new(DrsConfig::min_latency(22), vec![8, 12, 2], pool(5)).unwrap();
+    let mut drs = DrsController::new(DrsConfig::min_latency(22), vec![8, 12, 2], pool(5)).unwrap();
     let sample = RawSample {
         external_rate: 13.0,
         operators: vec![
@@ -102,8 +101,7 @@ fn closed_loop_converges_and_stays_stable() {
     let profile = VldProfile::paper();
     let topo = profile.topology();
     let sim = profile.build_simulation([12, 9, 1], 77);
-    let mut drs =
-        DrsController::new(DrsConfig::min_latency(22), vec![12, 9, 1], pool(5)).unwrap();
+    let mut drs = DrsController::new(DrsConfig::min_latency(22), vec![12, 9, 1], pool(5)).unwrap();
     drs.set_active(true);
     let mut harness = SimHarness::new(
         sim,
@@ -174,8 +172,7 @@ fn workload_drift_triggers_rescheduling() {
     let topo = profile.topology();
     let sift = topo.operator_by_name("sift-extractor").unwrap().id();
     let sim = profile.build_simulation([10, 11, 1], 13);
-    let drs =
-        DrsController::new(DrsConfig::min_latency(22), vec![10, 11, 1], pool(5)).unwrap();
+    let drs = DrsController::new(DrsConfig::min_latency(22), vec![10, 11, 1], pool(5)).unwrap();
     let mut harness = SimHarness::new(
         sim,
         drs,

@@ -84,9 +84,10 @@ fn live_measurements_fit_the_model() {
     let lambda = m.arrival_rate(snap.window_secs).unwrap();
     let mu = m.service_rate().unwrap();
     assert!((lambda - 200.0).abs() < 40.0, "λ̂ = {lambda}");
-    // Sleep-based service overshoots a little; it must not be faster than
-    // configured.
-    assert!(mu <= 520.0, "µ̂ = {mu}");
+    // Sleep-based service overshoots a little; it must not be meaningfully
+    // faster than configured (±10% covers sampling variance at 400 draws:
+    // the exponential's SE is mean/√400 = 5%).
+    assert!(mu <= 550.0, "µ̂ = {mu}");
     assert!(mu > 150.0, "µ̂ = {mu}");
 
     // The model built from live rates predicts a sojourn in the right
