@@ -1,11 +1,19 @@
-//! Closed-loop harness: the DRS controller driving the discrete-event
-//! simulator.
+//! **Deprecated** closed-loop harness: the DRS controller hard-wired to the
+//! discrete-event simulator.
 //!
-//! This is the experiment driver behind the paper's §V timelines (Figs. 9
-//! and 10): every measurement window the harness pulls the simulator's
-//! metrics, feeds them to [`DrsController::on_window`], and executes any
-//! re-balance action against the simulator — charging the pause cost the
-//! action carries. A [`TimelinePoint`] is recorded per window.
+//! Superseded by the backend-agnostic `drs_core::driver::DrsDriver`, which
+//! runs the identical loop over any `CspBackend` (the simulator *and* the
+//! threaded runtime). This module is retained, unchanged, as the golden
+//! oracle for the driver-parity regression test
+//! (`crates/apps/tests/driver_closed_loop.rs` asserts the driver's Fig. 9
+//! timeline is bit-identical to this harness's) and will be removed once
+//! that guarantee has soaked.
+//!
+//! Historical docs: every measurement window the harness pulls the
+//! simulator's metrics, feeds them to [`DrsController::on_window`], and
+//! executes any re-balance action against the simulator — charging the
+//! pause cost the action carries. A [`TimelinePoint`] is recorded per
+//! window.
 
 use drs_core::controller::{ControlAction, DrsController};
 use drs_core::measurer::RawSample;
@@ -14,6 +22,10 @@ use drs_sim::{MeasurementWindow, SimDuration, Simulator};
 use drs_topology::OperatorId;
 
 /// One measurement window of a harness run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use drs_core::driver::TimelinePoint, recorded by DrsDriver"
+)]
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelinePoint {
     /// Window index (0-based; one per `window` duration, paper uses
@@ -37,6 +49,11 @@ pub struct TimelinePoint {
 /// The harness owns the simulator and controller; model operators are the
 /// bolts listed in `bolt_ids` (spouts contribute no queueing and are
 /// excluded, as in the paper where `Kmax` counts bolt executors only).
+#[deprecated(
+    since = "0.2.0",
+    note = "use drs_core::driver::DrsDriver with the Simulator backend instead"
+)]
+#[allow(deprecated)]
 #[derive(Debug)]
 pub struct SimHarness {
     sim: Simulator,
@@ -47,6 +64,7 @@ pub struct SimHarness {
     last_rates: Option<Vec<OperatorRates>>,
 }
 
+#[allow(deprecated)]
 impl SimHarness {
     /// Creates a harness around a simulator and a controller.
     ///
@@ -195,6 +213,7 @@ impl SimHarness {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::vld::VldProfile;

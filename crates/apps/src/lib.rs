@@ -15,8 +15,11 @@
 //! * [`synthetic`] — the three-bolt chain with tunable CPU burn used for
 //!   the model-underestimation study (paper Fig. 8).
 //!
-//! [`harness`] closes the loop: a `DrsController` supervising a simulated
-//! topology window-by-window, producing the timelines of Figs. 9–10.
+//! The closed loop itself lives in `drs_core::driver`: a `DrsDriver`
+//! supervises any `CspBackend` (simulator or threaded runtime)
+//! window-by-window, producing the timelines of Figs. 9–10. The deprecated
+//! [`harness`] module is the old simulator-only loop, retained as the
+//! golden oracle for the driver-parity test.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod synthetic;
 pub mod vld;
 
 pub use fpd::FpdProfile;
+#[allow(deprecated)]
 pub use harness::{SimHarness, TimelinePoint};
 pub use synthetic::SyntheticChain;
 pub use vld::VldProfile;

@@ -19,10 +19,11 @@
 
 use crate::report::{fmt, render_table};
 use crate::timing::time_per_call_us;
-use drs_apps::{SimHarness, VldProfile};
+use drs_apps::VldProfile;
 use drs_core::config::DrsConfig;
 use drs_core::controller::DrsController;
 use drs_core::decision::DecisionPolicy;
+use drs_core::driver::DrsDriver;
 use drs_core::negotiator::{MachinePool, MachinePoolConfig};
 use drs_core::scheduler::{assign_processors, assign_processors_exhaustive};
 use drs_queueing::distribution::Distribution;
@@ -259,7 +260,6 @@ pub fn run_gate_value(windows: u64, window_secs: u64, seed: u64) -> Vec<GateValu
         .into_iter()
         .map(|(label, policy)| {
             let profile = VldProfile::paper();
-            let topo = profile.topology();
             let initial = [9u32, 11, 2];
             let sim = profile.build_simulation(initial, seed);
             let pool = MachinePool::new(MachinePoolConfig::default(), 5).unwrap();
@@ -267,20 +267,15 @@ pub fn run_gate_value(windows: u64, window_secs: u64, seed: u64) -> Vec<GateValu
             cfg.policy = policy;
             cfg.cooldown_windows = 0; // expose the gate's own behaviour
             let drs = DrsController::new(cfg, initial.to_vec(), pool).unwrap();
-            let mut harness = SimHarness::new(
-                sim,
-                drs,
-                profile.bolt_ids(&topo).to_vec(),
-                SimDuration::from_secs(window_secs),
-            );
-            harness.run_windows(windows);
-            let timeline = harness.timeline();
+            let mut driver = DrsDriver::new(sim, drs, window_secs as f64).expect("wiring matches");
+            driver.run_windows(windows);
+            let timeline = driver.timeline();
             let rebalances = timeline.iter().filter(|p| p.rebalanced).count();
             let tail = &timeline[(timeline.len() * 2 / 3)..];
             let steady: f64 = tail.iter().filter_map(|p| p.mean_sojourn_ms).sum::<f64>()
                 / tail.len().max(1) as f64;
             // Each rebalance of the latency goal charges the steady pause.
-            let total_pause = rebalances as f64 * harness.controller().pool().config().steady_pause;
+            let total_pause = rebalances as f64 * driver.controller().pool().config().steady_pause;
             GateValueRow {
                 policy: label,
                 rebalances,

@@ -3,28 +3,37 @@
 //! Usage:
 //!
 //! ```text
-//! repro [fig6|fig7|fig8|fig9|fig10|table2|all] [--quick] [--seed N]
+//! repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]
+//! repro drive [--backend sim|runtime|both] [--quick]
+//! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
 //! ```
 //!
 //! `--quick` shortens simulated durations (useful in CI); default runs use
 //! the paper's horizons (10-minute measurements, 27-minute timelines).
 
 use drs_bench::sweep::{run_sweep, App};
-use drs_bench::{ablation, fig10, fig8, fig9, perf, surge, table2};
+use drs_bench::{ablation, drive, fig10, fig8, fig9, perf, perfdiff, surge, table2};
 use std::env;
 use std::process::ExitCode;
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Options {
     quick: bool,
     seed: u64,
+    backend: String,
+    tolerance: f64,
+    paths: Vec<String>,
 }
 
 fn main() -> ExitCode {
     let mut target = String::from("all");
+    let mut target_set = false;
     let mut options = Options {
         quick: false,
         seed: 2015, // the paper's year, for determinism
+        backend: String::from("both"),
+        tolerance: 0.15,
+        paths: Vec::new(),
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,16 +46,39 @@ fn main() -> ExitCode {
                 };
                 options.seed = v;
             }
+            "--backend" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--backend requires sim|runtime|both");
+                    return ExitCode::FAILURE;
+                };
+                options.backend = v;
+            }
+            "--tolerance" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--tolerance requires a fraction, e.g. 0.15");
+                    return ExitCode::FAILURE;
+                };
+                options.tolerance = v;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]"
                 );
+                println!("       repro drive [--backend sim|runtime|both] [--quick]");
+                println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
                 println!(
                     "  perf also writes machine-readable BENCH_PERF.json to the current directory"
                 );
                 return ExitCode::SUCCESS;
             }
-            other if !other.starts_with('-') => target = other.to_owned(),
+            other if !other.starts_with('-') => {
+                if target_set {
+                    options.paths.push(other.to_owned());
+                } else {
+                    target = other.to_owned();
+                    target_set = true;
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::FAILURE;
@@ -55,24 +87,26 @@ fn main() -> ExitCode {
     }
 
     match target.as_str() {
-        "fig6" => fig6_and_7(options, true, false),
-        "fig7" => fig6_and_7(options, false, true),
-        "fig8" => run_fig8(options),
-        "fig9" => run_fig9(options),
-        "fig10" => run_fig10(options),
-        "table2" => run_table2(options),
-        "ablation" => run_ablation(options),
-        "surge" => run_surge(options),
-        "perf" => run_perf(options),
+        "fig6" => fig6_and_7(&options, true, false),
+        "fig7" => fig6_and_7(&options, false, true),
+        "fig8" => run_fig8(&options),
+        "fig9" => run_fig9(&options),
+        "fig10" => run_fig10(&options),
+        "table2" => run_table2(&options),
+        "ablation" => run_ablation(&options),
+        "surge" => run_surge(&options),
+        "perf" => run_perf(&options),
+        "drive" => return run_drive(&options),
+        "perfdiff" => return run_perfdiff(&options),
         "all" => {
-            fig6_and_7(options, true, true);
-            run_fig8(options);
-            run_fig9(options);
-            run_fig10(options);
-            run_table2(options);
-            run_ablation(options);
-            run_surge(options);
-            run_perf(options);
+            fig6_and_7(&options, true, true);
+            run_fig8(&options);
+            run_fig9(&options);
+            run_fig10(&options);
+            run_table2(&options);
+            run_ablation(&options);
+            run_surge(&options);
+            run_perf(&options);
         }
         other => {
             eprintln!("unknown target {other}; try --help");
@@ -82,7 +116,71 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn fig6_and_7(options: Options, fig6: bool, fig7: bool) {
+fn run_drive(options: &Options) -> ExitCode {
+    let backend = match options.backend.as_str() {
+        "sim" => drive::DriveBackend::Sim,
+        "runtime" => drive::DriveBackend::Runtime,
+        "both" => drive::DriveBackend::Both,
+        other => {
+            eprintln!("unknown backend {other}; use sim|runtime|both");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = drive::DriveConfig {
+        seed: options.seed,
+        ..Default::default()
+    };
+    if options.quick {
+        config.windows = 6;
+        config.window_secs = 0.5;
+    }
+    let runs = drive::run_drive(backend, config);
+    print!("{}", drive::render_drive(&config, &runs));
+    ExitCode::SUCCESS
+}
+
+fn run_perfdiff(options: &Options) -> ExitCode {
+    let [baseline_path, current_path] = options.paths.as_slice() else {
+        eprintln!("usage: repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let deltas = match perfdiff::diff(&baseline, &current) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (rendered, offenders) = perfdiff::report(&deltas, options.tolerance);
+    print!("{rendered}");
+    if offenders.is_empty() {
+        println!(
+            "perfdiff: all {} metrics within {:.0}% of baseline",
+            deltas.len(),
+            options.tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perfdiff: {} metric(s) regressed more than {:.0}%",
+            offenders.len(),
+            options.tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn fig6_and_7(options: &Options, fig6: bool, fig7: bool) {
     let secs = if options.quick { 120 } else { 600 };
     for app in [App::Vld, App::Fpd] {
         let sweep = run_sweep(app, secs, options.seed);
@@ -95,13 +193,13 @@ fn fig6_and_7(options: Options, fig6: bool, fig7: bool) {
     }
 }
 
-fn run_fig8(options: Options) {
+fn run_fig8(options: &Options) {
     let secs = if options.quick { 120 } else { 600 };
     let rows = fig8::run_fig8(secs, options.seed);
     print!("{}", fig8::render_fig8(&rows));
 }
 
-fn run_fig9(options: Options) {
+fn run_fig9(options: &Options) {
     let window = if options.quick { 20 } else { 60 };
     for app in [App::Vld, App::Fpd] {
         let runs = fig9::run_fig9(app, options.seed, window);
@@ -109,7 +207,7 @@ fn run_fig9(options: Options) {
     }
 }
 
-fn run_fig10(options: Options) {
+fn run_fig10(options: &Options) {
     let window = if options.quick { 20 } else { 60 };
     for experiment in [fig10::Experiment::ExpA, fig10::Experiment::ExpB] {
         let run = fig10::run_fig10(experiment, options.seed, window);
@@ -117,13 +215,13 @@ fn run_fig10(options: Options) {
     }
 }
 
-fn run_table2(options: Options) {
+fn run_table2(options: &Options) {
     let iterations = if options.quick { 5_000 } else { 100_000 };
     let columns = table2::run_table2(iterations);
     print!("{}", table2::render_table2(&columns));
 }
 
-fn run_ablation(options: Options) {
+fn run_ablation(options: &Options) {
     let rows = ablation::run_greedy_vs_exhaustive();
     print!("{}", ablation::render_greedy_vs_exhaustive(&rows));
     let secs = if options.quick { 120 } else { 600 };
@@ -134,7 +232,7 @@ fn run_ablation(options: Options) {
     print!("{}", ablation::render_gate_value(&rows));
 }
 
-fn run_perf(options: Options) {
+fn run_perf(options: &Options) {
     let iterations = if options.quick { 2_000 } else { 20_000 };
     let report = perf::run_perf(iterations, options.seed);
     print!("{}", perf::render_perf(&report));
@@ -145,7 +243,7 @@ fn run_perf(options: Options) {
     }
 }
 
-fn run_surge(options: Options) {
+fn run_surge(options: &Options) {
     let mut config = surge::SurgeConfig::default();
     if options.quick {
         config.windows = 26;

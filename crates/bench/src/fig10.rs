@@ -15,11 +15,11 @@
 //! testbed); EXPERIMENTS.md records the mapping.
 
 use crate::report::{fmt_allocation, render_table};
-use drs_apps::{SimHarness, VldProfile};
+use drs_apps::VldProfile;
 use drs_core::config::DrsConfig;
 use drs_core::controller::DrsController;
+use drs_core::driver::DrsDriver;
 use drs_core::negotiator::{MachinePool, MachinePoolConfig};
-use drs_sim::SimDuration;
 
 /// Number of measurement windows (paper: 27 minutes).
 pub const WINDOWS: u64 = 27;
@@ -89,8 +89,6 @@ pub struct Fig10Run {
 pub fn run_fig10(experiment: Experiment, seed: u64, window_secs: u64) -> Fig10Run {
     let (initial, machines) = experiment.initial();
     let profile = VldProfile::paper();
-    let topo = profile.topology();
-    let bolt_ids = profile.bolt_ids(&topo).to_vec();
     let sim = profile.build_simulation(initial, seed);
     let pool = MachinePool::new(MachinePoolConfig::default(), machines).expect("valid pool");
     let mut config = DrsConfig::min_resources(experiment.t_max());
@@ -105,18 +103,18 @@ pub fn run_fig10(experiment: Experiment, seed: u64, window_secs: u64) -> Fig10Ru
     config.smoothing = drs_core::measurer::Smoothing::Alpha { alpha: 0.8 };
     let mut drs = DrsController::new(config, initial.to_vec(), pool).expect("valid controller");
     drs.set_active(false);
-    let mut harness = SimHarness::new(sim, drs, bolt_ids, SimDuration::from_secs(window_secs));
-    harness.run_windows(ENABLE_AT);
-    harness.controller_mut().set_active(true);
-    harness.run_windows(WINDOWS - ENABLE_AT);
+    let mut driver = DrsDriver::new(sim, drs, window_secs as f64).expect("wiring matches");
+    driver.run_windows(ENABLE_AT);
+    driver.controller_mut().set_active(true);
+    driver.run_windows(WINDOWS - ENABLE_AT);
 
     // Machines only change at rebalances; reconstruct per-window counts by
     // replaying the plan log.
     let mut points = Vec::with_capacity(WINDOWS as usize);
     let mut current_machines = experiment.initial().1;
-    for (i, p) in harness.timeline().iter().enumerate() {
+    for (i, p) in driver.timeline().iter().enumerate() {
         if p.rebalanced {
-            current_machines = machines_after_window(&harness, i, current_machines);
+            current_machines = machines_after_window(driver.controller(), i, current_machines);
         }
         points.push(Fig10Point {
             window: p.window,
@@ -129,10 +127,9 @@ pub fn run_fig10(experiment: Experiment, seed: u64, window_secs: u64) -> Fig10Ru
     Fig10Run { experiment, points }
 }
 
-fn machines_after_window(harness: &SimHarness, window: usize, current: u32) -> u32 {
+fn machines_after_window(controller: &DrsController, window: usize, current: u32) -> u32 {
     // The controller's log entry for this window records the applied plan.
-    harness
-        .controller()
+    controller
         .log()
         .get(window)
         .and_then(|e| match &e.action {

@@ -8,11 +8,12 @@
 
 use crate::report::{fmt_allocation, render_table};
 use crate::sweep::App;
-use drs_apps::{FpdProfile, SimHarness, VldProfile};
+use drs_apps::{FpdProfile, VldProfile};
 use drs_core::config::DrsConfig;
 use drs_core::controller::DrsController;
+use drs_core::driver::DrsDriver;
 use drs_core::negotiator::{MachinePool, MachinePoolConfig};
-use drs_sim::SimDuration;
+use drs_sim::Simulator;
 
 /// Number of measurement windows in a Fig. 9 run (paper: 27 minutes).
 pub const WINDOWS: u64 = 27;
@@ -41,39 +42,25 @@ pub fn initial_allocations(app: App) -> [[u32; 3]; 3] {
     }
 }
 
-fn build_harness(app: App, initial: [u32; 3], seed: u64, window_secs: u64) -> SimHarness {
-    let (sim, bolt_ids) = match app {
-        App::Vld => {
-            let p = VldProfile::paper();
-            let topo = p.topology();
-            (
-                p.build_simulation(initial, seed),
-                p.bolt_ids(&topo).to_vec(),
-            )
-        }
-        App::Fpd => {
-            let p = FpdProfile::paper();
-            let topo = p.topology();
-            (
-                p.build_simulation(initial, seed),
-                p.bolt_ids(&topo).to_vec(),
-            )
-        }
+fn build_driver(app: App, initial: [u32; 3], seed: u64, window_secs: u64) -> DrsDriver<Simulator> {
+    let sim = match app {
+        App::Vld => VldProfile::paper().build_simulation(initial, seed),
+        App::Fpd => FpdProfile::paper().build_simulation(initial, seed),
     };
     let pool = MachinePool::new(MachinePoolConfig::default(), 5).expect("valid pool");
     let mut drs = DrsController::new(DrsConfig::min_latency(22), initial.to_vec(), pool)
         .expect("valid controller");
     drs.set_active(false); // passive until ENABLE_AT
-    SimHarness::new(sim, drs, bolt_ids, SimDuration::from_secs(window_secs))
+    DrsDriver::new(sim, drs, window_secs as f64).expect("wiring matches")
 }
 
 /// Runs one Fig. 9 timeline.
 pub fn run_one(app: App, initial: [u32; 3], seed: u64, window_secs: u64) -> Fig9Run {
-    let mut harness = build_harness(app, initial, seed, window_secs);
-    harness.run_windows(ENABLE_AT);
-    harness.controller_mut().set_active(true);
-    harness.run_windows(WINDOWS - ENABLE_AT);
-    let timeline = harness.timeline();
+    let mut driver = build_driver(app, initial, seed, window_secs);
+    driver.run_windows(ENABLE_AT);
+    driver.controller_mut().set_active(true);
+    driver.run_windows(WINDOWS - ENABLE_AT);
+    let timeline = driver.timeline();
     Fig9Run {
         initial,
         sojourn_ms: timeline

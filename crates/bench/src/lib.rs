@@ -14,6 +14,10 @@
 //! * [`perf`] — the perf trajectory: heap+incremental scheduling vs the
 //!   retained from-scratch reference, simulator throughput, and the
 //!   machine-readable `BENCH_PERF.json` export;
+//! * [`perfdiff`] — the CI regression gate comparing two `BENCH_PERF.json`
+//!   snapshots;
+//! * [`drive`] — the same `DrsDriver` config run against the simulator and
+//!   the live runtime, timelines side by side;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -29,10 +33,12 @@
 #![forbid(unsafe_code)]
 
 pub mod ablation;
+pub mod drive;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod perf;
+pub mod perfdiff;
 pub mod report;
 pub mod surge;
 pub mod sweep;

@@ -1,0 +1,263 @@
+//! `repro perfdiff`: compares two `BENCH_PERF.json` snapshots and fails on
+//! regressions — the CI gate that keeps the perf trajectory honest across
+//! PRs.
+//!
+//! Gated metrics are the ones a code change actually moves:
+//!
+//! * `scheduling[].heap_us` (lower is better) — the production scheduling
+//!   path, per `Kmax`;
+//! * `scheduling[].speedup` (higher is better) — heap vs the retained
+//!   from-scratch reference. Being a same-machine ratio, this one is
+//!   immune to the hardware delta between the machine that committed the
+//!   baseline and the runner doing the comparison, so it stays meaningful
+//!   even when the absolute timings carry a systematic bias;
+//! * `simulator[].trees_per_wall_sec` (higher is better) — end-to-end
+//!   simulator throughput, per workload.
+//!
+//! The `reference_us` column alone is the deliberately slow oracle and is
+//! not gated directly. The parser reads only the flat schema
+//! [`crate::perf::perf_json`] writes (the offline build has no
+//! serde_json).
+
+use std::fmt::Write as _;
+
+/// One gated metric compared across the two snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric label, e.g. `scheduling[k_max=48].heap_us`.
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Whether larger values are better for this metric.
+    pub higher_is_better: bool,
+}
+
+impl MetricDelta {
+    /// Relative regression of `current` vs `baseline` (positive = worse),
+    /// direction-aware.
+    pub fn regression(&self) -> f64 {
+        if self.baseline <= 0.0 {
+            return 0.0;
+        }
+        if self.higher_is_better {
+            (self.baseline - self.current) / self.baseline
+        } else {
+            (self.current - self.baseline) / self.baseline
+        }
+    }
+}
+
+/// Error from loading or comparing snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfDiffError(pub String);
+
+impl std::fmt::Display for PerfDiffError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "perfdiff: {}", self.0)
+    }
+}
+
+impl std::error::Error for PerfDiffError {}
+
+/// Extracts `"key": value` from one JSON object line.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = line[start..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    rest.split('"').next()
+}
+
+/// Parses the gated metrics out of a `BENCH_PERF.json` body.
+///
+/// # Errors
+///
+/// [`PerfDiffError`] when no gated metric can be found (wrong file or
+/// schema drift).
+pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
+    let mut metrics = Vec::new();
+    for line in json.lines() {
+        if let (Some(k_max), Some(heap)) = (field_f64(line, "k_max"), field_f64(line, "heap_us")) {
+            metrics.push(MetricDelta {
+                name: format!("scheduling[k_max={k_max}].heap_us"),
+                baseline: heap,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "speedup") {
+                metrics.push(MetricDelta {
+                    name: format!("scheduling[k_max={k_max}].speedup"),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+        }
+        if let (Some(app), Some(tps)) = (
+            field_str(line, "app"),
+            field_f64(line, "trees_per_wall_sec"),
+        ) {
+            metrics.push(MetricDelta {
+                name: format!("simulator[{app}].trees_per_wall_sec"),
+                baseline: tps,
+                current: f64::NAN,
+                higher_is_better: true,
+            });
+        }
+    }
+    if metrics.is_empty() {
+        return Err(PerfDiffError(
+            "no gated metrics found (is this a BENCH_PERF.json?)".to_owned(),
+        ));
+    }
+    Ok(metrics)
+}
+
+/// Pairs up baseline and current snapshots by metric name.
+///
+/// # Errors
+///
+/// [`PerfDiffError`] when either file fails to parse or a baseline metric
+/// is missing from the current snapshot.
+pub fn diff(baseline_json: &str, current_json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
+    let baseline = parse_metrics(baseline_json)?;
+    let current = parse_metrics(current_json)?;
+    baseline
+        .into_iter()
+        .map(|mut m| {
+            let cur = current
+                .iter()
+                .find(|c| c.name == m.name)
+                .ok_or_else(|| PerfDiffError(format!("metric {} missing from current", m.name)))?;
+            m.current = cur.baseline;
+            Ok(m)
+        })
+        .collect()
+}
+
+/// Renders the comparison and returns the offending metrics (regression
+/// beyond `tolerance`, e.g. `0.15` = 15%).
+pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDelta>) {
+    let mut out = String::new();
+    let mut offenders = Vec::new();
+    writeln!(
+        out,
+        "{:<44} {:>12} {:>12} {:>9}  verdict",
+        "metric", "baseline", "current", "delta"
+    )
+    .expect("write to string");
+    for d in deltas {
+        let regression = d.regression();
+        let verdict = if regression > tolerance {
+            offenders.push(d);
+            "REGRESSED"
+        } else if regression < -tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        let signed_change = (d.current - d.baseline) / d.baseline.max(f64::MIN_POSITIVE);
+        writeln!(
+            out,
+            "{:<44} {:>12.2} {:>12.2} {:>+8.1}%  {verdict}",
+            d.name,
+            d.baseline,
+            d.current,
+            signed_change * 100.0
+        )
+        .expect("write to string");
+    }
+    (out, offenders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{perf_json, PerfReport, SchedPoint, SimPoint};
+
+    fn snapshot(heap_us: f64, tps: f64) -> String {
+        perf_json(&PerfReport {
+            scheduling: vec![SchedPoint {
+                k_max: 48,
+                heap_us,
+                reference_us: heap_us * 20.0,
+            }],
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: tps,
+            }],
+        })
+    }
+
+    #[test]
+    fn round_trips_the_perf_json_schema() {
+        let metrics = parse_metrics(&snapshot(2.0, 1000.0)).unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0].name, "scheduling[k_max=48].heap_us");
+        assert!(!metrics[0].higher_is_better);
+        assert_eq!(metrics[1].name, "scheduling[k_max=48].speedup");
+        assert!(metrics[1].higher_is_better);
+        assert_eq!(metrics[2].name, "simulator[vld].trees_per_wall_sec");
+        assert!(metrics[2].higher_is_better);
+    }
+
+    #[test]
+    fn flags_regressions_in_either_direction() {
+        // heap_us up 50% and throughput down 50% regress; the speedup
+        // ratio is unchanged (the mock reference scales with heap), so it
+        // stays ok — exactly the hardware-bias-immune behaviour it is
+        // gated for.
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(3.0, 500.0)).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert_eq!(offenders.len(), 2, "{rendered}");
+        assert!(rendered.contains("REGRESSED"));
+        assert!(!offenders.iter().any(|m| m.name.contains("speedup")));
+
+        // A genuine algorithmic regression moves the ratio even when raw
+        // timings scale together: heap 4x slower on the same reference.
+        let slower = perf_json(&PerfReport {
+            scheduling: vec![SchedPoint {
+                k_max: 48,
+                heap_us: 8.0,
+                reference_us: 40.0,
+            }],
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: 1000.0,
+            }],
+        });
+        let deltas = diff(&snapshot(2.0, 1000.0), &slower).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders.iter().any(|m| m.name.contains("speedup")),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn passes_within_tolerance_and_on_improvement() {
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.1, 2000.0)).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(offenders.is_empty(), "{rendered}");
+        assert!(rendered.contains("improved"));
+    }
+
+    #[test]
+    fn rejects_non_perf_files() {
+        assert!(parse_metrics("{\"unrelated\": true}").is_err());
+        assert!(diff(&snapshot(1.0, 1.0), "{}").is_err());
+    }
+}

@@ -9,13 +9,13 @@
 //! threatened and release resources once the surge passes.
 
 use crate::report::render_table;
-use drs_apps::{SimHarness, VldProfile};
+use drs_apps::VldProfile;
 use drs_core::config::DrsConfig;
 use drs_core::controller::DrsController;
+use drs_core::driver::DrsDriver;
 use drs_core::measurer::Smoothing;
 use drs_core::negotiator::{MachinePool, MachinePoolConfig};
 use drs_queueing::distribution::Distribution;
-use drs_sim::SimDuration;
 
 /// One window of the surge timeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,20 +86,15 @@ pub fn run_surge(config: SurgeConfig, seed: u64) -> Vec<SurgePoint> {
     // wait until the smoothing has real history.
     drs_config.warmup_windows = 4;
     let drs = DrsController::new(drs_config, initial.to_vec(), pool).expect("valid controller");
-    let mut harness = SimHarness::new(
-        sim,
-        drs,
-        profile.bolt_ids(&topo).to_vec(),
-        SimDuration::from_secs(config.window_secs),
-    );
+    let mut driver = DrsDriver::new(sim, drs, config.window_secs as f64).expect("wiring matches");
 
     let base_rate = profile.frame_rate;
     let surged = base_rate * config.surge_factor;
     let mut points = Vec::with_capacity(config.windows as usize);
     for w in 0..config.windows {
         if w == config.surge_at {
-            harness
-                .simulator_mut()
+            driver
+                .backend_mut()
                 .set_spout_interarrival(
                     spout,
                     Distribution::uniform(0.0, 2.0 / surged).expect("valid uniform"),
@@ -107,21 +102,21 @@ pub fn run_surge(config: SurgeConfig, seed: u64) -> Vec<SurgePoint> {
                 .expect("spout exists");
         }
         if w == config.relax_at {
-            harness
-                .simulator_mut()
+            driver
+                .backend_mut()
                 .set_spout_interarrival(
                     spout,
                     Distribution::uniform(0.0, 2.0 / base_rate).expect("valid uniform"),
                 )
                 .expect("spout exists");
         }
-        harness.run_windows(1);
-        let p = harness.timeline().last().expect("ran a window");
+        driver.run_windows(1);
+        let p = driver.timeline().last().expect("ran a window");
         points.push(SurgePoint {
             window: w,
             sojourn_ms: p.mean_sojourn_ms.unwrap_or(f64::NAN),
             executors: p.allocation.iter().sum(),
-            machines: harness.controller().pool().active_machines(),
+            machines: driver.controller().pool().active_machines(),
             frame_rate: if (config.surge_at..config.relax_at).contains(&w) {
                 surged
             } else {

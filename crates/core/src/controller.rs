@@ -1,8 +1,8 @@
-//! The DRS control loop: measurements in, rebalance actions out.
+//! The DRS decision core: measurements in, rebalance actions out.
 //!
 //! One [`DrsController`] instance supervises one streaming application. Each
-//! measurement window the CSP layer (simulator, runtime, or a real cluster
-//! adapter) feeds a [`RawSample`] to [`DrsController::on_window`], which:
+//! measurement window a [`RawSample`] is fed to
+//! [`DrsController::on_window`], which:
 //!
 //! 1. smooths the metrics through the [`Measurer`];
 //! 2. fits the [`PerformanceModel`] (Eq. 1–3 of the paper);
@@ -16,6 +16,15 @@
 //!
 //! Every round is appended to an inspectable log, which the experiment
 //! harness uses to reproduce the paper's figures.
+//!
+//! The controller is engine-agnostic: it never touches a simulator or a
+//! runtime directly. In almost every case you do not call `on_window`
+//! yourself — a [`crate::driver::DrsDriver`] owns the loop, pulling
+//! windows from a [`crate::driver::CspBackend`] (the `drs-sim` simulator,
+//! the `drs-runtime` threaded engine, or your own adapter), building the
+//! [`RawSample`] with last-known-rates fallback, and actuating the returned
+//! [`ControlAction`] against the backend. Call `on_window` directly only
+//! when you are wiring a custom loop by hand.
 
 use crate::config::{DrsConfig, OptimizationGoal};
 use crate::decision::{self, Decision, DecisionInputs};
@@ -216,6 +225,23 @@ impl DrsController {
     /// operator manually re-balanced the topology).
     pub fn sync_allocation(&mut self, allocation: Vec<u32>) {
         self.current_allocation = allocation;
+    }
+
+    /// Informs the controller that the CSP layer rejected the rebalance it
+    /// just issued: reverts the machine plan provisioned for it (the
+    /// machines were never actually used), resynchronises the allocation
+    /// view to what the backend really runs, and lifts the post-rebalance
+    /// cooldown so the next window may retry.
+    pub fn rebalance_rejected(
+        &mut self,
+        plan: Option<&NegotiationPlan>,
+        actual_allocation: Vec<u32>,
+    ) {
+        if let Some(p) = plan {
+            self.pool.revert(p);
+        }
+        self.current_allocation = actual_allocation;
+        self.cooldown_remaining = 0;
     }
 
     /// Ingests one measurement window and returns the action to execute.

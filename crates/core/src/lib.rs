@@ -22,7 +22,11 @@
 //!
 //! The [`controller::DrsController`] wires these together behind a single
 //! `on_window` call; the measurement side (two-level sampling and smoothing,
-//! paper App. B) lives in [`measurer`].
+//! paper App. B) lives in [`measurer`]. The [`driver`] module closes the
+//! loop over any CSP layer: implement [`driver::CspBackend`] for an engine
+//! (the workspace ships the `drs-sim` simulator and the `drs-runtime`
+//! threaded engine) and a [`driver::DrsDriver`] runs the full
+//! measure → model → schedule → decide → actuate cycle against it.
 //!
 //! # Quick start
 //!
@@ -55,6 +59,7 @@
 pub mod config;
 pub mod controller;
 pub mod decision;
+pub mod driver;
 pub mod measurer;
 pub mod migration;
 pub mod model;
@@ -64,7 +69,11 @@ pub mod scheduler;
 pub use config::{DrsConfig, OptimizationGoal, SamplingConfig};
 pub use controller::{ControlAction, DrsController, LogEntry};
 pub use decision::{Decision, DecisionPolicy};
-pub use measurer::{Measurer, RawSample, SmoothedEstimates, Smoothing};
+pub use driver::{
+    AppliedRebalance, BackendError, CspBackend, DriverError, DrsDriver, OperatorSample,
+    RebalancePlan, TimelinePoint, WindowSample,
+};
+pub use measurer::{Measurer, RawSample, SampleBuilder, SmoothedEstimates, Smoothing};
 pub use migration::{plan_migration, MigrationPlan, TaskAssignment};
 pub use model::{ModelInputs, OperatorRates, PerformanceModel};
 pub use negotiator::{MachinePool, MachinePoolConfig, NegotiationPlan};

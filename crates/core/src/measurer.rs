@@ -258,6 +258,79 @@ impl Measurer {
     }
 }
 
+/// Builds [`RawSample`]s from backend [`WindowSample`]s, falling back to
+/// the last known rates for operators a window starved (paper App. B: brief
+/// starvation under a rebalance pause must not zero the model).
+///
+/// One instance lives inside every `DrsDriver` (see [`crate::driver`]);
+/// it is public so hand-rolled loops and tests can reuse the exact same
+/// fallback policy.
+///
+/// # Examples
+///
+/// ```
+/// use drs_core::driver::{OperatorSample, WindowSample};
+/// use drs_core::measurer::SampleBuilder;
+///
+/// let mut b = SampleBuilder::new();
+/// let observed = WindowSample {
+///     external_rate: Some(10.0),
+///     operators: vec![OperatorSample { arrival_rate: Some(10.0), service_rate: Some(4.0) }],
+///     mean_sojourn: Some(0.5),
+///     std_sojourn: None,
+///     completed: 100,
+/// };
+/// assert!(b.build(&observed).is_some());
+///
+/// // A starved window (pause, idle operator) reuses the last known rates.
+/// let starved = WindowSample { operators: vec![OperatorSample { arrival_rate: None, service_rate: None }], ..observed };
+/// let raw = b.build(&starved).unwrap();
+/// assert_eq!(raw.operators[0].service_rate, 4.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleBuilder {
+    last_rates: Option<Vec<OperatorRates>>,
+}
+
+impl SampleBuilder {
+    /// Creates a builder with no rate history.
+    pub fn new() -> Self {
+        SampleBuilder::default()
+    }
+
+    /// Converts a backend window into the controller's raw sample.
+    /// Operators that recorded no service activity reuse the last known
+    /// rates; returns `None` when no usable rates exist yet (nothing has
+    /// ever arrived, or a starved operator has no history).
+    pub fn build(&mut self, w: &crate::driver::WindowSample) -> Option<RawSample> {
+        let external_rate = w.external_rate?;
+        if external_rate <= 0.0 {
+            return None;
+        }
+        let mut operators = Vec::with_capacity(w.operators.len());
+        for (slot, op) in w.operators.iter().enumerate() {
+            match (op.arrival_rate, op.service_rate) {
+                (Some(a), Some(s)) if a > 0.0 && s > 0.0 => {
+                    operators.push(OperatorRates {
+                        arrival_rate: a,
+                        service_rate: s,
+                    });
+                }
+                _ => {
+                    let last = self.last_rates.as_ref()?;
+                    operators.push(*last.get(slot)?);
+                }
+            }
+        }
+        self.last_rates = Some(operators.clone());
+        Some(RawSample {
+            external_rate,
+            operators,
+            mean_sojourn: w.mean_sojourn,
+        })
+    }
+}
+
 /// Raw metrics reported by a single executor (instance) of an operator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InstanceSample {

@@ -241,6 +241,13 @@ impl MachinePool {
     pub fn apply(&mut self, plan: &NegotiationPlan) {
         self.active = plan.target_machines;
     }
+
+    /// Reverts a previously applied plan, restoring the pre-plan machine
+    /// count — used when the CSP layer rejects the rebalance the plan was
+    /// provisioned for, so the pool does not track phantom machines.
+    pub fn revert(&mut self, plan: &NegotiationPlan) {
+        self.active = plan.target_machines + plan.remove_machines - plan.add_machines;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! [`CspBackend`] implementation for the discrete-event [`Simulator`].
+//!
+//! The simulator's *model operators* are its bolts in operator-id order
+//! (spouts are sources, not servers; the paper's `Kmax` counts bolt
+//! executors only). `advance` runs virtual time forward and closes a
+//! measurement window; `apply` expands the bolt allocation to the full
+//! topology (spouts keep one executor) and charges the plan's pause as the
+//! re-balancing cost, exactly as the paper's §V timelines do.
+
+use crate::simulator::{SimError, Simulator};
+use crate::time::SimDuration;
+use drs_core::driver::{
+    AppliedRebalance, BackendError, CspBackend, OperatorSample, RebalancePlan, WindowSample,
+};
+
+impl CspBackend for Simulator {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn operator_names(&self) -> Vec<String> {
+        self.topology()
+            .bolts()
+            .map(|op| op.name().to_owned())
+            .collect()
+    }
+
+    fn current_allocation(&self) -> Vec<u32> {
+        let allocation = self.allocation();
+        self.topology()
+            .bolts()
+            .map(|op| allocation[op.id().index()])
+            .collect()
+    }
+
+    fn advance(&mut self, window_secs: f64) -> WindowSample {
+        self.run_for(SimDuration::from_secs_f64(window_secs));
+        let w = self.take_window();
+        let operators = self
+            .topology()
+            .bolts()
+            .map(|op| {
+                let i = op.id().index();
+                OperatorSample {
+                    arrival_rate: w.operator_arrival_rate(i),
+                    service_rate: w.operator_service_rate(i),
+                }
+            })
+            .collect();
+        WindowSample {
+            external_rate: w.external_rate(),
+            operators,
+            mean_sojourn: w.mean_sojourn(),
+            std_sojourn: w.sojourn.std_dev(),
+            completed: w.sojourn.count(),
+        }
+    }
+
+    fn apply(&mut self, plan: &RebalancePlan) -> Result<AppliedRebalance, BackendError> {
+        let full = self
+            .topology()
+            .expand_bolt_allocation(&plan.allocation)
+            .ok_or_else(|| {
+                BackendError::InvalidAllocation(format!(
+                    "allocation length {}, expected one entry per bolt",
+                    plan.allocation.len()
+                ))
+            })?;
+        self.rebalance(full, SimDuration::from_secs_f64(plan.pause_secs))
+            .map_err(|e| match e {
+                SimError::RebalanceInProgress => BackendError::RebalanceUnavailable(e.to_string()),
+                SimError::AllocationLength { .. } | SimError::ZeroAllocation { .. } => {
+                    BackendError::InvalidAllocation(e.to_string())
+                }
+                SimError::BehaviorMismatch { .. } => BackendError::Other(e.to_string()),
+            })?;
+        Ok(AppliedRebalance {
+            allocation: plan.allocation.clone(),
+            pause_secs: plan.pause_secs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::OperatorBehavior;
+    use crate::SimulationBuilder;
+    use drs_queueing::distribution::Distribution;
+    use drs_topology::TopologyBuilder;
+
+    fn chain_sim(lambda: f64, mu: f64, k: u32) -> Simulator {
+        let mut b = TopologyBuilder::new();
+        let spout = b.spout("src");
+        let bolt = b.bolt("work");
+        b.edge(spout, bolt).unwrap();
+        SimulationBuilder::new(b.build().unwrap())
+            .behavior(
+                spout,
+                OperatorBehavior::Spout {
+                    interarrival: Distribution::exponential(lambda).unwrap(),
+                },
+            )
+            .behavior(
+                bolt,
+                OperatorBehavior::Bolt {
+                    service: Distribution::exponential(mu).unwrap(),
+                },
+            )
+            .allocation(vec![1, k])
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn model_operators_are_bolts_only() {
+        let sim = chain_sim(50.0, 30.0, 3);
+        assert_eq!(sim.operator_names(), vec!["work".to_owned()]);
+        assert_eq!(CspBackend::current_allocation(&sim), vec![3]);
+        assert_eq!(sim.backend_name(), "sim");
+    }
+
+    #[test]
+    fn advance_measures_configured_rates() {
+        let mut sim = chain_sim(100.0, 40.0, 4);
+        let w = sim.advance(300.0);
+        assert!((w.external_rate.unwrap() - 100.0).abs() < 5.0);
+        assert!((w.operators[0].arrival_rate.unwrap() - 100.0).abs() < 5.0);
+        assert!((w.operators[0].service_rate.unwrap() - 40.0).abs() < 2.0);
+        assert!(w.completed > 10_000);
+        assert!(w.mean_sojourn.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn apply_expands_to_full_topology() {
+        let mut sim = chain_sim(50.0, 30.0, 2);
+        let applied = sim
+            .apply(&RebalancePlan {
+                allocation: vec![5],
+                pause_secs: 0.0,
+            })
+            .unwrap();
+        assert_eq!(applied.allocation, vec![5]);
+        assert_eq!(sim.allocation(), &[1, 5]); // spout keeps one executor
+    }
+
+    #[test]
+    fn apply_during_pause_is_unavailable_not_a_panic() {
+        let mut sim = chain_sim(50.0, 30.0, 2);
+        sim.advance(10.0);
+        sim.apply(&RebalancePlan {
+            allocation: vec![4],
+            pause_secs: 30.0,
+        })
+        .unwrap();
+        // The pause outlasts the next window: a second apply must fail
+        // cleanly.
+        sim.advance(5.0);
+        let err = sim
+            .apply(&RebalancePlan {
+                allocation: vec![6],
+                pause_secs: 1.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, BackendError::RebalanceUnavailable(_)));
+    }
+
+    #[test]
+    fn apply_rejects_malformed_plans() {
+        let mut sim = chain_sim(50.0, 30.0, 2);
+        let err = sim
+            .apply(&RebalancePlan {
+                allocation: vec![2, 2],
+                pause_secs: 0.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, BackendError::InvalidAllocation(_)));
+        let err = sim
+            .apply(&RebalancePlan {
+                allocation: vec![0],
+                pause_secs: 0.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, BackendError::InvalidAllocation(_)));
+    }
+}

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod event;
 pub mod metrics;
 pub mod simulator;

@@ -91,6 +91,24 @@ impl Topology {
             .filter(|o| o.kind() == OperatorKind::Bolt)
     }
 
+    /// Expands a bolt-only allocation (bolts in id order — the "model
+    /// order" the DRS scheduler reasons in, since spouts contribute no
+    /// queueing) to a full per-operator vector; spouts keep one executor.
+    ///
+    /// Returns `None` when `bolts` does not have exactly one entry per
+    /// bolt. This is the single definition of the model-order ↔ topology
+    /// mapping shared by every CSP backend.
+    pub fn expand_bolt_allocation(&self, bolts: &[u32]) -> Option<Vec<u32>> {
+        if bolts.len() != self.bolts().count() {
+            return None;
+        }
+        let mut full = vec![1u32; self.operators.len()];
+        for (op, &k) in self.bolts().zip(bolts) {
+            full[op.id().index()] = k;
+        }
+        Some(full)
+    }
+
     /// Edges leaving `id`.
     pub fn downstream(&self, id: OperatorId) -> impl Iterator<Item = &EdgeSpec> {
         self.edges.iter().filter(move |e| e.from() == id)

@@ -3,17 +3,18 @@
 //! Runs the paper's ExpA shape: a tight latency target with an
 //! under-provisioned start; once re-balancing is enabled DRS adds a machine
 //! and grows the allocation until the target is met — then the reverse
-//! (ExpB): a loose target sheds the machine again.
+//! (ExpB): a loose target sheds the machine again. The closed loop is the
+//! backend-agnostic `DrsDriver` running over the discrete-event simulator.
 //!
 //! ```text
 //! cargo run --release --example autoscale
 //! ```
 
-use drs::apps::{SimHarness, VldProfile};
+use drs::apps::VldProfile;
 use drs::core::config::DrsConfig;
 use drs::core::controller::DrsController;
+use drs::core::driver::DrsDriver;
 use drs::core::negotiator::{MachinePool, MachinePoolConfig};
-use drs::sim::SimDuration;
 
 fn run(
     name: &str,
@@ -22,17 +23,11 @@ fn run(
     machines: u32,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let profile = VldProfile::paper();
-    let topology = profile.topology();
     let sim = profile.build_simulation(initial, 99);
     let pool = MachinePool::new(MachinePoolConfig::default(), machines)?;
     let mut drs = DrsController::new(DrsConfig::min_resources(t_max), initial.to_vec(), pool)?;
     drs.set_active(false);
-    let mut harness = SimHarness::new(
-        sim,
-        drs,
-        profile.bolt_ids(&topology).to_vec(),
-        SimDuration::from_secs(60),
-    );
+    let mut driver = DrsDriver::new(sim, drs, 60.0)?;
 
     println!(
         "\n{name}: Tmax = {:.0} ms, initial ({}) on {machines} machines",
@@ -40,20 +35,20 @@ fn run(
         initial.map(|k| k.to_string()).join(":")
     );
     println!("minute | sojourn (ms) | executors | machines | note");
-    harness.run_windows(4);
-    harness.controller_mut().set_active(true);
-    harness.run_windows(8);
+    driver.run_windows(4);
+    driver.controller_mut().set_active(true);
+    driver.run_windows(8);
     // The pool only changes at rebalances, so the final pool state labels
     // every post-rebalance window correctly for this short demo.
-    let machines_now = harness.controller().pool().active_machines();
-    for p in harness.timeline() {
+    let machines_now = driver.controller().pool().active_machines();
+    for p in driver.timeline() {
         println!(
             "{:>6} | {:>12} | {:>9} | {:>8} | {}",
             p.window + 1,
             p.mean_sojourn_ms
                 .map_or("-".to_owned(), |v| format!("{v:.0}")),
             p.allocation.iter().sum::<u32>(),
-            if p.rebalanced || p.window as usize + 1 == harness.timeline().len() {
+            if p.rebalanced || p.window as usize + 1 == driver.timeline().len() {
                 machines_now.to_string()
             } else {
                 String::from("·")
@@ -63,12 +58,12 @@ fn run(
     }
     println!(
         "final: {} executors on {} machines",
-        harness
+        driver
             .timeline()
             .last()
             .map(|p| p.allocation.iter().sum::<u32>())
             .unwrap_or(0),
-        harness.controller().pool().active_machines()
+        driver.controller().pool().active_machines()
     );
     Ok(())
 }

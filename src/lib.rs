@@ -5,18 +5,50 @@
 //!
 //! | Crate | Re-exported as | Contents |
 //! |---|---|---|
-//! | `drs-core` | [`core`] | the DRS scheduler: performance model (Eq. 1–3), Algorithm 1, Program 6, measurer, decision gate, negotiator, controller |
+//! | `drs-core` | [`core`] | the DRS scheduler: performance model (Eq. 1–3), Algorithm 1, Program 6, measurer, decision gate, negotiator, controller, and the backend-agnostic `DrsDriver` control plane |
 //! | `drs-queueing` | [`queueing`] | Erlang `M/M/k`, Jackson networks, traffic equations with loops, distributions |
 //! | `drs-topology` | [`topology`] | operator networks: spouts, bolts, gains, groupings, validation |
 //! | `drs-sim` | [`sim`] | deterministic discrete-event CSP-layer simulator with tuple-tree acking |
 //! | `drs-runtime` | [`runtime`] | threaded mini-Storm: executor threads, channels, live metrics, re-balancing |
-//! | `drs-apps` | [`apps`] | VLD, FPD (real maximal-frequent-pattern miner), synthetic chain, DRS-on-simulator harness |
+//! | `drs-apps` | [`apps`] | VLD, FPD (real maximal-frequent-pattern miner), synthetic chain workloads |
 //!
 //! See the repository `examples/` for runnable walkthroughs and
 //! `crates/bench` for the harness regenerating every figure and table of
 //! the paper.
 //!
-//! # Quick start
+//! # Quick start: a closed loop in five lines
+//!
+//! DRS talks to any stream-processing engine through the narrow
+//! [`core::driver::CspBackend`] interface (paper §III, Fig. 2); the
+//! [`core::driver::DrsDriver`] owns the measure → model → schedule →
+//! decide → actuate cycle. Both the deterministic simulator and the
+//! threaded runtime implement the backend trait, so the same loop drives
+//! either. Here it supervises the paper's video-logo-detection pipeline in
+//! simulation, starting from a deliberately bad allocation:
+//!
+//! ```
+//! use drs::apps::VldProfile;
+//! use drs::core::config::DrsConfig;
+//! use drs::core::controller::DrsController;
+//! use drs::core::driver::DrsDriver;
+//! use drs::core::negotiator::{MachinePool, MachinePoolConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sim = VldProfile::paper().build_simulation([8, 12, 2], 42);
+//! let pool = MachinePool::new(MachinePoolConfig::default(), 5)?;
+//! let drs = DrsController::new(DrsConfig::min_latency(22), vec![8, 12, 2], pool)?;
+//! let mut driver = DrsDriver::new(sim, drs, 60.0)?; // 60 s windows
+//! driver.run_windows(6);
+//! // DRS has re-balanced the pipeline to the paper's optimum (10:11:1).
+//! assert!(driver.timeline().iter().any(|p| p.rebalanced));
+//! assert_eq!(driver.backend().allocation()[1..], [10, 11, 1]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To autoscale a *live* engine instead, hand the driver a
+//! [`runtime::RuntimeEngine`] — see the `live_runtime` example. The pure
+//! model/scheduler layer remains available for one-shot questions:
 //!
 //! ```
 //! use drs::core::model::{ModelInputs, OperatorRates, PerformanceModel};

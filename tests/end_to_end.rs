@@ -1,9 +1,10 @@
 //! Cross-crate integration: the full DRS stack (measurer → model →
 //! scheduler → decision → negotiator) driving the discrete-event simulator.
 
-use drs::apps::{SimHarness, VldProfile};
+use drs::apps::VldProfile;
 use drs::core::config::DrsConfig;
 use drs::core::controller::{ControlAction, DrsController};
+use drs::core::driver::DrsDriver;
 use drs::core::measurer::RawSample;
 use drs::core::model::OperatorRates;
 use drs::core::negotiator::{MachinePool, MachinePoolConfig};
@@ -99,28 +100,22 @@ fn closed_loop_converges_and_stays_stable() {
     // Full loop on the simulator: from a bad start, DRS converges to the
     // optimum and then stops touching the system (no oscillation).
     let profile = VldProfile::paper();
-    let topo = profile.topology();
     let sim = profile.build_simulation([12, 9, 1], 77);
     let mut drs = DrsController::new(DrsConfig::min_latency(22), vec![12, 9, 1], pool(5)).unwrap();
     drs.set_active(true);
-    let mut harness = SimHarness::new(
-        sim,
-        drs,
-        profile.bolt_ids(&topo).to_vec(),
-        SimDuration::from_secs(60),
-    );
-    harness.run_windows(12);
-    let rebalance_count = harness.timeline().iter().filter(|p| p.rebalanced).count();
+    let mut driver = DrsDriver::new(sim, drs, 60.0).unwrap();
+    driver.run_windows(12);
+    let rebalance_count = driver.timeline().iter().filter(|p| p.rebalanced).count();
     assert!(
         (1..=3).contains(&rebalance_count),
         "expected 1-3 rebalances, got {rebalance_count}"
     );
     assert_eq!(
-        harness.timeline().last().unwrap().allocation,
+        driver.timeline().last().unwrap().allocation,
         vec![10, 11, 1]
     );
     // No rebalances in the last five windows (converged).
-    assert!(harness.timeline()[7..].iter().all(|p| !p.rebalanced));
+    assert!(driver.timeline()[7..].iter().all(|p| !p.rebalanced));
 }
 
 #[test]
@@ -173,29 +168,24 @@ fn workload_drift_triggers_rescheduling() {
     let sift = topo.operator_by_name("sift-extractor").unwrap().id();
     let sim = profile.build_simulation([10, 11, 1], 13);
     let drs = DrsController::new(DrsConfig::min_latency(22), vec![10, 11, 1], pool(5)).unwrap();
-    let mut harness = SimHarness::new(
-        sim,
-        drs,
-        profile.bolt_ids(&topo).to_vec(),
-        SimDuration::from_secs(60),
-    );
+    let mut driver = DrsDriver::new(sim, drs, 60.0).unwrap();
 
     // At the calibrated optimum: no action expected.
-    harness.run_windows(4);
-    assert!(harness.timeline().iter().all(|p| !p.rebalanced));
+    driver.run_windows(4);
+    assert!(driver.timeline().iter().all(|p| !p.rebalanced));
 
     // Feature-rich frames slow the extractor by ~33% (0.5615 s -> 0.75 s
     // per frame): its offered load jumps from 7.3 to 9.75, making the
     // 10-executor share a near-critical bottleneck.
-    harness
-        .simulator_mut()
+    driver
+        .backend_mut()
         .set_bolt_service(
             sift,
             Distribution::log_normal_with_mean_cv2(0.75, 1.0).unwrap(),
         )
         .unwrap();
-    harness.run_windows(8);
-    let post = harness.timeline().last().unwrap();
+    driver.run_windows(8);
+    let post = driver.timeline().last().unwrap();
     // The extractor must have gained processors relative to the optimum.
     assert!(
         post.allocation[0] > 10,

@@ -1,7 +1,11 @@
 //! Integration of DRS with the live threaded runtime: real threads, real
 //! queues, real measurements feeding the model.
 
+use drs::core::config::DrsConfig;
+use drs::core::controller::DrsController;
+use drs::core::driver::{CspBackend, DrsDriver};
 use drs::core::model::{ModelInputs, OperatorRates, PerformanceModel};
+use drs::core::negotiator::{MachinePool, MachinePoolConfig};
 use drs::core::scheduler::assign_processors;
 use drs::queueing::erlang::MmKQueue;
 use drs::runtime::operator::{Bolt, Collector, Spout, SpoutEmission};
@@ -175,6 +179,128 @@ fn scheduler_fixes_live_bottleneck() {
         balanced < naive,
         "DRS allocation ({balanced}s) should beat naive 3:3 ({naive}s)"
     );
+}
+
+/// Deterministic-interval spout: one tuple every `gap`, forever (until the
+/// engine stops it).
+struct MetronomeSpout {
+    gap: Duration,
+}
+
+impl Spout for MetronomeSpout {
+    fn next(&mut self) -> Option<SpoutEmission> {
+        Some(SpoutEmission {
+            tuple: Tuple::of(0i64),
+            wait: self.gap,
+        })
+    }
+}
+
+/// Sleeps `busy` per tuple, forwarding when asked.
+struct SleepBolt {
+    busy: Duration,
+    forward: bool,
+}
+
+impl Bolt for SleepBolt {
+    fn execute(&mut self, tuple: &Tuple, collector: &mut dyn Collector) {
+        if !self.busy.is_zero() {
+            std::thread::sleep(self.busy);
+        }
+        if self.forward {
+            collector.emit(tuple.clone());
+        }
+    }
+}
+
+#[test]
+fn closed_loop_driver_autoscales_the_live_runtime() {
+    // End to end over real threads: λ = 500/s against a single 4 ms-sleep
+    // executor (µ ≈ 250/s, offered load ≈ 2) — unstable until DRS scales
+    // the work stage out. The driver must detect it from live metrics,
+    // rebalance, and the allocation must then hold steady while the
+    // measured sojourn falls back to service-time scale.
+    let mut b = TopologyBuilder::new();
+    let src = b.spout("src");
+    let work = b.bolt("work");
+    let sink = b.bolt("sink");
+    b.edge(src, work).unwrap();
+    b.edge(work, sink).unwrap();
+    let topo = b.build().unwrap();
+    let engine = drs::runtime::RuntimeBuilder::new(topo)
+        .spout(
+            src,
+            Box::new(MetronomeSpout {
+                gap: Duration::from_micros(2_000),
+            }),
+        )
+        .bolt(work, || SleepBolt {
+            busy: Duration::from_millis(4),
+            forward: true,
+        })
+        .bolt(sink, || SleepBolt {
+            busy: Duration::ZERO,
+            forward: false,
+        })
+        .allocation(vec![1, 1, 1])
+        .start()
+        .unwrap();
+
+    let mut config = DrsConfig::min_latency(6);
+    config.warmup_windows = 1;
+    let pool = MachinePool::new(MachinePoolConfig::default(), 2).unwrap();
+    let drs = DrsController::new(config, vec![1, 1], pool).unwrap();
+    let mut driver = DrsDriver::new(engine, drs, 0.4).unwrap();
+    driver.run_windows(10);
+
+    let timeline = driver.timeline();
+    assert!(
+        timeline.iter().all(|p| p.backend_error.is_none()),
+        "live rebalances must apply cleanly: {timeline:?}"
+    );
+    let rebalanced_at = timeline
+        .iter()
+        .find(|p| p.rebalanced)
+        .expect("the overloaded stage must trigger a rebalance")
+        .window as usize;
+
+    // The work stage got enough executors for stability (offered load ≈ 2
+    // means at least 3) and the backend really runs them.
+    let last = timeline.last().unwrap();
+    assert!(
+        last.allocation[0] >= 3,
+        "work stage should scale out, got {:?}",
+        last.allocation
+    );
+    assert_eq!(last.allocation, driver.backend().current_allocation());
+
+    // Convergence: the allocation holds over the final windows. (Two
+    // windows, not more: the rates come from real sleeps, and a loaded
+    // runner can wobble a mid-tail measurement.)
+    let tail = &timeline[timeline.len() - 2..];
+    assert!(
+        tail.iter().all(|p| p.allocation == last.allocation),
+        "allocation should stabilize: {timeline:?}"
+    );
+    assert!(!tail.iter().any(|p| p.rebalanced));
+
+    // And the rebalance actually helped: the backlog-inflated sojourn
+    // before the action dwarfs the drained steady state after it.
+    let peak_before = timeline[..=rebalanced_at]
+        .iter()
+        .filter_map(|p| p.mean_sojourn_ms)
+        .fold(0.0f64, f64::max);
+    let steady_after = tail
+        .iter()
+        .filter_map(|p| p.mean_sojourn_ms)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        steady_after < peak_before,
+        "sojourn should drop after rebalance: {steady_after} ms vs peak {peak_before} ms"
+    );
+
+    let (engine, _drs) = driver.into_parts();
+    engine.shutdown(Duration::from_secs(1));
 }
 
 #[test]
