@@ -17,20 +17,18 @@
 //!
 //! The closed loop itself lives in `drs_core::driver`: a `DrsDriver`
 //! supervises any `CspBackend` (simulator or threaded runtime)
-//! window-by-window, producing the timelines of Figs. 9–10. The deprecated
-//! [`harness`] module is the old simulator-only loop, retained as the
-//! golden oracle for the driver-parity test.
+//! window-by-window, producing the timelines of Figs. 9–10. (The original
+//! simulator-only `SimHarness` loop was retired once the driver-parity
+//! golden test had soaked; `crates/apps/tests/driver_closed_loop.rs` keeps
+//! the determinism and convergence guarantees it used to anchor.)
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod fpd;
-pub mod harness;
 pub mod synthetic;
 pub mod vld;
 
 pub use fpd::FpdProfile;
-#[allow(deprecated)]
-pub use harness::{SimHarness, TimelinePoint};
 pub use synthetic::SyntheticChain;
 pub use vld::VldProfile;

@@ -5,6 +5,7 @@
 //! ```text
 //! repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]
 //! repro drive [--backend sim|runtime|both] [--quick]
+//! repro fleet [--smoke] [--seed N]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
 //! ```
 //!
@@ -12,13 +13,14 @@
 //! the paper's horizons (10-minute measurements, 27-minute timelines).
 
 use drs_bench::sweep::{run_sweep, App};
-use drs_bench::{ablation, drive, fig10, fig8, fig9, perf, perfdiff, surge, table2};
+use drs_bench::{ablation, drive, fig10, fig8, fig9, fleet, perf, perfdiff, surge, table2};
 use std::env;
 use std::process::ExitCode;
 
 #[derive(Debug, Clone)]
 struct Options {
     quick: bool,
+    smoke: bool,
     seed: u64,
     backend: String,
     tolerance: f64,
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     let mut target_set = false;
     let mut options = Options {
         quick: false,
+        smoke: false,
         seed: 2015, // the paper's year, for determinism
         backend: String::from("both"),
         tolerance: 0.15,
@@ -39,6 +42,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => options.quick = true,
+            "--smoke" => options.smoke = true,
             "--seed" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--seed requires an integer");
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
                     "usage: repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]"
                 );
                 println!("       repro drive [--backend sim|runtime|both] [--quick]");
+                println!("       repro fleet [--smoke] [--seed N]");
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
                 println!(
                     "  perf also writes machine-readable BENCH_PERF.json to the current directory"
@@ -97,6 +102,7 @@ fn main() -> ExitCode {
         "surge" => run_surge(&options),
         "perf" => run_perf(&options),
         "drive" => return run_drive(&options),
+        "fleet" => run_fleet(&options),
         "perfdiff" => return run_perfdiff(&options),
         "all" => {
             fig6_and_7(&options, true, true);
@@ -137,6 +143,19 @@ fn run_drive(options: &Options) -> ExitCode {
     let runs = drive::run_drive(backend, config);
     print!("{}", drive::render_drive(&config, &runs));
     ExitCode::SUCCESS
+}
+
+fn run_fleet(options: &Options) {
+    let config = if options.smoke || options.quick {
+        fleet::FleetBenchConfig::smoke(options.seed)
+    } else {
+        fleet::FleetBenchConfig {
+            seed: options.seed,
+            ..Default::default()
+        }
+    };
+    let run = fleet::run_fleet(&config);
+    print!("{}", fleet::render_fleet(&config, &run));
 }
 
 fn run_perfdiff(options: &Options) -> ExitCode {

@@ -18,6 +18,8 @@
 //!   snapshots;
 //! * [`drive`] — the same `DrsDriver` config run against the simulator and
 //!   the live runtime, timelines side by side;
+//! * [`fleet`] — a four-topology VLD+FPD fleet sharing one contended
+//!   processor budget through the sharded fleet simulator;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -37,6 +39,7 @@ pub mod drive;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod perf;
 pub mod perfdiff;
 pub mod report;

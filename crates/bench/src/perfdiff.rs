@@ -260,4 +260,109 @@ mod tests {
         assert!(parse_metrics("{\"unrelated\": true}").is_err());
         assert!(diff(&snapshot(1.0, 1.0), "{}").is_err());
     }
+
+    #[test]
+    fn direction_awareness_is_per_metric() {
+        // heap_us *down* and throughput *down* move the same way
+        // numerically, but only the throughput drop is a regression.
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(1.0, 500.0)).unwrap();
+        let heap = deltas.iter().find(|d| d.name.contains("heap_us")).unwrap();
+        let tps = deltas
+            .iter()
+            .find(|d| d.name.contains("trees_per_wall_sec"))
+            .unwrap();
+        assert!(heap.regression() < 0.0, "lower heap_us is an improvement");
+        assert!(tps.regression() > 0.0, "lower throughput is a regression");
+        let (_, offenders) = report(&deltas, 0.15);
+        assert!(offenders.iter().all(|m| !m.name.contains("heap_us")));
+        assert!(offenders
+            .iter()
+            .any(|m| m.name.contains("trees_per_wall_sec")));
+    }
+
+    #[test]
+    fn regression_exactly_at_tolerance_passes() {
+        // The gate is strict-greater: a 15.000% regression at 15% tolerance
+        // must NOT fail the build (noise lands on the boundary).
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.0, 850.0)).unwrap();
+        let tps = deltas
+            .iter()
+            .find(|d| d.name.contains("trees_per_wall_sec"))
+            .unwrap();
+        assert!((tps.regression() - 0.15).abs() < 1e-12);
+        let (_, offenders) = report(&deltas, 0.15);
+        assert!(offenders.is_empty());
+        // One ulp beyond the boundary fails.
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.0, 849.0)).unwrap();
+        let (_, offenders) = report(&deltas, 0.15);
+        assert_eq!(offenders.len(), 1);
+    }
+
+    #[test]
+    fn zero_tolerance_flags_any_regression() {
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.0001, 999.0)).unwrap();
+        let (_, offenders) = report(&deltas, 0.0);
+        assert!(offenders.len() >= 2, "heap_us and throughput both slipped");
+    }
+
+    #[test]
+    fn zero_or_negative_baseline_never_divides_by_zero() {
+        let d = MetricDelta {
+            name: "synthetic".to_owned(),
+            baseline: 0.0,
+            current: 5.0,
+            higher_is_better: false,
+        };
+        assert_eq!(d.regression(), 0.0);
+        let deltas = [d];
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(offenders.is_empty());
+        assert!(rendered.contains("synthetic"));
+    }
+
+    #[test]
+    fn missing_metric_in_current_is_reported_by_name() {
+        // Current snapshot parses but lacks the scheduling rows the
+        // baseline gates on.
+        let current = perf_json(&PerfReport {
+            scheduling: vec![],
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: 1000.0,
+            }],
+        });
+        let err = diff(&snapshot(2.0, 1000.0), &current).unwrap_err();
+        assert!(
+            err.to_string().contains("scheduling[k_max=48].heap_us"),
+            "error must name the missing metric: {err}"
+        );
+    }
+
+    #[test]
+    fn malformed_and_empty_baselines_are_errors_not_panics() {
+        for junk in ["", "not json at all", "{\"k_max\": }", "[1, 2, 3]"] {
+            let err = parse_metrics(junk).unwrap_err();
+            assert!(err.to_string().contains("perfdiff"), "{junk:?} -> {err}");
+            assert!(
+                diff(junk, &snapshot(1.0, 1.0)).is_err(),
+                "baseline {junk:?}"
+            );
+            assert!(diff(&snapshot(1.0, 1.0), junk).is_err(), "current {junk:?}");
+        }
+    }
+
+    #[test]
+    fn improvement_label_requires_beating_tolerance() {
+        // A 10% gain at 15% tolerance is "ok", not "improved": the label
+        // only fires outside the noise band, mirroring the regression side.
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.0, 1100.0)).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(offenders.is_empty());
+        assert!(!rendered.contains("improved"), "{rendered}");
+        let deltas = diff(&snapshot(2.0, 1000.0), &snapshot(2.0, 1300.0)).unwrap();
+        let (rendered, _) = report(&deltas, 0.15);
+        assert!(rendered.contains("improved"), "{rendered}");
+    }
 }

@@ -16,6 +16,19 @@
 //! * `drs-runtime`'s `RuntimeEngine` — the threaded mini-Storm, giving the
 //!   live runtime a closed-loop autoscaling path.
 //!
+//! This driver supersedes the retired `drs_apps::SimHarness`, which
+//! hard-wired the identical loop to the simulator: every measurement
+//! window it pulled the simulator's metrics, fed them to
+//! `DrsController::on_window`, and executed any re-balance action against
+//! the simulator — charging the pause cost the action carries — recording
+//! one timeline point per window. Operators that record no service
+//! activity in a window reuse the last known rates (brief starvation under
+//! a rebalance pause must not zero the model); that fallback now lives in
+//! [`SampleBuilder`] so every backend gets it. The harness's timeline was
+//! proven bit-identical to the driver's on the Fig. 9 configuration before
+//! its removal; `crates/apps/tests/driver_closed_loop.rs` keeps the
+//! determinism and convergence guarantees anchored.
+//!
 //! # Implementing `CspBackend`
 //!
 //! A backend exposes the topology's *model operators* — the bolts, in a

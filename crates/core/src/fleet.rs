@@ -1,0 +1,1220 @@
+//! Fleet-scale DRS: one processor budget shared by many topologies.
+//!
+//! The paper's controller supervises a *single* streaming application, but a
+//! production cluster runs many topologies competing for one machine pool
+//! (the scenario R-Storm's resource-aware scheduling targets). This module
+//! lifts the DRS loop to that setting:
+//!
+//! * a [`FleetNegotiator`] owns the global processor budget `Kmax` and
+//!   arbitrates per-topology allocations. When the sum of per-topology
+//!   demands fits the budget every shard receives exactly its own
+//!   single-topology schedule; when it does not, the negotiator applies the
+//!   paper's max-marginal-benefit rule *across* topologies — the same lazy
+//!   benefit heap as [`crate::scheduler::assign_processors`], run at fleet
+//!   granularity over every `(shard, operator)` pair — and hands each shard
+//!   a capped plan. No shard is ever pushed below its minimum stable
+//!   allocation;
+//! * a [`FleetDriver`] runs one DRS measure→smooth→model→schedule loop per
+//!   shard (each shard is an independent [`CspBackend`] on its own clock)
+//!   but resolves contention centrally every window. Capacity freed by a
+//!   shard whose demand drops is re-offered to starved shards on the next
+//!   negotiation round.
+//!
+//! The `drs-sim` crate pairs this driver with a sharded multi-topology
+//! simulator (`drs_sim::fleet::FleetCoordinator`); `repro fleet` in
+//! `crates/bench` runs a four-topology mixed VLD+FPD fleet under a
+//! contended budget.
+//!
+//! # Example
+//!
+//! Two fixed-rate mock shards contending for a budget smaller than their
+//! combined demand:
+//!
+//! ```
+//! use drs_core::driver::{
+//!     AppliedRebalance, BackendError, CspBackend, OperatorSample, RebalancePlan, WindowSample,
+//! };
+//! use drs_core::fleet::{FleetDriver, FleetDriverConfig, FleetShardSpec};
+//!
+//! /// One operator at fixed measured rates; rebalances always succeed.
+//! struct StaticShard {
+//!     rate: f64,
+//!     allocation: Vec<u32>,
+//! }
+//!
+//! impl CspBackend for StaticShard {
+//!     fn backend_name(&self) -> &'static str {
+//!         "static"
+//!     }
+//!     fn operator_names(&self) -> Vec<String> {
+//!         vec!["work".to_owned()]
+//!     }
+//!     fn current_allocation(&self) -> Vec<u32> {
+//!         self.allocation.clone()
+//!     }
+//!     fn advance(&mut self, _window_secs: f64) -> WindowSample {
+//!         WindowSample {
+//!             external_rate: Some(self.rate),
+//!             operators: vec![OperatorSample {
+//!                 arrival_rate: Some(self.rate),
+//!                 service_rate: Some(10.0),
+//!             }],
+//!             mean_sojourn: Some(0.5),
+//!             std_sojourn: None,
+//!             completed: 100,
+//!         }
+//!     }
+//!     fn apply(&mut self, plan: &RebalancePlan) -> Result<AppliedRebalance, BackendError> {
+//!         self.allocation = plan.allocation.clone();
+//!         Ok(AppliedRebalance {
+//!             allocation: plan.allocation.clone(),
+//!             pause_secs: plan.pause_secs,
+//!         })
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let shard = |rate| StaticShard { rate, allocation: vec![4] };
+//! let mut config = FleetDriverConfig::new(12); // Kmax = 12 for the whole fleet
+//! config.warmup_windows = 1;
+//! let mut fleet = FleetDriver::new(
+//!     config,
+//!     vec![
+//!         FleetShardSpec::new("hot", 0.11, shard(60.0)),
+//!         FleetShardSpec::new("cold", 0.11, shard(30.0)),
+//!     ],
+//! )?;
+//! fleet.run_windows(4);
+//! let last = fleet.timeline().last().unwrap();
+//! // The budget is fully arbitrated: grants sum to at most Kmax…
+//! assert!(last.total_granted <= 12);
+//! // …and the hotter shard wins the larger share.
+//! assert!(last.shards[0].allocation[0] > last.shards[1].allocation[0]);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::driver::{CspBackend, RebalancePlan};
+use crate::measurer::{Measurer, SampleBuilder, Smoothing};
+use crate::model::PerformanceModel;
+use crate::scheduler::{self, Candidate, ScheduleError};
+use drs_queueing::incremental::NetworkSojourn;
+use drs_queueing::jackson::JacksonNetwork;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Total executors in an allocation (`u64` so fleet-wide sums cannot
+/// overflow).
+fn executor_total(allocation: &[u32]) -> u64 {
+    allocation.iter().map(|&k| u64::from(k)).sum()
+}
+
+/// One topology's resource demand, as submitted to the negotiator.
+#[derive(Debug, Clone)]
+pub struct ShardDemand {
+    /// The shard's fitted open network (model order).
+    pub network: JacksonNetwork,
+    /// The allocation the shard's own single-topology schedule asks for
+    /// (its Program 6 / Algorithm 1 answer, one entry per model operator).
+    pub desired: Vec<u32>,
+}
+
+/// What the negotiator granted one shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardGrant {
+    /// Executors per model operator the shard may run.
+    pub allocation: Vec<u32>,
+    /// Whether the grant falls short of the shard's desired total (the
+    /// budget was contended and this shard's plan was capped).
+    pub capped: bool,
+}
+
+impl ShardGrant {
+    /// Total executors granted.
+    pub fn total(&self) -> u64 {
+        executor_total(&self.allocation)
+    }
+}
+
+/// Error from fleet-level budget negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// Even the minimum stable allocations of all shards exceed the budget:
+    /// the fleet cannot be made stable at any split.
+    InsufficientBudget {
+        /// Processors required for every shard to stay stable.
+        required: u64,
+        /// Processors available.
+        available: u32,
+    },
+    /// A demand's `desired` vector does not match its network's operator
+    /// count (a wiring error).
+    DemandLength {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Operators the network models.
+        expected: usize,
+        /// Entries the desired allocation carries.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InsufficientBudget {
+                required,
+                available,
+            } => write!(
+                f,
+                "insufficient fleet budget: stability of all shards needs {required} \
+                 processors, only {available} available"
+            ),
+            FleetError::DemandLength {
+                shard,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shard {shard} demand has {actual} entries, its network models {expected} operators"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The fleet budget negotiator: owns `Kmax` and arbitrates competing
+/// per-topology demands (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetNegotiator {
+    k_max: u32,
+}
+
+impl FleetNegotiator {
+    /// Creates a negotiator owning a global budget of `k_max` processors.
+    pub fn new(k_max: u32) -> Self {
+        FleetNegotiator { k_max }
+    }
+
+    /// The global processor budget.
+    pub fn k_max(&self) -> u32 {
+        self.k_max
+    }
+
+    /// Arbitrates `demands` within the full budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetNegotiator::negotiate_within`].
+    pub fn negotiate(&self, demands: &[ShardDemand]) -> Result<Vec<ShardGrant>, FleetError> {
+        self.negotiate_within(self.k_max, demands)
+    }
+
+    /// Arbitrates `demands` within an explicitly reduced budget (used by
+    /// the driver when part of `Kmax` is reserved for shards that carry no
+    /// usable model yet).
+    ///
+    /// When the desired totals fit the budget every shard is granted
+    /// exactly its desired allocation — the fleet schedule *equals* the
+    /// single-topology schedules. Otherwise every shard starts from its
+    /// minimum stable allocation and the surplus is spent one processor at
+    /// a time on the `(shard, operator)` pair with the largest weighted
+    /// marginal benefit `δ = λ_i·(E[T_i](k) − E[T_i](k+1))` — comparable
+    /// across topologies because it is an absolute tuple-seconds-per-second
+    /// reduction — until the budget is exhausted. No shard ever receives
+    /// more than it asked for: once a shard reaches its desired total its
+    /// candidates retire, so surplus only flows to shards still short of
+    /// their own schedule. (One exception: stability always wins — a
+    /// `desired` below the network's minimum stable allocation is raised
+    /// to that minimum, since schedules produced by
+    /// [`scheduler::min_processors_for_target`] /
+    /// [`scheduler::assign_processors`] never sit below it.)
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetError::DemandLength`] — a desired vector does not match its
+    ///   network.
+    /// * [`FleetError::InsufficientBudget`] — the minimum stable
+    ///   allocations alone exceed `budget`.
+    pub fn negotiate_within(
+        &self,
+        budget: u32,
+        demands: &[ShardDemand],
+    ) -> Result<Vec<ShardGrant>, FleetError> {
+        for (i, d) in demands.iter().enumerate() {
+            if d.desired.len() != d.network.len() {
+                return Err(FleetError::DemandLength {
+                    shard: i,
+                    expected: d.network.len(),
+                    actual: d.desired.len(),
+                });
+            }
+        }
+        // Stability floor: a desired entry below the operator's minimum
+        // stable count is raised to it, in both branches.
+        let desired: Vec<Vec<u32>> = demands
+            .iter()
+            .map(|d| {
+                d.desired
+                    .iter()
+                    .zip(d.network.min_stable_allocation())
+                    .map(|(&want, floor)| want.max(floor))
+                    .collect()
+            })
+            .collect();
+        let desired_totals: Vec<u64> = desired.iter().map(|a| executor_total(a)).collect();
+        let total_desired: u64 = desired_totals.iter().sum();
+        if total_desired <= u64::from(budget) {
+            return Ok(desired
+                .into_iter()
+                .map(|allocation| ShardGrant {
+                    allocation,
+                    capped: false,
+                })
+                .collect());
+        }
+
+        // Contended: fleet-granularity Algorithm 1 from the minimum stable
+        // allocations, spending the whole budget — the scheduler's lazy
+        // benefit heap keyed by `(shard, op)`, plus per-shard demand caps:
+        // a shard at its desired total retires from the heap, so no
+        // processor lands where no target needs it while another shard is
+        // starved.
+        let mut states: Vec<NetworkSojourn> = demands
+            .iter()
+            .map(|d| NetworkSojourn::at_min_stable(&d.network))
+            .collect();
+        let mut totals: Vec<u64> = states
+            .iter()
+            .map(|s| executor_total(&s.allocation()))
+            .collect();
+        let required: u64 = totals.iter().sum();
+        if required > u64::from(budget) {
+            return Err(FleetError::InsufficientBudget {
+                required,
+                available: budget,
+            });
+        }
+        let mut heap: std::collections::BinaryHeap<Candidate<(usize, usize)>> = states
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, state)| {
+                (0..state.len()).map(move |op| Candidate {
+                    delta: state.weighted_marginal_benefit(op),
+                    key: (shard, op),
+                })
+            })
+            .collect();
+        let mut remaining = u64::from(budget) - required;
+        while remaining > 0 {
+            let Some(best) = heap.pop() else {
+                break; // every shard saturated its demand
+            };
+            let (shard, op) = best.key;
+            if totals[shard] >= desired_totals[shard] {
+                // Shard already has everything it asked for: retire its
+                // candidate so the surplus flows to still-short shards.
+                continue;
+            }
+            states[shard].increment(op);
+            totals[shard] += 1;
+            remaining -= 1;
+            heap.push(Candidate {
+                delta: states[shard].weighted_marginal_benefit(op),
+                key: (shard, op),
+            });
+        }
+        Ok(states
+            .iter()
+            .zip(&desired_totals)
+            .map(|(state, &desired)| {
+                let allocation = state.allocation();
+                let granted = executor_total(&allocation);
+                ShardGrant {
+                    allocation,
+                    capped: granted < desired,
+                }
+            })
+            .collect())
+    }
+}
+
+/// Configuration of a [`FleetDriver`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetDriverConfig {
+    /// The global processor budget shared by every shard.
+    pub k_max: u32,
+    /// Measurement window length in seconds (every shard advances by this
+    /// much each fleet step).
+    pub window_secs: f64,
+    /// Windows to observe before the first negotiation (estimates are
+    /// unreliable while queues fill).
+    pub warmup_windows: u64,
+    /// Smoothing applied to each shard's measurement streams.
+    pub smoothing: Smoothing,
+    /// Pause charged to a shard for each rebalance (seconds) — the fleet
+    /// re-assigns executors within a fixed machine pool, so the cheap
+    /// steady-state pause of the improved DRS re-balancing applies.
+    pub pause_secs: f64,
+}
+
+impl FleetDriverConfig {
+    /// A sensible fleet configuration for the given budget: 60 s windows,
+    /// 2 warmup windows, α = 0.5 smoothing, 0.5 s rebalance pause.
+    pub fn new(k_max: u32) -> Self {
+        FleetDriverConfig {
+            k_max,
+            window_secs: 60.0,
+            warmup_windows: 2,
+            smoothing: Smoothing::Alpha { alpha: 0.5 },
+            pause_secs: 0.5,
+        }
+    }
+}
+
+/// One shard handed to [`FleetDriver::new`]: a named backend plus its
+/// latency target.
+#[derive(Debug)]
+pub struct FleetShardSpec<B> {
+    /// Shard name (shown in timelines; should be unique).
+    pub name: String,
+    /// The shard's real-time constraint `Tmax` in seconds: each window the
+    /// shard demands its Program 6 answer
+    /// ([`scheduler::min_processors_for_target`]) for this target.
+    pub t_max_secs: f64,
+    /// The shard's CSP backend.
+    pub backend: B,
+}
+
+impl<B> FleetShardSpec<B> {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, t_max_secs: f64, backend: B) -> Self {
+        FleetShardSpec {
+            name: name.into(),
+            t_max_secs,
+            backend,
+        }
+    }
+}
+
+/// Error from [`FleetDriver::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetDriverError {
+    /// No shards were supplied.
+    NoShards,
+    /// The window length is not a positive finite number of seconds.
+    InvalidWindow(f64),
+    /// A shard's latency target is not positive and finite.
+    InvalidTarget {
+        /// The shard's name.
+        shard: String,
+        /// The offending target.
+        t_max_secs: f64,
+    },
+    /// The smoothing configuration is invalid.
+    Smoothing(crate::measurer::InvalidSmoothing),
+    /// A shard's backend exposes no model operators.
+    NoOperators {
+        /// The shard's name.
+        shard: String,
+    },
+}
+
+impl fmt::Display for FleetDriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetDriverError::NoShards => write!(f, "a fleet needs at least one shard"),
+            FleetDriverError::InvalidWindow(w) => {
+                write!(f, "window length must be positive and finite, got {w}")
+            }
+            FleetDriverError::InvalidTarget { shard, t_max_secs } => write!(
+                f,
+                "shard {shard}: latency target must be positive and finite, got {t_max_secs}"
+            ),
+            FleetDriverError::Smoothing(e) => write!(f, "{e}"),
+            FleetDriverError::NoOperators { shard } => {
+                write!(f, "shard {shard}: backend exposes no model operators")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetDriverError {}
+
+/// One shard's slice of a [`FleetWindow`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardPoint {
+    /// Measured mean complete sojourn time in milliseconds, when any tuple
+    /// finished in the window.
+    pub mean_sojourn_ms: Option<f64>,
+    /// Tuples the shard fully processed during the window.
+    pub completed: u64,
+    /// The shard's model-operator allocation at the end of the window. A
+    /// rebalance applied this window counts from this window (the same
+    /// convention as `DrsDriver`'s timeline), even while the backend is
+    /// still charging the rebalance pause.
+    pub allocation: Vec<u32>,
+    /// Total executors the shard's own single-topology schedule demanded
+    /// this window (`None` during warmup or while the shard has no usable
+    /// model).
+    pub demand: Option<u64>,
+    /// Whether the negotiator capped this shard below its demand.
+    pub capped: bool,
+    /// Whether a rebalance was applied to this shard during the window.
+    pub rebalanced: bool,
+    /// Shard-level error this window (model fit, scheduling or a backend
+    /// refusal), if any.
+    pub error: Option<String>,
+}
+
+impl ShardPoint {
+    /// Total executors the shard runs at the end of the window.
+    pub fn granted(&self) -> u64 {
+        executor_total(&self.allocation)
+    }
+}
+
+/// One fleet measurement window: every shard advanced once, one central
+/// negotiation round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetWindow {
+    /// Window index (0-based).
+    pub window: u64,
+    /// Whether demand exceeded the budget this window (some plan was
+    /// capped).
+    pub contended: bool,
+    /// Total executors in force across the fleet at the end of the window.
+    pub total_granted: u64,
+    /// Per-shard records, in shard index order (independent of the order
+    /// shards were advanced in).
+    pub shards: Vec<ShardPoint>,
+    /// Fleet-level negotiation error, if the round could not be arbitrated
+    /// (every shard keeps its previous allocation).
+    pub error: Option<String>,
+}
+
+/// Per-shard loop state owned by the driver.
+#[derive(Debug)]
+struct ShardState<B> {
+    name: String,
+    t_max_secs: f64,
+    backend: B,
+    samples: SampleBuilder,
+    measurer: Measurer,
+}
+
+/// The fleet control loop: one DRS loop per shard, contention resolved
+/// centrally each window by a [`FleetNegotiator`].
+///
+/// See the [module docs](self) for the scheme and a runnable example.
+#[derive(Debug)]
+pub struct FleetDriver<B: CspBackend> {
+    shards: Vec<ShardState<B>>,
+    negotiator: FleetNegotiator,
+    config: FleetDriverConfig,
+    timeline: Vec<FleetWindow>,
+}
+
+impl<B: CspBackend> FleetDriver<B> {
+    /// Creates a fleet driver over `shards`.
+    ///
+    /// # Errors
+    ///
+    /// * [`FleetDriverError::NoShards`] — empty shard list.
+    /// * [`FleetDriverError::InvalidWindow`] /
+    ///   [`FleetDriverError::InvalidTarget`] — non-positive or non-finite
+    ///   window length or latency target.
+    /// * [`FleetDriverError::NoOperators`] — a backend exposes no bolts.
+    /// * [`FleetDriverError::Smoothing`] — invalid smoothing parameters.
+    pub fn new(
+        config: FleetDriverConfig,
+        shards: Vec<FleetShardSpec<B>>,
+    ) -> Result<Self, FleetDriverError> {
+        if shards.is_empty() {
+            return Err(FleetDriverError::NoShards);
+        }
+        if !config.window_secs.is_finite() || config.window_secs <= 0.0 {
+            return Err(FleetDriverError::InvalidWindow(config.window_secs));
+        }
+        let mut states = Vec::with_capacity(shards.len());
+        for spec in shards {
+            if !spec.t_max_secs.is_finite() || spec.t_max_secs <= 0.0 {
+                return Err(FleetDriverError::InvalidTarget {
+                    shard: spec.name,
+                    t_max_secs: spec.t_max_secs,
+                });
+            }
+            let n_ops = spec.backend.operator_names().len();
+            if n_ops == 0 {
+                return Err(FleetDriverError::NoOperators { shard: spec.name });
+            }
+            let measurer =
+                Measurer::new(n_ops, config.smoothing).map_err(FleetDriverError::Smoothing)?;
+            states.push(ShardState {
+                name: spec.name,
+                t_max_secs: spec.t_max_secs,
+                backend: spec.backend,
+                samples: SampleBuilder::new(),
+                measurer,
+            });
+        }
+        Ok(FleetDriver {
+            shards: states,
+            negotiator: FleetNegotiator::new(config.k_max),
+            config,
+            timeline: Vec::new(),
+        })
+    }
+
+    /// The fleet timeline recorded so far.
+    pub fn timeline(&self) -> &[FleetWindow] {
+        &self.timeline
+    }
+
+    /// The negotiator (budget introspection).
+    pub fn negotiator(&self) -> &FleetNegotiator {
+        &self.negotiator
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetDriverConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard names, in shard index order.
+    pub fn shard_names(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Shard `i`'s backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn backend(&self, i: usize) -> &B {
+        &self.shards[i].backend
+    }
+
+    /// Mutable access to shard `i`'s backend (e.g. to inject workload
+    /// drift mid-run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn backend_mut(&mut self, i: usize) -> &mut B {
+        &mut self.shards[i].backend
+    }
+
+    /// Runs `windows` fleet windows (shards advanced in index order),
+    /// returning the new timeline entries.
+    pub fn run_windows(&mut self, windows: u64) -> &[FleetWindow] {
+        let first_new = self.timeline.len();
+        for _ in 0..windows {
+            self.step();
+        }
+        &self.timeline[first_new..]
+    }
+
+    /// Runs one fleet window, advancing shards in index order.
+    pub fn step(&mut self) -> &FleetWindow {
+        let order: Vec<usize> = (0..self.shards.len()).collect();
+        self.step_with_order(&order)
+    }
+
+    /// Runs one fleet window, advancing the shard backends in the given
+    /// order. Because every shard runs on its own isolated clock, the
+    /// interleaving must not affect any shard's measurements — the
+    /// determinism tests lock this in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..shard_count()`.
+    pub fn step_with_order(&mut self, order: &[usize]) -> &FleetWindow {
+        let n = self.shards.len();
+        let mut seen = vec![false; n];
+        assert_eq!(order.len(), n, "order must cover every shard exactly once");
+        for &i in order {
+            assert!(
+                i < n && !seen[i],
+                "order must be a permutation of 0..{n}, got {order:?}"
+            );
+            seen[i] = true;
+        }
+
+        // 1. Advance every shard one window, in the caller's order.
+        let mut samples: Vec<Option<crate::driver::WindowSample>> = vec![None; n];
+        for &i in order {
+            samples[i] = Some(self.shards[i].backend.advance(self.config.window_secs));
+        }
+        let samples: Vec<crate::driver::WindowSample> = samples
+            .into_iter()
+            .map(|s| s.expect("every shard advanced"))
+            .collect();
+
+        // 2. Feed the measurers (shard index order; each stream is
+        //    per-shard, so this is order-independent too).
+        for (shard, sample) in self.shards.iter_mut().zip(&samples) {
+            if let Some(raw) = shard.samples.build(sample) {
+                shard.measurer.observe(&raw);
+            }
+        }
+
+        let window = self.timeline.len() as u64;
+        let mut errors: Vec<Option<String>> = vec![None; n];
+        let mut demands_by_shard: Vec<Option<ShardDemand>> = vec![None; n];
+        let mut grants: Vec<Option<ShardGrant>> = vec![None; n];
+        let mut rebalanced = vec![false; n];
+        let mut applied_allocations: Vec<Option<Vec<u32>>> = vec![None; n];
+        let mut fleet_error = None;
+        let mut contended = false;
+        // Negotiation-time record: `capped` describes what the negotiator
+        // decided, so it must survive a grant later being discarded by a
+        // backend refusal or a deferred grow.
+        let mut capped = vec![false; n];
+
+        if window >= self.config.warmup_windows {
+            // 3. Each shard computes its own single-topology demand.
+            for (i, shard) in self.shards.iter().enumerate() {
+                let Some(estimates) = shard.measurer.estimates() else {
+                    continue;
+                };
+                match PerformanceModel::new(&estimates.to_model_inputs()) {
+                    Ok(model) => match shard_demand(&model, shard.t_max_secs, self.config.k_max) {
+                        Ok(desired) => {
+                            demands_by_shard[i] = Some(ShardDemand {
+                                network: model.network().clone(),
+                                desired,
+                            });
+                        }
+                        Err(e) => errors[i] = Some(e.to_string()),
+                    },
+                    Err(e) => errors[i] = Some(e.to_string()),
+                }
+            }
+
+            // 4. Central arbitration. Shards without a usable model keep
+            //    their current allocation; their executors are reserved out
+            //    of the budget before the others negotiate.
+            let modeled: Vec<usize> = (0..n).filter(|&i| demands_by_shard[i].is_some()).collect();
+            if !modeled.is_empty() {
+                let reserved: u64 = (0..n)
+                    .filter(|i| demands_by_shard[*i].is_none())
+                    .map(|i| executor_total(&self.shards[i].backend.current_allocation()))
+                    .sum();
+                let budget = u32::try_from(u64::from(self.config.k_max).saturating_sub(reserved))
+                    .expect("reserved budget is clamped below k_max, which fits in u32");
+                let demands: Vec<ShardDemand> = modeled
+                    .iter()
+                    .map(|&i| demands_by_shard[i].clone().expect("modeled shard"))
+                    .collect();
+                match self.negotiator.negotiate_within(budget, &demands) {
+                    Ok(granted) => {
+                        contended = granted.iter().any(|g| g.capped);
+                        for (&i, grant) in modeled.iter().zip(granted) {
+                            capped[i] = grant.capped;
+                            grants[i] = Some(grant);
+                        }
+                    }
+                    Err(e) => fleet_error = Some(e.to_string()),
+                }
+            }
+
+            // 5. Actuate: rebalance every shard whose grant differs from
+            //    what it currently runs — shrinks before grows, and every
+            //    grow is re-checked against the *realized* fleet total
+            //    first, so a refused shrink (e.g. a shard still mid-pause)
+            //    can never combine with a successful grow to push the
+            //    fleet over `Kmax` against a real pool.
+            let current_totals: Vec<u64> = self
+                .shards
+                .iter()
+                .map(|s| executor_total(&s.backend.current_allocation()))
+                .collect();
+            let mut fleet_total: u64 = current_totals.iter().sum();
+            // Distinct from the caller's `order` (the measurement
+            // interleaving): actuation always shrinks first.
+            let mut actuation_order: Vec<usize> = (0..n).collect();
+            actuation_order.sort_by_key(|&i| {
+                let target = grants[i]
+                    .as_ref()
+                    .map_or(current_totals[i], ShardGrant::total);
+                (target > current_totals[i], i)
+            });
+            for i in actuation_order {
+                let shard = &mut self.shards[i];
+                let Some(grant) = grants[i].clone() else {
+                    continue;
+                };
+                if grant.allocation == shard.backend.current_allocation() {
+                    continue;
+                }
+                if grant.total() > current_totals[i]
+                    && fleet_total - current_totals[i] + grant.total()
+                        > u64::from(self.config.k_max)
+                {
+                    // An earlier shrink was refused and its executors are
+                    // still in force: defer this grow to a later window
+                    // rather than over-commit the pool.
+                    errors[i] = Some(format!(
+                        "grow to {} deferred: a refused shrink left the fleet at {} of {} executors",
+                        grant.total(),
+                        fleet_total,
+                        self.config.k_max
+                    ));
+                    grants[i] = None;
+                    continue;
+                }
+                let plan = RebalancePlan {
+                    allocation: grant.allocation,
+                    pause_secs: self.config.pause_secs,
+                };
+                match shard.backend.apply(&plan) {
+                    Ok(applied) => {
+                        rebalanced[i] = true;
+                        let applied_total = executor_total(&applied.allocation);
+                        fleet_total = fleet_total - current_totals[i] + applied_total;
+                        // A backend may adjust what it puts in force (and a
+                        // simulator defers the swap until its pause ends):
+                        // the timeline must carry the allocation the
+                        // rebalance put in force, as `DrsDriver` does —
+                        // otherwise a contended window would pair this
+                        // round's demand/capped flags with last round's
+                        // allocations.
+                        applied_allocations[i] = Some(applied.allocation);
+                    }
+                    Err(e) => {
+                        // The backend kept its previous allocation; the
+                        // freed/claimed capacity is re-offered next window.
+                        errors[i] = Some(e.to_string());
+                        grants[i] = None;
+                    }
+                }
+            }
+        }
+
+        // 6. Record the window: the applied allocation where a rebalance
+        //    fired this window, the backend's live allocation otherwise.
+        let shard_points: Vec<ShardPoint> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let allocation = applied_allocations[i]
+                    .take()
+                    .unwrap_or_else(|| shard.backend.current_allocation());
+                ShardPoint {
+                    mean_sojourn_ms: samples[i].mean_sojourn.map(|s| s * 1e3),
+                    completed: samples[i].completed,
+                    allocation,
+                    demand: demands_by_shard[i]
+                        .as_ref()
+                        .map(|d| executor_total(&d.desired)),
+                    capped: capped[i],
+                    rebalanced: rebalanced[i],
+                    error: errors[i].take(),
+                }
+            })
+            .collect();
+        self.timeline.push(FleetWindow {
+            window,
+            contended,
+            total_granted: shard_points.iter().map(ShardPoint::granted).sum(),
+            shards: shard_points,
+            error: fleet_error,
+        });
+        self.timeline.last().expect("just pushed")
+    }
+}
+
+/// One shard's single-topology schedule: its Program 6 answer for `t_max`,
+/// falling back to spending the whole budget (Algorithm 1) when the target
+/// cannot be met within it.
+fn shard_demand(
+    model: &PerformanceModel,
+    t_max: f64,
+    k_max: u32,
+) -> Result<Vec<u32>, ScheduleError> {
+    match scheduler::min_processors_for_target(model.network(), t_max, k_max) {
+        Ok(a) => Ok(a.into_vec()),
+        Err(ScheduleError::CapExceeded { .. } | ScheduleError::TargetUnreachable { .. }) => {
+            scheduler::assign_processors(model.network(), k_max).map(|a| a.into_vec())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{AppliedRebalance, BackendError, CspBackend, OperatorSample, WindowSample};
+
+    /// Fixed-rate mock shard; rate can be changed mid-run.
+    #[derive(Debug)]
+    struct StaticShard {
+        rate: f64,
+        mu: f64,
+        allocation: Vec<u32>,
+        fail_applies: usize,
+    }
+
+    impl StaticShard {
+        fn new(rate: f64, mu: f64, k: u32) -> Self {
+            StaticShard {
+                rate,
+                mu,
+                allocation: vec![k],
+                fail_applies: 0,
+            }
+        }
+    }
+
+    impl CspBackend for StaticShard {
+        fn backend_name(&self) -> &'static str {
+            "static"
+        }
+        fn operator_names(&self) -> Vec<String> {
+            vec!["work".to_owned()]
+        }
+        fn current_allocation(&self) -> Vec<u32> {
+            self.allocation.clone()
+        }
+        fn advance(&mut self, _window_secs: f64) -> WindowSample {
+            WindowSample {
+                external_rate: Some(self.rate),
+                operators: vec![OperatorSample {
+                    arrival_rate: Some(self.rate),
+                    service_rate: Some(self.mu),
+                }],
+                mean_sojourn: Some(0.5),
+                std_sojourn: None,
+                completed: 100,
+            }
+        }
+        fn apply(&mut self, plan: &RebalancePlan) -> Result<AppliedRebalance, BackendError> {
+            if self.fail_applies > 0 {
+                self.fail_applies -= 1;
+                return Err(BackendError::RebalanceUnavailable(
+                    "pause in progress".to_owned(),
+                ));
+            }
+            self.allocation = plan.allocation.clone();
+            Ok(AppliedRebalance {
+                allocation: plan.allocation.clone(),
+                pause_secs: plan.pause_secs,
+            })
+        }
+    }
+
+    fn net(lambda: f64, mu: f64) -> JacksonNetwork {
+        JacksonNetwork::from_rates(lambda, &[(lambda, mu)]).unwrap()
+    }
+
+    fn demand(lambda: f64, mu: f64, desired: Vec<u32>) -> ShardDemand {
+        ShardDemand {
+            network: net(lambda, mu),
+            desired,
+        }
+    }
+
+    #[test]
+    fn uncontended_grants_equal_single_topology_schedules() {
+        let negotiator = FleetNegotiator::new(20);
+        let demands = vec![demand(40.0, 10.0, vec![6]), demand(20.0, 10.0, vec![4])];
+        let grants = negotiator.negotiate(&demands).unwrap();
+        assert_eq!(grants[0].allocation, vec![6]);
+        assert_eq!(grants[1].allocation, vec![4]);
+        assert!(grants.iter().all(|g| !g.capped));
+    }
+
+    #[test]
+    fn contended_grants_spend_exactly_the_budget() {
+        let negotiator = FleetNegotiator::new(12);
+        // Desired 9 + 7 = 16 > 12; min stable 5 + 3 = 8 ≤ 12.
+        let demands = vec![demand(45.0, 10.0, vec![9]), demand(25.0, 10.0, vec![7])];
+        let grants = negotiator.negotiate(&demands).unwrap();
+        let total: u64 = grants.iter().map(ShardGrant::total).sum();
+        assert_eq!(total, 12);
+        // Nobody below the minimum stable allocation.
+        assert!(grants[0].allocation[0] >= 5);
+        assert!(grants[1].allocation[0] >= 3);
+        // At least one shard fell short of its desire.
+        assert!(grants.iter().any(|g| g.capped));
+    }
+
+    #[test]
+    fn contention_favours_the_higher_marginal_benefit() {
+        let negotiator = FleetNegotiator::new(10);
+        // Same service law; shard 0 carries 3x the traffic, so its marginal
+        // benefits dominate and it must end up with the bigger share.
+        let demands = vec![demand(60.0, 10.0, vec![10]), demand(20.0, 10.0, vec![8])];
+        let grants = negotiator.negotiate(&demands).unwrap();
+        assert!(grants[0].allocation[0] > grants[1].allocation[0]);
+    }
+
+    #[test]
+    fn insufficient_budget_detected() {
+        let negotiator = FleetNegotiator::new(6);
+        // Min stables: 5 + 3 = 8 > 6.
+        let demands = vec![demand(45.0, 10.0, vec![9]), demand(25.0, 10.0, vec![7])];
+        let err = negotiator.negotiate(&demands).unwrap_err();
+        assert_eq!(
+            err,
+            FleetError::InsufficientBudget {
+                required: 8,
+                available: 6
+            }
+        );
+    }
+
+    #[test]
+    fn desired_below_min_stable_is_raised_in_both_branches() {
+        // λ/µ = 4.5 needs 5 executors; a demand of 1 is unstable and must
+        // be floored at 5 — with room to spare (uncontended path)…
+        let negotiator = FleetNegotiator::new(20);
+        let grants = negotiator
+            .negotiate(&[demand(45.0, 10.0, vec![1])])
+            .unwrap();
+        assert_eq!(grants[0].allocation, vec![5]);
+        assert!(!grants[0].capped);
+        // …and under contention (second shard forces the greedy branch).
+        let negotiator = FleetNegotiator::new(9);
+        let demands = vec![demand(45.0, 10.0, vec![1]), demand(25.0, 10.0, vec![7])];
+        let grants = negotiator.negotiate(&demands).unwrap();
+        assert!(grants[0].allocation[0] >= 5);
+        let total: u64 = grants.iter().map(ShardGrant::total).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn demand_length_mismatch_detected() {
+        let negotiator = FleetNegotiator::new(10);
+        let demands = vec![demand(10.0, 10.0, vec![2, 2])];
+        assert!(matches!(
+            negotiator.negotiate(&demands).unwrap_err(),
+            FleetError::DemandLength { shard: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn negotiation_is_deterministic() {
+        let negotiator = FleetNegotiator::new(14);
+        let demands = vec![
+            demand(45.0, 10.0, vec![9]),
+            demand(45.0, 10.0, vec![9]),
+            demand(25.0, 10.0, vec![7]),
+        ];
+        let a = negotiator.negotiate(&demands).unwrap();
+        let b = negotiator.negotiate(&demands).unwrap();
+        assert_eq!(a, b);
+    }
+
+    fn fleet(k_max: u32, shards: Vec<(&str, f64, StaticShard)>) -> FleetDriver<StaticShard> {
+        let mut config = FleetDriverConfig::new(k_max);
+        config.warmup_windows = 1;
+        config.window_secs = 1.0;
+        FleetDriver::new(
+            config,
+            shards
+                .into_iter()
+                .map(|(name, t_max, backend)| FleetShardSpec::new(name, t_max, backend))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn driver_arbitrates_within_budget_and_records_timeline() {
+        let mut f = fleet(
+            12,
+            vec![
+                ("hot", 0.11, StaticShard::new(60.0, 10.0, 7)),
+                ("cold", 0.11, StaticShard::new(30.0, 10.0, 4)),
+            ],
+        );
+        f.run_windows(4);
+        assert_eq!(f.timeline().len(), 4);
+        let last = f.timeline().last().unwrap();
+        assert!(last.total_granted <= 12);
+        assert!(last.contended, "0.11 s targets at these loads must contend");
+        assert!(last.shards.iter().any(|s| s.capped));
+        // The hot shard out-ranks the cold one under contention.
+        assert!(last.shards[0].allocation[0] > last.shards[1].allocation[0]);
+        // Demands are recorded once the model warms up.
+        assert!(last.shards.iter().all(|s| s.demand.is_some()));
+        assert_eq!(f.shard_names(), vec!["hot", "cold"]);
+    }
+
+    #[test]
+    fn warmup_windows_do_not_negotiate() {
+        let mut f = fleet(12, vec![("only", 0.5, StaticShard::new(30.0, 10.0, 4))]);
+        f.step();
+        let w = &f.timeline()[0];
+        assert!(w.shards[0].demand.is_none());
+        assert!(!w.shards[0].rebalanced);
+        assert_eq!(w.shards[0].allocation, vec![4]);
+    }
+
+    #[test]
+    fn freed_capacity_is_reoffered_when_demand_drops() {
+        let mut f = fleet(
+            12,
+            vec![
+                ("a", 0.11, StaticShard::new(60.0, 10.0, 7)),
+                ("b", 0.11, StaticShard::new(30.0, 10.0, 5)),
+            ],
+        );
+        f.run_windows(4);
+        let before = f.timeline().last().unwrap().shards[1].granted();
+        assert!(f.timeline().last().unwrap().contended);
+        // Shard a's load collapses: its demand shrinks and the freed
+        // executors flow to shard b on later windows (α-smoothing takes a
+        // couple of rounds to fade the old rate out).
+        f.backend_mut(0).rate = 5.0;
+        f.run_windows(6);
+        let last = f.timeline().last().unwrap();
+        assert!(
+            last.shards[1].granted() > before,
+            "shard b should inherit freed capacity: {} vs {before}",
+            last.shards[1].granted()
+        );
+        assert!(last.total_granted <= 12);
+    }
+
+    #[test]
+    fn backend_refusal_is_recorded_and_retried() {
+        let mut hot = StaticShard::new(60.0, 10.0, 7);
+        hot.fail_applies = 1;
+        let mut f = fleet(
+            12,
+            vec![
+                ("hot", 0.11, hot),
+                ("cold", 0.11, StaticShard::new(30.0, 10.0, 4)),
+            ],
+        );
+        f.run_windows(4);
+        let refused = f
+            .timeline()
+            .iter()
+            .flat_map(|w| &w.shards)
+            .find(|s| s.error.is_some())
+            .expect("the refused apply must be recorded");
+        assert!(refused
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("rebalance unavailable"));
+        // A later window retries and the fleet still lands within budget.
+        assert!(f.timeline().last().unwrap().total_granted <= 12);
+    }
+
+    #[test]
+    fn refused_shrink_defers_grows_instead_of_overcommitting() {
+        // Shard a runs 8 but now only needs ~4; shard b runs 4 and wants 9.
+        // a's shrink is refused (mid-pause): applying b's grow anyway would
+        // put 17 executors on a 12-processor pool. The driver must defer
+        // the grow and catch up once the shrink lands.
+        let mut a = StaticShard::new(15.0, 10.0, 8);
+        a.fail_applies = 1;
+        let mut f = fleet(
+            12,
+            vec![("a", 0.11, a), ("b", 0.11, StaticShard::new(60.0, 10.0, 4))],
+        );
+        f.run_windows(2);
+        let w = f.timeline().last().unwrap();
+        assert!(
+            w.total_granted <= 12,
+            "fleet over budget after refused shrink: {w:?}"
+        );
+        assert!(w.shards[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("rebalance unavailable")));
+        assert!(
+            w.shards[1]
+                .error
+                .as_deref()
+                .is_some_and(|e| e.contains("deferred")),
+            "the grow must be deferred: {w:?}"
+        );
+        assert_eq!(w.shards[1].allocation, vec![4], "b must not grow yet");
+        // Next window the shrink applies and the deferred grow catches up.
+        f.run_windows(2);
+        let w = f.timeline().last().unwrap();
+        assert!(w.total_granted <= 12);
+        assert!(w.shards[1].granted() > 4, "b grows once capacity is freed");
+    }
+
+    #[test]
+    fn rebalanced_flag_tracks_actual_changes_only() {
+        let mut f = fleet(
+            20,
+            vec![
+                ("a", 0.5, StaticShard::new(40.0, 10.0, 7)),
+                ("b", 0.5, StaticShard::new(20.0, 10.0, 5)),
+            ],
+        );
+        f.run_windows(6);
+        // Once converged, no shard keeps reporting rebalances.
+        let last = f.timeline().last().unwrap();
+        assert!(last.shards.iter().all(|s| !s.rebalanced));
+        // But some earlier window did rebalance.
+        assert!(f
+            .timeline()
+            .iter()
+            .any(|w| w.shards.iter().any(|s| s.rebalanced)));
+    }
+
+    #[test]
+    fn construction_errors() {
+        let config = FleetDriverConfig::new(10);
+        assert_eq!(
+            FleetDriver::<StaticShard>::new(config, vec![]).unwrap_err(),
+            FleetDriverError::NoShards
+        );
+        let mut bad = FleetDriverConfig::new(10);
+        bad.window_secs = 0.0;
+        assert_eq!(
+            FleetDriver::new(
+                bad,
+                vec![FleetShardSpec::new(
+                    "s",
+                    1.0,
+                    StaticShard::new(10.0, 10.0, 2)
+                )]
+            )
+            .unwrap_err(),
+            FleetDriverError::InvalidWindow(0.0)
+        );
+        assert!(matches!(
+            FleetDriver::new(
+                config,
+                vec![FleetShardSpec::new(
+                    "s",
+                    -1.0,
+                    StaticShard::new(10.0, 10.0, 2)
+                )]
+            )
+            .unwrap_err(),
+            FleetDriverError::InvalidTarget { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_interleaving_order_panics() {
+        let mut f = fleet(
+            12,
+            vec![
+                ("a", 0.5, StaticShard::new(10.0, 10.0, 2)),
+                ("b", 0.5, StaticShard::new(10.0, 10.0, 2)),
+            ],
+        );
+        f.step_with_order(&[0, 0]);
+    }
+}

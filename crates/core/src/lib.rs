@@ -60,6 +60,7 @@ pub mod config;
 pub mod controller;
 pub mod decision;
 pub mod driver;
+pub mod fleet;
 pub mod measurer;
 pub mod migration;
 pub mod model;
@@ -72,6 +73,10 @@ pub use decision::{Decision, DecisionPolicy};
 pub use driver::{
     AppliedRebalance, BackendError, CspBackend, DriverError, DrsDriver, OperatorSample,
     RebalancePlan, TimelinePoint, WindowSample,
+};
+pub use fleet::{
+    FleetDriver, FleetDriverConfig, FleetNegotiator, FleetShardSpec, FleetWindow, ShardDemand,
+    ShardGrant, ShardPoint,
 };
 pub use measurer::{Measurer, RawSample, SampleBuilder, SmoothedEstimates, Smoothing};
 pub use migration::{plan_migration, MigrationPlan, TaskAssignment};

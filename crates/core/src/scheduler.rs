@@ -153,58 +153,58 @@ impl fmt::Display for Allocation {
     }
 }
 
-/// A heap entry: the marginal benefit of giving operator `op` its next
-/// processor, valid until `op` is incremented (by convexity nothing else
-/// invalidates it).
+/// A benefit-heap entry: the marginal benefit of granting `key` its next
+/// processor, valid until `key` is incremented (by convexity nothing else
+/// invalidates it). Largest δ wins; ties break towards the smallest key so
+/// the heap picks exactly what a reference argmax scan would. `key` is an
+/// operator index here and a `(shard, operator)` pair in the fleet
+/// negotiator (`crate::fleet`), which shares this ordering.
 #[derive(Debug, Clone, Copy)]
-struct Candidate {
-    delta: f64,
-    op: usize,
+pub(crate) struct Candidate<K> {
+    pub(crate) delta: f64,
+    pub(crate) key: K,
 }
 
-impl PartialEq for Candidate {
+impl<K: Ord> PartialEq for Candidate<K> {
     fn eq(&self, other: &Self) -> bool {
         self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
 
-impl Eq for Candidate {}
+impl<K: Ord> Eq for Candidate<K> {}
 
-impl PartialOrd for Candidate {
+impl<K: Ord> PartialOrd for Candidate<K> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Candidate {
+impl<K: Ord> Ord for Candidate<K> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Largest δ wins; ties break towards the smallest operator index so
-        // the heap path picks exactly the operator the reference argmax
-        // scan would.
         self.delta
             .total_cmp(&other.delta)
-            .then_with(|| other.op.cmp(&self.op))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
 /// Builds the initial benefit heap over all operators of `state`.
-fn benefit_heap(state: &NetworkSojourn) -> BinaryHeap<Candidate> {
+fn benefit_heap(state: &NetworkSojourn) -> BinaryHeap<Candidate<usize>> {
     (0..state.len())
         .map(|op| Candidate {
             delta: state.weighted_marginal_benefit(op),
-            op,
+            key: op,
         })
         .collect()
 }
 
 /// Pops the best candidate, grants it a processor, and re-inserts its
 /// refreshed benefit. O(log n).
-fn grant_best(state: &mut NetworkSojourn, heap: &mut BinaryHeap<Candidate>) {
+fn grant_best(state: &mut NetworkSojourn, heap: &mut BinaryHeap<Candidate<usize>>) {
     let best = heap.pop().expect("heap has one entry per operator");
-    state.increment(best.op);
+    state.increment(best.key);
     heap.push(Candidate {
-        delta: state.weighted_marginal_benefit(best.op),
-        op: best.op,
+        delta: state.weighted_marginal_benefit(best.key),
+        key: best.key,
     });
 }
 

@@ -1,0 +1,161 @@
+//! Property tests for the fleet budget negotiator: for random topologies
+//! and budgets, capped allocations sum to at most `Kmax`, no shard is ever
+//! starved below its minimum stable allocation, and the fleet schedule
+//! equals the single-topology schedules whenever total demand fits the
+//! budget.
+
+use drs_core::fleet::{FleetNegotiator, ShardDemand};
+use drs_core::scheduler::{self, ScheduleError};
+use drs_queueing::jackson::JacksonNetwork;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A random shard: a small open network with per-operator offered loads in
+/// a stability-friendly range, plus its own Program 6 demand.
+fn shard_networks(loads: &[Vec<(f64, f64)>], external: &[f64]) -> Vec<JacksonNetwork> {
+    loads
+        .iter()
+        .zip(external)
+        .map(|(ops, &lambda0)| {
+            let pairs: Vec<(f64, f64)> = ops
+                .iter()
+                .map(|&(fan, load)| {
+                    let lambda = lambda0 * fan;
+                    // offered load a = λ/µ fixed by draw: µ = λ / a.
+                    (lambda, lambda / load)
+                })
+                .collect();
+            JacksonNetwork::from_rates(lambda0, &pairs).expect("positive rates")
+        })
+        .collect()
+}
+
+/// Each shard's own single-topology schedule for its target.
+fn desired_allocations(
+    networks: &[JacksonNetwork],
+    slack: &[f64],
+    cap: u32,
+) -> Option<Vec<Vec<u32>>> {
+    networks
+        .iter()
+        .zip(slack)
+        .map(|(net, &s)| {
+            let t_max = scheduler::no_queueing_bound(net) * s;
+            match scheduler::min_processors_for_target(net, t_max, cap) {
+                Ok(a) => Some(a.into_vec()),
+                // Targets barely above the bound can blow past the cap on
+                // unlucky draws; skip those cases.
+                Err(ScheduleError::CapExceeded { .. }) => None,
+                Err(e) => panic!("unexpected schedule error: {e}"),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fleet_grants_respect_budget_minimums_and_uncontended_parity(
+        // 1–4 shards, each with 1–3 operators.
+        loads in vec(vec((0.25f64..4.0, 0.3f64..5.5), 1..=3), 1..=4),
+        external in vec(2.0f64..60.0, 4),
+        slack in vec(1.3f64..4.0, 4),
+        budget_scale in 0.3f64..1.5,
+    ) {
+        let n = loads.len();
+        let networks = shard_networks(&loads, &external[..n]);
+        let Some(desired) = desired_allocations(&networks, &slack[..n], 512) else {
+            // Unreachable-within-cap draw: nothing to test.
+            return Ok(());
+        };
+
+        let min_stables: Vec<Vec<u32>> =
+            networks.iter().map(|net| net.min_stable_allocation()).collect();
+        let total_desired: u64 = desired
+            .iter()
+            .flat_map(|a| a.iter().map(|&k| u64::from(k)))
+            .sum();
+        let total_min: u64 = min_stables
+            .iter()
+            .flat_map(|a| a.iter().map(|&k| u64::from(k)))
+            .sum();
+
+        // A budget anywhere between "hopeless" and "roomy".
+        let k_max = ((total_desired as f64 * budget_scale) as u64)
+            .min(u64::from(u32::MAX)) as u32;
+
+        let demands: Vec<ShardDemand> = networks
+            .iter()
+            .zip(&desired)
+            .map(|(net, d)| ShardDemand { network: net.clone(), desired: d.clone() })
+            .collect();
+        let negotiator = FleetNegotiator::new(k_max);
+
+        match negotiator.negotiate(&demands) {
+            Err(e) => {
+                // The only legitimate failure: even stability does not fit.
+                prop_assert!(
+                    total_min > u64::from(k_max),
+                    "negotiation failed with {e} although stability fits \
+                     (min {total_min} ≤ budget {k_max})"
+                );
+            }
+            Ok(grants) => {
+                prop_assert_eq!(grants.len(), n);
+
+                // 1. Grants never exceed the budget.
+                let total_granted: u64 = grants.iter().map(|g| g.total()).sum();
+                prop_assert!(
+                    total_granted <= u64::from(k_max),
+                    "granted {} > budget {}",
+                    total_granted,
+                    k_max
+                );
+
+                // 2. No shard starved below its minimum stable allocation.
+                for (i, (grant, min)) in grants.iter().zip(&min_stables).enumerate() {
+                    for (op, (&got, &need)) in
+                        grant.allocation.iter().zip(min.iter()).enumerate()
+                    {
+                        prop_assert!(
+                            got >= need,
+                            "shard {i} op {op} starved: granted {got} < min stable {need}"
+                        );
+                    }
+                }
+
+                // 3. No shard granted more than its own schedule asked
+                //    for: surplus must flow to still-short shards instead.
+                for (i, (grant, want)) in grants.iter().zip(&desired).enumerate() {
+                    let want_total: u64 = want.iter().map(|&k| u64::from(k)).sum();
+                    prop_assert!(
+                        grant.total() <= want_total,
+                        "shard {} over-granted: {} > desired {}",
+                        i,
+                        grant.total(),
+                        want_total
+                    );
+                }
+
+                // 4. When total demand fits, the fleet schedule IS the
+                //    single-topology schedules, uncapped.
+                if total_desired <= u64::from(k_max) {
+                    for (i, (grant, want)) in grants.iter().zip(&desired).enumerate() {
+                        prop_assert_eq!(
+                            &grant.allocation, want,
+                            "shard {} diverged from its solo schedule", i
+                        );
+                        prop_assert!(!grant.capped);
+                    }
+                } else {
+                    // 5. Contended: the whole budget is put to work (no
+                    //    processor idles while shards are starved), and at
+                    //    least one shard is marked capped.
+                    prop_assert_eq!(total_granted, u64::from(k_max));
+                    prop_assert!(grants.iter().any(|g| g.capped));
+                }
+            }
+        }
+    }
+}

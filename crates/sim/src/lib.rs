@@ -51,11 +51,13 @@
 
 pub mod backend;
 pub mod event;
+pub mod fleet;
 pub mod metrics;
 pub mod simulator;
 pub mod time;
 pub mod workload;
 
+pub use fleet::FleetCoordinator;
 pub use metrics::{MeasurementWindow, OperatorWindow, RunningStats};
 pub use simulator::{SimError, SimulationBuilder, Simulator};
 pub use time::{SimDuration, SimTime};

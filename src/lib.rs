@@ -47,8 +47,73 @@
 //! ```
 //!
 //! To autoscale a *live* engine instead, hand the driver a
-//! [`runtime::RuntimeEngine`] — see the `live_runtime` example. The pure
-//! model/scheduler layer remains available for one-shot questions:
+//! [`runtime::RuntimeEngine`] — see the `live_runtime` example.
+//!
+//! # Fleet mode: many topologies, one budget
+//!
+//! A production cluster runs many topologies competing for one machine
+//! pool. The [`sim::fleet::FleetCoordinator`] runs N independent simulator
+//! shards (one topology each, every one on its own virtual clock) under a
+//! single global budget `Kmax`; each window every shard computes its own
+//! Program 6 schedule and the [`core::fleet::FleetNegotiator`] arbitrates
+//! contention with the paper's max-marginal-benefit rule applied *across*
+//! topologies. When total demand fits the budget every shard gets exactly
+//! its single-topology schedule; when it does not, plans are capped (never
+//! below a shard's minimum stable allocation) and capacity freed by a
+//! shard whose load drops is re-offered to starved shards on the next
+//! window:
+//!
+//! ```
+//! use drs::core::fleet::{FleetDriverConfig, FleetShardSpec};
+//! use drs::queueing::distribution::Distribution;
+//! use drs::sim::fleet::FleetCoordinator;
+//! use drs::sim::workload::OperatorBehavior;
+//! use drs::sim::SimulationBuilder;
+//! use drs::topology::TopologyBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chain = |lambda: f64, seed: u64| {
+//!     let mut b = TopologyBuilder::new();
+//!     let spout = b.spout("src");
+//!     let bolt = b.bolt("work");
+//!     b.edge(spout, bolt).unwrap();
+//!     SimulationBuilder::new(b.build().unwrap())
+//!         .behavior(spout, OperatorBehavior::Spout {
+//!             interarrival: Distribution::exponential(lambda).unwrap(),
+//!         })
+//!         .behavior(bolt, OperatorBehavior::Bolt {
+//!             service: Distribution::exponential(10.0).unwrap(),
+//!         })
+//!         .allocation(vec![1, 4])
+//!         .seed(seed)
+//!         .build()
+//!         .unwrap()
+//! };
+//! let mut config = FleetDriverConfig::new(10); // Kmax across BOTH shards
+//! config.window_secs = 30.0;
+//! let mut fleet = FleetCoordinator::new(config, vec![
+//!     FleetShardSpec::new("hot", 0.12, chain(45.0, 1)),
+//!     FleetShardSpec::new("cold", 0.12, chain(25.0, 2)),
+//! ])?;
+//! fleet.run_windows(6);
+//! let last = fleet.timeline().last().unwrap();
+//! assert!(last.total_granted <= 10); // never over budget
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! `repro fleet` (in `crates/bench`) runs a four-topology mixed VLD+FPD
+//! fleet under a contended budget, with a mid-run load collapse showing
+//! capacity being redistributed:
+//!
+//! ```text
+//! cargo run --release -p drs-bench --bin repro -- fleet           # full run
+//! cargo run --release -p drs-bench --bin repro -- fleet --smoke   # CI smoke
+//! cargo run --release --example fleet                             # walkthrough
+//! ```
+//!
+//! The pure model/scheduler layer remains available for one-shot
+//! questions:
 //!
 //! ```
 //! use drs::core::model::{ModelInputs, OperatorRates, PerformanceModel};
