@@ -11,13 +11,25 @@
 //!   immune to the hardware delta between the machine that committed the
 //!   baseline and the runner doing the comparison, so it stays meaningful
 //!   even when the absolute timings carry a systematic bias;
+//! * `event_queue[].calendar_ns` (lower is better) and
+//!   `event_queue[].eq_speedup` (higher is better) — the simulator's
+//!   calendar event queue against its binary-heap reference, per pending
+//!   population;
 //! * `simulator[].trees_per_wall_sec` (higher is better) — end-to-end
-//!   simulator throughput, per workload.
+//!   simulator throughput, per workload;
+//! * `runtime[].tuples_per_wall_sec` (higher is better) — end-to-end live
+//!   runtime throughput, per pipeline.
 //!
-//! The `reference_us` column alone is the deliberately slow oracle and is
-//! not gated directly. The parser reads only the flat schema
-//! [`crate::perf::perf_json`] writes (the offline build has no
+//! The `reference_us`/`heap_ns` columns alone are the deliberately slow
+//! oracles and are not gated directly. The parser reads only the flat
+//! schema [`crate::perf::perf_json`] writes (the offline build has no
 //! serde_json).
+//!
+//! **Schema growth:** a metric present in the *current* snapshot but absent
+//! from an older baseline is reported informationally (verdict `new`) and
+//! never fails the gate — so adding metrics does not require regenerating
+//! every historical baseline. A baseline metric missing from the current
+//! snapshot is still an error: losing coverage must be deliberate.
 
 use std::fmt::Write as _;
 
@@ -26,7 +38,8 @@ use std::fmt::Write as _;
 pub struct MetricDelta {
     /// Metric label, e.g. `scheduling[k_max=48].heap_us`.
     pub name: String,
-    /// Baseline value.
+    /// Baseline value. `NaN` marks a metric absent from the baseline
+    /// (schema growth): informational, never an offender.
     pub baseline: f64,
     /// Current value.
     pub current: f64,
@@ -36,9 +49,9 @@ pub struct MetricDelta {
 
 impl MetricDelta {
     /// Relative regression of `current` vs `baseline` (positive = worse),
-    /// direction-aware.
+    /// direction-aware. `0.0` for metrics new in the current snapshot.
     pub fn regression(&self) -> f64 {
-        if self.baseline <= 0.0 {
+        if self.is_new() || self.baseline <= 0.0 {
             return 0.0;
         }
         if self.higher_is_better {
@@ -46,6 +59,11 @@ impl MetricDelta {
         } else {
             (self.current - self.baseline) / self.baseline
         }
+    }
+
+    /// Whether the metric is missing from the (older) baseline snapshot.
+    pub fn is_new(&self) -> bool {
+        self.baseline.is_nan()
     }
 }
 
@@ -102,12 +120,41 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                 });
             }
         }
+        if let (Some(pending), Some(calendar)) =
+            (field_f64(line, "pending"), field_f64(line, "calendar_ns"))
+        {
+            metrics.push(MetricDelta {
+                name: format!("event_queue[pending={pending}].calendar_ns"),
+                baseline: calendar,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "eq_speedup") {
+                metrics.push(MetricDelta {
+                    name: format!("event_queue[pending={pending}].eq_speedup"),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+        }
         if let (Some(app), Some(tps)) = (
             field_str(line, "app"),
             field_f64(line, "trees_per_wall_sec"),
         ) {
             metrics.push(MetricDelta {
                 name: format!("simulator[{app}].trees_per_wall_sec"),
+                baseline: tps,
+                current: f64::NAN,
+                higher_is_better: true,
+            });
+        }
+        if let (Some(pipeline), Some(tps)) = (
+            field_str(line, "pipeline"),
+            field_f64(line, "tuples_per_wall_sec"),
+        ) {
+            metrics.push(MetricDelta {
+                name: format!("runtime[{pipeline}].tuples_per_wall_sec"),
                 baseline: tps,
                 current: f64::NAN,
                 higher_is_better: true,
@@ -122,7 +169,9 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
     Ok(metrics)
 }
 
-/// Pairs up baseline and current snapshots by metric name.
+/// Pairs up baseline and current snapshots by metric name. Metrics the
+/// current snapshot adds over an older baseline come back flagged
+/// [`MetricDelta::is_new`] (informational).
 ///
 /// # Errors
 ///
@@ -131,7 +180,7 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
 pub fn diff(baseline_json: &str, current_json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
     let baseline = parse_metrics(baseline_json)?;
     let current = parse_metrics(current_json)?;
-    baseline
+    let mut deltas: Vec<MetricDelta> = baseline
         .into_iter()
         .map(|mut m| {
             let cur = current
@@ -141,21 +190,43 @@ pub fn diff(baseline_json: &str, current_json: &str) -> Result<Vec<MetricDelta>,
             m.current = cur.baseline;
             Ok(m)
         })
-        .collect()
+        .collect::<Result<_, PerfDiffError>>()?;
+    // Schema growth: metrics the baseline predates are informational.
+    for c in current {
+        if !deltas.iter().any(|d| d.name == c.name) {
+            deltas.push(MetricDelta {
+                name: c.name,
+                baseline: f64::NAN,
+                current: c.baseline,
+                higher_is_better: c.higher_is_better,
+            });
+        }
+    }
+    Ok(deltas)
 }
 
 /// Renders the comparison and returns the offending metrics (regression
-/// beyond `tolerance`, e.g. `0.15` = 15%).
+/// beyond `tolerance`, e.g. `0.15` = 15%). Metrics new in the current
+/// snapshot render as `new` and never offend.
 pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDelta>) {
     let mut out = String::new();
     let mut offenders = Vec::new();
     writeln!(
         out,
-        "{:<44} {:>12} {:>12} {:>9}  verdict",
+        "{:<48} {:>12} {:>12} {:>9}  verdict",
         "metric", "baseline", "current", "delta"
     )
     .expect("write to string");
     for d in deltas {
+        if d.is_new() {
+            writeln!(
+                out,
+                "{:<48} {:>12} {:>12.2} {:>9}  new (not in baseline; informational)",
+                d.name, "-", d.current, "-"
+            )
+            .expect("write to string");
+            continue;
+        }
         let regression = d.regression();
         let verdict = if regression > tolerance {
             offenders.push(d);
@@ -168,7 +239,7 @@ pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDel
         let signed_change = (d.current - d.baseline) / d.baseline.max(f64::MIN_POSITIVE);
         writeln!(
             out,
-            "{:<44} {:>12.2} {:>12.2} {:>+8.1}%  {verdict}",
+            "{:<48} {:>12.2} {:>12.2} {:>+8.1}%  {verdict}",
             d.name,
             d.baseline,
             d.current,
@@ -182,14 +253,19 @@ pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDel
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::perf::{perf_json, PerfReport, SchedPoint, SimPoint};
+    use crate::perf::{perf_json, EventQueuePoint, PerfReport, RuntimePoint, SchedPoint, SimPoint};
 
-    fn snapshot(heap_us: f64, tps: f64) -> String {
+    fn full_snapshot(heap_us: f64, cal_ns: f64, tps: f64, rt_tps: f64) -> String {
         perf_json(&PerfReport {
             scheduling: vec![SchedPoint {
                 k_max: 48,
                 heap_us,
                 reference_us: heap_us * 20.0,
+            }],
+            event_queue: vec![EventQueuePoint {
+                pending: 100_000,
+                calendar_ns: cal_ns,
+                heap_ns: cal_ns * 3.0,
             }],
             simulator: vec![SimPoint {
                 name: "vld",
@@ -197,19 +273,54 @@ mod tests {
                 wall_ms: 10.0,
                 trees_per_wall_sec: tps,
             }],
+            runtime: vec![RuntimePoint {
+                pipeline: "vld_live",
+                frames: 4_000,
+                wall_ms: 60.0,
+                tuples_per_wall_sec: rt_tps,
+            }],
         })
+    }
+
+    fn snapshot(heap_us: f64, tps: f64) -> String {
+        full_snapshot(heap_us, 50.0, tps, 1.0e6)
+    }
+
+    /// A baseline predating the event-queue and runtime sections.
+    fn old_schema_snapshot(heap_us: f64, tps: f64) -> String {
+        snapshot(heap_us, tps)
+            .lines()
+            .filter(|l| {
+                !l.contains("pending")
+                    && !l.contains("pipeline")
+                    && !l.contains("\"event_queue\"")
+                    && !l.contains("\"runtime\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 
     #[test]
     fn round_trips_the_perf_json_schema() {
         let metrics = parse_metrics(&snapshot(2.0, 1000.0)).unwrap();
-        assert_eq!(metrics.len(), 3);
-        assert_eq!(metrics[0].name, "scheduling[k_max=48].heap_us");
+        let names: Vec<&str> = metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "scheduling[k_max=48].heap_us",
+                "scheduling[k_max=48].speedup",
+                "event_queue[pending=100000].calendar_ns",
+                "event_queue[pending=100000].eq_speedup",
+                "simulator[vld].trees_per_wall_sec",
+                "runtime[vld_live].tuples_per_wall_sec",
+            ]
+        );
         assert!(!metrics[0].higher_is_better);
-        assert_eq!(metrics[1].name, "scheduling[k_max=48].speedup");
         assert!(metrics[1].higher_is_better);
-        assert_eq!(metrics[2].name, "simulator[vld].trees_per_wall_sec");
-        assert!(metrics[2].higher_is_better);
+        assert!(!metrics[2].higher_is_better);
+        assert!(metrics[3].higher_is_better);
+        assert!(metrics[4].higher_is_better);
+        assert!(metrics[5].higher_is_better);
     }
 
     #[test]
@@ -232,11 +343,22 @@ mod tests {
                 heap_us: 8.0,
                 reference_us: 40.0,
             }],
+            event_queue: vec![EventQueuePoint {
+                pending: 100_000,
+                calendar_ns: 50.0,
+                heap_ns: 150.0,
+            }],
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
                 wall_ms: 10.0,
                 trees_per_wall_sec: 1000.0,
+            }],
+            runtime: vec![RuntimePoint {
+                pipeline: "vld_live",
+                frames: 4_000,
+                wall_ms: 60.0,
+                tuples_per_wall_sec: 1.0e6,
             }],
         });
         let deltas = diff(&snapshot(2.0, 1000.0), &slower).unwrap();
@@ -245,6 +367,84 @@ mod tests {
             offenders.iter().any(|m| m.name.contains("speedup")),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn event_queue_and_runtime_metrics_are_gated() {
+        // Calendar 2x slower and runtime throughput halved: both offend.
+        // The fixture ties heap_ns to calendar_ns (3x), so eq_speedup is
+        // constant across the pair and must *not* offend — the gate on the
+        // ratio fires only for genuine algorithmic movement, mirroring the
+        // scheduling speedup's hardware-bias immunity.
+        let deltas = diff(
+            &full_snapshot(2.0, 50.0, 1000.0, 1.0e6),
+            &full_snapshot(2.0, 100.0, 1000.0, 0.5e6),
+        )
+        .unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "event_queue[pending=100000].calendar_ns"),
+            "{rendered}"
+        );
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "runtime[vld_live].tuples_per_wall_sec"),
+            "{rendered}"
+        );
+        assert!(!offenders.iter().any(|m| m.name.contains("eq_speedup")));
+
+        // Calendar slower against the *same* heap reference: the ratio
+        // regresses and the gate catches it.
+        let current = perf_json(&PerfReport {
+            scheduling: vec![SchedPoint {
+                k_max: 48,
+                heap_us: 2.0,
+                reference_us: 40.0,
+            }],
+            event_queue: vec![EventQueuePoint {
+                pending: 100_000,
+                calendar_ns: 100.0,
+                heap_ns: 150.0,
+            }],
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: 1000.0,
+            }],
+            runtime: vec![RuntimePoint {
+                pipeline: "vld_live",
+                frames: 4_000,
+                wall_ms: 60.0,
+                tuples_per_wall_sec: 1.0e6,
+            }],
+        });
+        let deltas = diff(&full_snapshot(2.0, 50.0, 1000.0, 1.0e6), &current).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders.iter().any(|m| m.name.contains("eq_speedup")),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn metrics_new_in_current_are_informational_not_failures() {
+        // An old-schema baseline (no event_queue / runtime sections)
+        // against a full current snapshot: the gate must pass, and the new
+        // metrics must render as informational.
+        let deltas = diff(&old_schema_snapshot(2.0, 1000.0), &snapshot(2.0, 1000.0)).unwrap();
+        let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
+        assert_eq!(news.len(), 3, "calendar_ns, eq_speedup, runtime tps");
+        assert!(news.iter().all(|d| d.regression() == 0.0));
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(offenders.is_empty(), "{rendered}");
+        assert!(rendered.contains("new (not in baseline; informational)"));
+        // Even with an absurd tolerance of zero, new metrics never offend.
+        let (_, offenders) = report(&deltas, 0.0);
+        assert!(offenders.iter().all(|m| !m.is_new()));
     }
 
     #[test]
@@ -323,16 +523,13 @@ mod tests {
     #[test]
     fn missing_metric_in_current_is_reported_by_name() {
         // Current snapshot parses but lacks the scheduling rows the
-        // baseline gates on.
-        let current = perf_json(&PerfReport {
-            scheduling: vec![],
-            simulator: vec![SimPoint {
-                name: "vld",
-                simulated_secs: 60,
-                wall_ms: 10.0,
-                trees_per_wall_sec: 1000.0,
-            }],
-        });
+        // baseline gates on: losing coverage stays a hard error even
+        // though *gaining* metrics is informational.
+        let current = snapshot(2.0, 1000.0)
+            .lines()
+            .filter(|l| !l.contains("k_max"))
+            .collect::<Vec<_>>()
+            .join("\n");
         let err = diff(&snapshot(2.0, 1000.0), &current).unwrap_err();
         assert!(
             err.to_string().contains("scheduling[k_max=48].heap_us"),

@@ -1,10 +1,16 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Implements the subset the runtime crate needs: an unbounded MPMC
-//! [`channel`] with cloneable senders *and* receivers, `send` and
-//! `recv_timeout`. Backed by `Mutex<VecDeque>` + `Condvar` — adequate for
-//! the executor fan-out sizes exercised here (tens of threads), though far
-//! from crossbeam's lock-free throughput.
+//! Implements the subset the runtime crate needs: MPMC [`channel`]s —
+//! [`channel::unbounded`] and capacity-limited [`channel::bounded`] (send
+//! blocks while full, giving natural backpressure) — with cloneable senders
+//! *and* receivers, `send` and `recv_timeout`. Backed by
+//! `Mutex<VecDeque>` + `Condvar`s; the queue's ring buffer is reused across
+//! messages, so a steady-state send performs no allocation. Wakeups are
+//! counted: `send`/`recv` only touch a `Condvar` when the other side is
+//! actually parked, keeping the uncontended hot path to one mutex
+//! lock/unlock. Adequate for the executor fan-out sizes exercised here
+//! (tens of threads), though still short of crossbeam's lock-free
+//! throughput.
 
 #![forbid(unsafe_code)]
 
@@ -12,15 +18,25 @@
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
     use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Signalled when a message arrives (or every sender is gone).
         ready: Condvar,
+        /// Signalled when bounded-queue space frees up.
+        space: Condvar,
+        /// `usize::MAX` = unbounded.
+        capacity: usize,
         senders: AtomicUsize,
         receivers: AtomicUsize,
+        /// Receivers parked in `ready.wait*` — senders skip the syscall
+        /// when nobody is listening.
+        waiting_receivers: AtomicUsize,
+        /// Senders parked in `space.wait` (bounded channels only).
+        waiting_senders: AtomicUsize,
     }
 
     /// Error from [`Sender::send`]: every receiver is gone; the value is
@@ -53,13 +69,16 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
+            waiting_receivers: AtomicUsize::new(0),
+            waiting_senders: AtomicUsize::new(0),
         });
         (
             Sender {
@@ -69,6 +88,23 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(usize::MAX)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `capacity` messages;
+    /// `send` blocks while the channel is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero (rendezvous channels are not
+    /// implemented).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "zero-capacity channels are not supported");
+        channel(capacity)
+    }
+
     fn lock<'a, T>(shared: &'a Shared<T>) -> std::sync::MutexGuard<'a, VecDeque<T>> {
         match shared.queue.lock() {
             Ok(g) => g,
@@ -76,18 +112,164 @@ pub mod channel {
         }
     }
 
+    type Guard<'a, T> = std::sync::MutexGuard<'a, VecDeque<T>>;
+
+    impl<T> Shared<T> {
+        /// Parks the sender once (bounded 5 ms, so a receiver dying or an
+        /// abort flag flipping mid-park is observed promptly).
+        fn park_for_space<'a>(&'a self, queue: Guard<'a, T>) -> Guard<'a, T> {
+            self.waiting_senders.fetch_add(1, Ordering::AcqRel);
+            let (guard, _) = match self.space.wait_timeout(queue, Duration::from_millis(5)) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            self.waiting_senders.fetch_sub(1, Ordering::AcqRel);
+            guard
+        }
+
+        /// Parks the receiver until `deadline` at the latest; returns
+        /// whether the park timed out.
+        fn park_for_ready<'a>(
+            &'a self,
+            queue: Guard<'a, T>,
+            deadline: Instant,
+        ) -> (Guard<'a, T>, bool) {
+            self.waiting_receivers.fetch_add(1, Ordering::AcqRel);
+            let wait = deadline.saturating_duration_since(Instant::now());
+            let (guard, res) = match self.ready.wait_timeout(queue, wait) {
+                Ok(pair) => pair,
+                Err(poisoned) => {
+                    let pair = poisoned.into_inner();
+                    (pair.0, pair.1)
+                }
+            };
+            self.waiting_receivers.fetch_sub(1, Ordering::AcqRel);
+            (guard, res.timed_out())
+        }
+
+        fn wake_receivers(&self, pushed: usize) {
+            if pushed > 0 && self.waiting_receivers.load(Ordering::Acquire) > 0 {
+                if pushed == 1 {
+                    self.ready.notify_one();
+                } else {
+                    self.ready.notify_all();
+                }
+            }
+        }
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`, waking one waiting receiver.
+        /// Enqueues `value`, waking one waiting receiver. Blocks while a
+        /// bounded channel is full (unless every receiver is gone).
         ///
         /// # Errors
         ///
         /// Returns [`SendError`] carrying the value when no receiver exists.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.send_inner(value, None)
+        }
+
+        /// Stop-aware [`Sender::send`]: while waiting for space, if `abort`
+        /// becomes true the message is enqueued *immediately* (the capacity
+        /// becomes a soft bound) so the caller can observe its stop flag and
+        /// terminate without losing the message. This is what keeps engine
+        /// teardown deadlock-free: a producer parked on a full channel whose
+        /// consumers have already been stopped would otherwise never return.
+        ///
+        /// # Errors
+        ///
+        /// As for [`Sender::send`].
+        pub fn send_abortable(&self, value: T, abort: &AtomicBool) -> Result<(), SendError<T>> {
+            self.send_inner(value, Some(abort))
+        }
+
+        fn send_inner(&self, value: T, abort: Option<&AtomicBool>) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            lock(&self.shared).push_back(value);
-            self.shared.ready.notify_one();
+            let mut queue = lock(&self.shared);
+            while queue.len() >= self.shared.capacity {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(value));
+                }
+                if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
+                    break; // soft-bound overrun: enqueue and let the caller stop
+                }
+                queue = self.shared.park_for_space(queue);
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.wake_receivers(1);
+            Ok(())
+        }
+
+        /// Enqueues every item of `batch` under a single lock acquisition —
+        /// the fan-out fast path: one mutex round-trip and at most one
+        /// wakeup for the whole batch instead of per message. Blocks for
+        /// space as [`Sender::send`] does.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying the number of items *not*
+        /// enqueued when every receiver is gone (those items are dropped),
+        /// so callers keeping in-flight accounting can reconcile.
+        pub fn send_batch(
+            &self,
+            batch: impl IntoIterator<Item = T>,
+        ) -> Result<(), SendError<usize>> {
+            self.send_batch_inner(batch, None)
+        }
+
+        /// Stop-aware [`Sender::send_batch`]; see [`Sender::send_abortable`]
+        /// for the abort semantics (remaining items are enqueued past the
+        /// capacity rather than lost).
+        ///
+        /// # Errors
+        ///
+        /// As for [`Sender::send_batch`].
+        pub fn send_batch_abortable(
+            &self,
+            batch: impl IntoIterator<Item = T>,
+            abort: &AtomicBool,
+        ) -> Result<(), SendError<usize>> {
+            self.send_batch_inner(batch, Some(abort))
+        }
+
+        fn send_batch_inner(
+            &self,
+            batch: impl IntoIterator<Item = T>,
+            abort: Option<&AtomicBool>,
+        ) -> Result<(), SendError<usize>> {
+            let mut iter = batch.into_iter();
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(iter.count()));
+            }
+            let mut pushed = 0usize;
+            let mut queue = lock(&self.shared);
+            while let Some(value) = iter.next() {
+                while queue.len() >= self.shared.capacity {
+                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                        drop(queue);
+                        self.shared.wake_receivers(pushed);
+                        return Err(SendError(1 + iter.count()));
+                    }
+                    if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
+                        break; // soft-bound overrun; see send_abortable
+                    }
+                    // Let receivers observe what is already enqueued.
+                    if pushed > 0 && self.shared.waiting_receivers.load(Ordering::Acquire) > 0 {
+                        self.shared.ready.notify_all();
+                    }
+                    queue = self.shared.park_for_space(queue);
+                }
+                queue.push_back(value);
+                pushed += 1;
+            }
+            drop(queue);
+            self.shared.wake_receivers(pushed);
             Ok(())
         }
     }
@@ -105,24 +287,61 @@ pub mod channel {
             let mut queue = lock(&self.shared);
             loop {
                 if let Some(v) = queue.pop_front() {
+                    drop(queue);
+                    if self.shared.waiting_senders.load(Ordering::Acquire) > 0 {
+                        self.shared.space.notify_one();
+                    }
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvTimeoutError::Disconnected);
                 }
-                let now = Instant::now();
-                if now >= deadline {
+                if Instant::now() >= deadline {
                     return Err(RecvTimeoutError::Timeout);
                 }
-                let (guard, res) = match self.shared.ready.wait_timeout(queue, deadline - now) {
-                    Ok(pair) => pair,
-                    Err(poisoned) => {
-                        let pair = poisoned.into_inner();
-                        (pair.0, pair.1)
-                    }
-                };
+                let (guard, timed_out) = self.shared.park_for_ready(queue, deadline);
                 queue = guard;
-                if res.timed_out() && queue.is_empty() {
+                if timed_out && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Dequeues up to `max` messages into `buf` under a single lock
+        /// acquisition, waiting up to `timeout` for the first one — the
+        /// consumer-side batching twin of [`Sender::send_batch`]. Returns
+        /// the number of messages appended to `buf` (≥ 1 on success).
+        ///
+        /// # Errors
+        ///
+        /// As for [`Receiver::recv_timeout`].
+        pub fn recv_batch_timeout(
+            &self,
+            buf: &mut Vec<T>,
+            max: usize,
+            timeout: Duration,
+        ) -> Result<usize, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = lock(&self.shared);
+            loop {
+                if !queue.is_empty() {
+                    let n = queue.len().min(max.max(1));
+                    buf.extend(queue.drain(..n));
+                    drop(queue);
+                    if self.shared.waiting_senders.load(Ordering::Acquire) > 0 {
+                        self.shared.space.notify_all();
+                    }
+                    return Ok(n);
+                }
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                if Instant::now() >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, timed_out) = self.shared.park_for_ready(queue, deadline);
+                queue = guard;
+                if timed_out && queue.is_empty() {
                     return Err(RecvTimeoutError::Timeout);
                 }
             }
@@ -159,7 +378,10 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake blocked senders so they can error out.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -178,7 +400,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{unbounded, RecvTimeoutError};
+    use super::channel::{bounded, unbounded, RecvTimeoutError};
     use std::time::Duration;
 
     #[test]
@@ -237,5 +459,117 @@ mod tests {
         }
         let total: u32 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
         assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap(); // blocks until the receiver drains one
+            tx
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(1));
+        let _tx = t.join().unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(2));
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_errors_when_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2)); // full: parks
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn bounded_round_trip_under_contention() {
+        let (tx, rx) = bounded(4);
+        let producers: Vec<_> = (0..3)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut n = 0u32;
+        while rx.recv_timeout(Duration::from_millis(200)).is_ok() {
+            n += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(n, 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_rejected() {
+        let _ = bounded::<u32>(0);
+    }
+
+    #[test]
+    fn abortable_send_overruns_instead_of_blocking() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let abort = Arc::new(AtomicBool::new(true));
+        // Channel is full and the abort flag is set: the sends must return
+        // promptly with the messages enqueued past the capacity.
+        tx.send_abortable(2, &abort).unwrap();
+        tx.send_batch_abortable([3, 4], &abort).unwrap();
+        drop(tx);
+        let drained: Vec<u32> =
+            std::iter::from_fn(|| rx.recv_timeout(Duration::from_millis(50)).ok()).collect();
+        assert_eq!(drained, vec![1, 2, 3, 4]);
+        assert!(abort.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn abort_flag_unblocks_a_parked_sender() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let (tx, _rx) = bounded(1);
+        tx.send(0).unwrap();
+        let abort = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&abort);
+        let t = std::thread::spawn(move || tx.send_batch_abortable([1, 2, 3], &flag));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !t.is_finished(),
+            "sender must be parked on the full channel"
+        );
+        abort.store(true, Ordering::Release);
+        let start = std::time::Instant::now();
+        t.join().unwrap().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "abort must unblock the sender promptly"
+        );
+    }
+
+    #[test]
+    fn send_batch_reports_unsent_count_on_disconnect() {
+        use super::channel::SendError;
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send_batch([1, 2, 3]), Err(SendError(3)));
+
+        // Partial: two fit before the receiver disappears mid-park.
+        let (tx, rx) = bounded(2);
+        let t = std::thread::spawn(move || tx.send_batch([1, 2, 3, 4, 5]));
+        std::thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(3)));
     }
 }

@@ -252,6 +252,13 @@ pub fn assign_processors(
     })
 }
 
+/// Greedy steps attempted with the plain reference walk before the heap
+/// machinery is built. For loose targets the answer sits within a handful
+/// of grants of the min-stable floor, where stepper/heap initialisation
+/// dominates the whole call (the ROADMAP small-n/small-surplus cutover);
+/// measured break-even on the Table II network is ≈ 20 grants.
+const SMALL_SURPLUS_CUTOVER: u64 = 16;
+
 /// Program 6: the smallest total allocation whose model-predicted `E[T]` is
 /// at most `t_max` seconds, found by the same greedy ascent as Algorithm 1.
 ///
@@ -259,14 +266,25 @@ pub fn assign_processors(
 /// from unbounded growth when `t_max` sits barely above the theoretical
 /// minimum.
 ///
-/// Runs in `O((n + K)·log n)` for a `K`-processor answer: the network
-/// `E[T]` consulted after every step is the O(1) cached aggregate. The
-/// cached and exact aggregates sum in different orders and may disagree by
-/// ulps in *either* direction, so near the target boundary every decision
-/// is confirmed against an exact O(n) re-aggregation — the cache alone
-/// never grants a processor (which could overshoot the reference's
-/// minimal answer) nor declares the target met (undershoot); only O(1)
-/// steps can sit inside the confirmation band, so the asymptotics hold.
+/// The first [`SMALL_SURPLUS_CUTOVER`] grants run the from-scratch
+/// reference walk directly: when the surplus over the min-stable floor is
+/// that small, building the benefit heap and the incremental steppers
+/// costs more than the walk itself. Past the cutover the search switches
+/// to the heap machinery, *continuing from the probed allocation* — both
+/// paths take bit-identical greedy steps (the steppers evaluate the exact
+/// Erlang operation sequence and heap ties break towards the smallest
+/// index, matching the reference argmax scan), so the cutover is
+/// observationally transparent.
+///
+/// The heap phase runs in `O((n + K)·log n)` for a `K`-processor answer:
+/// the network `E[T]` consulted after every step is the O(1) cached
+/// aggregate. The cached and exact aggregates sum in different orders and
+/// may disagree by ulps in *either* direction, so near the target boundary
+/// every decision is confirmed against an exact O(n) re-aggregation — the
+/// cache alone never grants a processor (which could overshoot the
+/// reference's minimal answer) nor declares the target met (undershoot);
+/// only O(1) steps can sit inside the confirmation band, so the
+/// asymptotics hold.
 ///
 /// # Errors
 ///
@@ -286,14 +304,46 @@ pub fn min_processors_for_target(
             lower_bound,
         });
     }
-    let mut state = NetworkSojourn::at_min_stable(network);
-    let mut total: u64 = state.allocation().iter().map(|&k| u64::from(k)).sum();
+    let mut allocation = network.min_stable_allocation();
+    let mut total: u64 = allocation.iter().map(|&k| u64::from(k)).sum();
     if total > u64::from(cap) {
         return Err(ScheduleError::InsufficientProcessors {
             required: total,
             available: cap,
         });
     }
+
+    // Small-surplus probe: the reference walk, capped at the cutover.
+    let mut current = network
+        .expected_sojourn(&allocation)
+        .expect("allocation length matches network");
+    let mut probed = 0u64;
+    while current > t_max {
+        if total >= u64::from(cap) {
+            return Err(ScheduleError::CapExceeded { cap, best: current });
+        }
+        if probed == SMALL_SURPLUS_CUTOVER {
+            break;
+        }
+        let best = argmax_marginal_benefit(network, &allocation);
+        allocation[best] += 1;
+        total += 1;
+        probed += 1;
+        current = network
+            .expected_sojourn(&allocation)
+            .expect("allocation length matches network");
+    }
+    if current <= t_max {
+        return Ok(Allocation {
+            per_operator: allocation,
+            expected_sojourn: current,
+        });
+    }
+
+    // Large surplus: switch to the benefit heap, continuing the identical
+    // greedy path from where the probe stopped.
+    let mut state =
+        NetworkSojourn::new(network, &allocation).expect("allocation length matches network");
     // Relative width of the boundary band in which the cached aggregate is
     // not trusted on its own. Incremental Kahan summation is accurate to a
     // few ulps, so this is generous.
@@ -796,6 +846,42 @@ mod tests {
             assert_eq!(fast.per_operator(), slow.per_operator(), "target={target}");
             assert_eq!(fast.total(), slow.total(), "target={target}");
         }
+    }
+
+    #[test]
+    fn min_target_parity_across_the_cutover_boundary() {
+        // Sweep targets from barely-reachable to loose so the resulting
+        // surplus over the min-stable floor crosses SMALL_SURPLUS_CUTOVER;
+        // the probed walk and the heap continuation must both match the
+        // reference exactly, whichever side serves the call.
+        let net = vld_like();
+        let bound = no_queueing_bound(&net);
+        let floor = net.min_total_servers();
+        let mut below = 0u32;
+        let mut above = 0u32;
+        for i in 0..40 {
+            // Geometric slack from 3.0 down to 2e-4: the tight end needs
+            // hundreds of processors, the loose end none at all.
+            let slack = 3.0 * (2.0e-4f64 / 3.0).powf(f64::from(i) / 39.0);
+            let target = bound * (1.0 + slack);
+            let fast = min_processors_for_target(&net, target, 100_000).unwrap();
+            let slow = min_processors_for_target_reference(&net, target, 100_000).unwrap();
+            assert_eq!(fast.per_operator(), slow.per_operator(), "target {target}");
+            assert_eq!(
+                fast.expected_sojourn().to_bits(),
+                slow.expected_sojourn().to_bits(),
+                "target {target}"
+            );
+            if fast.total() - floor <= SMALL_SURPLUS_CUTOVER {
+                below += 1;
+            } else {
+                above += 1;
+            }
+        }
+        assert!(
+            below >= 5 && above >= 5,
+            "sweep must exercise both sides of the cutover (below {below}, above {above})"
+        );
     }
 
     #[test]

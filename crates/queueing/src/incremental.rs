@@ -28,8 +28,17 @@
 use crate::erlang::MmKQueue;
 use crate::jackson::{JacksonError, JacksonNetwork};
 
-/// An [`MmKQueue`] evaluated at a concrete, monotonically growing server
-/// count, carrying the Erlang-B recurrence state for O(1) stepping.
+/// An [`MmKQueue`] evaluated at a concrete server count, carrying the
+/// Erlang-B recurrence state for O(1) stepping — in **both** directions
+/// when built [`ErlangStepper::reversible`].
+///
+/// Stepping up unrolls the B recurrence once. Stepping down pops a carried
+/// history of B values (the recurrence is numerically ill-conditioned to
+/// invert, so the history is what makes decrements bit-identical to forward
+/// evaluation). The history costs one `f64` per server level visited and
+/// one allocation per stepper, which the ascent-only schedulers should not
+/// pay — hence the two constructors: [`ErlangStepper::new`] (forward-only,
+/// allocation-free) and [`ErlangStepper::reversible`].
 ///
 /// # Examples
 ///
@@ -38,26 +47,35 @@ use crate::jackson::{JacksonError, JacksonNetwork};
 /// use drs_queueing::incremental::ErlangStepper;
 ///
 /// let q = MmKQueue::new(10.0, 3.0)?;
-/// let mut s = ErlangStepper::new(q, q.min_stable_servers());
+/// let mut s = ErlangStepper::reversible(q, q.min_stable_servers());
 /// assert_eq!(s.expected_sojourn(), q.expected_sojourn(4));
 /// s.step(); // k = 5, O(1)
 /// assert_eq!(s.expected_sojourn(), q.expected_sojourn(5));
+/// s.step_down(); // back to k = 4, O(1), bit-identical
+/// assert_eq!(s.expected_sojourn(), q.expected_sojourn(4));
 /// # Ok::<(), drs_queueing::erlang::InvalidQueue>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ErlangStepper {
     queue: MmKQueue,
     servers: u32,
     erlang_b: f64,
+    /// `Some(history)` with `history[j] = B(j, a)` for `j < servers` when
+    /// built reversible — the seeding loop visits them all anyway, so
+    /// keeping them makes `step_down` O(1) *and* bit-identical to a
+    /// from-scratch forward evaluation. `None` for forward-only steppers.
+    history: Option<Vec<f64>>,
 }
 
 impl ErlangStepper {
-    /// Builds the stepper at `servers` processors. Costs `O(servers)` — the
-    /// one-time price of seeding the recurrence.
-    pub fn new(queue: MmKQueue, servers: u32) -> Self {
+    fn build(queue: MmKQueue, servers: u32, reversible: bool) -> Self {
         let a = queue.offered_load();
+        let mut history = reversible.then(|| Vec::with_capacity(servers as usize + 1));
         let mut b = 1.0;
         for j in 1..=servers {
+            if let Some(h) = &mut history {
+                h.push(b);
+            }
             let jb = f64::from(j);
             b = a * b / (jb + a * b);
         }
@@ -65,7 +83,26 @@ impl ErlangStepper {
             queue,
             servers,
             erlang_b: b,
+            history,
         }
+    }
+
+    /// Builds a forward-only stepper at `servers` processors. Costs
+    /// `O(servers)` — the one-time price of seeding the recurrence — and
+    /// performs no allocation.
+    pub fn new(queue: MmKQueue, servers: u32) -> Self {
+        Self::build(queue, servers, false)
+    }
+
+    /// Builds a stepper that also supports [`ErlangStepper::step_down`],
+    /// carrying the B history (one `f64` per level).
+    pub fn reversible(queue: MmKQueue, servers: u32) -> Self {
+        Self::build(queue, servers, true)
+    }
+
+    /// Whether this stepper was built with [`ErlangStepper::reversible`].
+    pub fn is_reversible(&self) -> bool {
+        self.history.is_some()
     }
 
     /// The underlying queue model.
@@ -85,10 +122,29 @@ impl ErlangStepper {
 
     /// Advances to `k + 1` in O(1) by one unrolling of the B recurrence.
     pub fn step(&mut self) {
+        if let Some(h) = &mut self.history {
+            h.push(self.erlang_b);
+        }
         self.servers += 1;
         let a = self.queue.offered_load();
         let jb = f64::from(self.servers);
         self.erlang_b = a * self.erlang_b / (jb + a * self.erlang_b);
+    }
+
+    /// Retreats to `k - 1` in O(1) by popping the carried B history;
+    /// bit-identical to having stepped forward to `k - 1` from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stepper is already at zero servers, or when it was
+    /// not built with [`ErlangStepper::reversible`].
+    pub fn step_down(&mut self) {
+        let history = self
+            .history
+            .as_mut()
+            .expect("stepper built without reversible support");
+        self.erlang_b = history.pop().expect("cannot step below zero servers");
+        self.servers -= 1;
     }
 
     /// `B(k + 1, a)` without mutating the stepper.
@@ -190,12 +246,34 @@ pub struct NetworkSojourn {
 }
 
 impl NetworkSojourn {
-    /// Builds the state for `network` under `allocation`.
+    /// Builds the state for `network` under `allocation`. Supports only
+    /// [`NetworkSojourn::increment`] (the ascent direction every scheduler
+    /// uses); build with [`NetworkSojourn::reversible`] when
+    /// [`NetworkSojourn::decrement`] is needed too.
     ///
     /// # Errors
     ///
     /// Returns [`JacksonError::AllocationLength`] on length mismatch.
     pub fn new(network: &JacksonNetwork, allocation: &[u32]) -> Result<Self, JacksonError> {
+        Self::build(network, allocation, false)
+    }
+
+    /// Builds the state with O(1) [`NetworkSojourn::decrement`] support
+    /// (each operator carries its Erlang-B history — one `f64` per granted
+    /// processor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JacksonError::AllocationLength`] on length mismatch.
+    pub fn reversible(network: &JacksonNetwork, allocation: &[u32]) -> Result<Self, JacksonError> {
+        Self::build(network, allocation, true)
+    }
+
+    fn build(
+        network: &JacksonNetwork,
+        allocation: &[u32],
+        reversible: bool,
+    ) -> Result<Self, JacksonError> {
         if allocation.len() != network.len() {
             return Err(JacksonError::AllocationLength {
                 expected: network.len(),
@@ -206,7 +284,13 @@ impl NetworkSojourn {
             .operators()
             .iter()
             .zip(allocation)
-            .map(|(&queue, &k)| ErlangStepper::new(queue, k))
+            .map(|(&queue, &k)| {
+                if reversible {
+                    ErlangStepper::reversible(queue, k)
+                } else {
+                    ErlangStepper::new(queue, k)
+                }
+            })
             .collect();
         let mut state = NetworkSojourn {
             external_rate: network.external_rate(),
@@ -306,6 +390,35 @@ impl NetworkSojourn {
             (true, false) => unreachable!("adding a processor cannot destabilise an operator"),
         }
     }
+
+    /// Takes one processor away from operator `op`, updating the cached
+    /// network sojourn in O(1) — the descent twin of
+    /// [`NetworkSojourn::increment`], for planners that walk allocations
+    /// *downward* (scale-in) instead of re-running Program 6 from scratch.
+    /// The operator's stepped model values are bit-identical to a fresh
+    /// forward evaluation at the lower count (see [`ErlangStepper::step_down`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range, already has zero processors, or the
+    /// state was not built with [`NetworkSojourn::reversible`].
+    pub fn decrement(&mut self, op: usize) {
+        let old = self.weighted[op];
+        self.steppers[op].step_down();
+        let new = self.term(op);
+        self.weighted[op] = new;
+        match (old.is_finite(), new.is_finite()) {
+            (true, true) => {
+                self.total.add(new - old);
+            }
+            (true, false) => {
+                self.total.add(-old);
+                self.unstable += 1;
+            }
+            (false, false) => {}
+            (false, true) => unreachable!("removing a processor cannot stabilise an operator"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -388,6 +501,76 @@ mod tests {
         state.increment(0); // 4: stable now
         let direct = net.expected_sojourn(&[4, 4]).unwrap();
         assert!((state.expected_sojourn() - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stepper_down_is_bitwise_inverse_of_up() {
+        let q = MmKQueue::new(390.0, 45.0).unwrap();
+        let k0 = q.min_stable_servers();
+        let mut s = ErlangStepper::reversible(q, k0);
+        for _ in 0..50 {
+            s.step();
+        }
+        for _ in 0..50 {
+            s.step_down();
+            assert_eq!(
+                s.expected_sojourn().to_bits(),
+                q.expected_sojourn(s.servers()).to_bits()
+            );
+            assert_eq!(
+                s.erlang_b().to_bits(),
+                ErlangStepper::new(q, s.servers()).erlang_b().to_bits()
+            );
+        }
+        assert_eq!(s.servers(), k0);
+    }
+
+    #[test]
+    fn network_decrement_reverses_increment() {
+        let net = JacksonNetwork::from_rates(13.0, &[(13.0, 2.0), (390.0, 45.0), (390.0, 400.0)])
+            .unwrap();
+        let mut state = NetworkSojourn::reversible(&net, &net.min_stable_allocation()).unwrap();
+        let baseline_alloc = state.allocation();
+        for op in [0usize, 1, 2, 1, 0, 2, 2, 1] {
+            state.increment(op);
+        }
+        for op in [1usize, 2, 2, 0, 1, 2, 1, 0] {
+            state.decrement(op);
+        }
+        assert_eq!(state.allocation(), baseline_alloc);
+        let direct = net.expected_sojourn(&baseline_alloc).unwrap();
+        assert!((state.expected_sojourn() - direct).abs() <= 1e-12 * direct);
+    }
+
+    #[test]
+    fn decrement_through_instability_boundary() {
+        let net = JacksonNetwork::from_rates(10.0, &[(10.0, 3.0)]).unwrap();
+        let mut state = NetworkSojourn::reversible(&net, &[5]).unwrap();
+        assert!(state.expected_sojourn().is_finite());
+        state.decrement(0); // k = 4: still stable (a ≈ 3.33)
+        assert!(state.expected_sojourn().is_finite());
+        state.decrement(0); // k = 3: unstable
+        assert!(state.expected_sojourn().is_infinite());
+        state.increment(0); // back to 4
+        let direct = net.expected_sojourn(&[4]).unwrap();
+        assert!((state.expected_sojourn() - direct).abs() <= 1e-12 * direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn step_down_below_zero_panics() {
+        let q = MmKQueue::new(1.0, 2.0).unwrap();
+        let mut s = ErlangStepper::reversible(q, 0);
+        s.step_down();
+    }
+
+    #[test]
+    #[should_panic(expected = "without reversible support")]
+    fn forward_only_stepper_rejects_step_down() {
+        let q = MmKQueue::new(1.0, 2.0).unwrap();
+        let mut s = ErlangStepper::new(q, 3);
+        assert!(!s.is_reversible());
+        s.step_down();
     }
 
     #[test]

@@ -211,6 +211,68 @@ proptest! {
     }
 
     #[test]
+    fn increment_then_decrement_round_trips_bit_identically(
+        lambda0 in 0.5f64..50.0,
+        ops in prop::collection::vec((0.5f64..100.0, 0.2f64..8.0), 2..6),
+        walk in prop::collection::vec((0usize..6, 0usize..4), 1..40),
+    ) {
+        // Random interleaving of ups and downs per operator, never dipping
+        // below the starting allocation; after unwinding, every operator's
+        // stepped model state must equal a from-scratch forward evaluation
+        // bit for bit, and the Kahan-cached network aggregate must agree
+        // with direct aggregation to the documented few-ulp tolerance.
+        let pairs: Vec<(f64, f64)> = ops
+            .iter()
+            .map(|&(lambda, load)| (lambda, lambda / load))
+            .collect();
+        let net = JacksonNetwork::from_rates(lambda0, &pairs).unwrap();
+        let floor = net.min_stable_allocation();
+        let mut state = NetworkSojourn::reversible(&net, &floor).unwrap();
+        let mut alloc = floor.clone();
+        let mut trail: Vec<usize> = Vec::new();
+        for &(pick, updown) in &walk {
+            let op = pick % net.len();
+            if updown == 0 && alloc[op] > floor[op] {
+                state.decrement(op);
+                alloc[op] -= 1;
+                let pos = trail.iter().rposition(|&o| o == op).unwrap();
+                trail.remove(pos);
+            } else {
+                state.increment(op);
+                alloc[op] += 1;
+                trail.push(op);
+            }
+            prop_assert_eq!(state.allocation(), alloc.clone());
+        }
+        // Unwind the remaining surplus entirely.
+        while let Some(op) = trail.pop() {
+            state.decrement(op);
+            alloc[op] -= 1;
+        }
+        prop_assert_eq!(state.allocation(), floor.clone());
+        // Per-operator state: bit-identical to from-scratch evaluation
+        // (the marginal benefit funnels B, E[T](k) and E[T](k+1) into one
+        // number, so bit-equality here pins the whole stepped state).
+        for (op, q) in net.operators().iter().enumerate() {
+            let fresh = ErlangStepper::new(*q, floor[op]);
+            let fresh_weighted = q.arrival_rate() * fresh.marginal_benefit();
+            prop_assert_eq!(
+                state.weighted_marginal_benefit(op).to_bits(),
+                fresh_weighted.to_bits(),
+                "operator {} stepped state after unwind",
+                op
+            );
+        }
+        // Network aggregate: within the documented incremental tolerance.
+        let direct = net.expected_sojourn(&floor).unwrap();
+        let cached = state.expected_sojourn();
+        prop_assert!(
+            (cached - direct).abs() <= 1e-9 * direct.max(1.0),
+            "cached {cached} vs direct {direct}"
+        );
+    }
+
+    #[test]
     fn network_sojourn_improves_with_more_processors(
         lambda0 in 0.5f64..50.0,
         fanout in 0.5f64..20.0,

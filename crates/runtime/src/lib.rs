@@ -18,6 +18,21 @@
 //! * [`engine`] — executor threads, channels, acking, re-balancing.
 //! * [`metrics`] — the shared lock-free metrics registry.
 //!
+//! # Allocation-free data path
+//!
+//! The engine's steady state performs no heap allocation per envelope:
+//! payloads travel as `Arc<Tuple>` (a fan-out send is a reference-count
+//! bump, not a deep clone), tuple-tree ack state lives in a recycled slab
+//! with a free list instead of per-root allocations, downstream targets
+//! come from the compiled CSR layout shared with the simulator
+//! ([`drs_topology::CsrOutEdges`]), envelopes flow through bounded MPMC
+//! channels whose ring buffers are reused (and which backpressure the
+//! producer instead of growing without bound), and each executor reuses one
+//! emission buffer across tuples. See the [`engine`] module docs for the
+//! full inventory; `repro perf` tracks the resulting `tuples_per_wall_sec`
+//! on the live VLD pipeline in `BENCH_PERF.json`, gated by `repro
+//! perfdiff`.
+//!
 //! Groupings: the engine distributes tuples to executors through one shared
 //! queue per operator (shuffle semantics). Other Storm groupings affect
 //! executor-level placement, not operator-level rates, which is what DRS

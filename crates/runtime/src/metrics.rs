@@ -112,6 +112,11 @@ impl MetricsRegistry {
         self.operators[op].arrivals.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` arrivals in one atomic add (the fan-out batch path).
+    pub(crate) fn record_arrivals(&self, op: usize, n: u64) {
+        self.operators[op].arrivals.fetch_add(n, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_completion(&self, op: usize, busy_nanos: u64) {
         self.operators[op]
             .completions

@@ -87,9 +87,26 @@ impl VecCollector {
         &self.tuples
     }
 
+    /// Number of tuples emitted so far.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
     /// Consumes the collector, returning the buffered tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
         self.tuples
+    }
+
+    /// Drains the buffered tuples in emission order, keeping the buffer's
+    /// capacity for reuse — the engine calls this once per `execute` so the
+    /// steady state allocates no fresh collector storage.
+    pub fn drain_tuples(&mut self) -> std::vec::Drain<'_, Tuple> {
+        self.tuples.drain(..)
     }
 }
 

@@ -4,10 +4,15 @@
 //! monotonically increasing tie-breaker. This makes event processing fully
 //! deterministic: two events scheduled for the same instant fire in the order
 //! they were scheduled.
+//!
+//! The queue is backed by [`crate::calendar::CalendarQueue`] — O(1)
+//! amortized insert and pop instead of a binary heap's O(log m) — while
+//! producing exactly the same total pop order the heap did, so timelines
+//! are bit-identical across the swap (see the calendar module docs for the
+//! determinism contract and `crates/bench` for the measured speedup).
 
+use crate::calendar::CalendarQueue;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled occurrence inside the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,37 +46,6 @@ pub enum Event {
     Resume,
 }
 
-#[derive(Debug)]
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse so the max-heap pops the *earliest* (time, seq).
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A deterministic priority queue of [`Event`]s keyed by [`SimTime`].
 ///
 /// # Examples
@@ -89,8 +63,7 @@ impl Ord for Scheduled {
 /// ```
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
-    next_seq: u64,
+    calendar: CalendarQueue<Event>,
 }
 
 impl EventQueue {
@@ -99,31 +72,32 @@ impl EventQueue {
         EventQueue::default()
     }
 
-    /// Schedules `event` at `time`.
+    /// Schedules `event` at `time`. O(1) amortized.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.calendar.push(time.as_nanos(), event);
     }
 
-    /// Removes and returns the earliest event, if any.
+    /// Removes and returns the earliest event, if any. O(1) amortized.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        self.calendar
+            .pop()
+            .map(|(t, e)| (SimTime::from_nanos(t), e))
     }
 
-    /// The timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    /// The timestamp of the earliest pending event. Amortized O(1); may
+    /// advance the calendar's internal cursor (never the pop order).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.calendar.peek_time().map(SimTime::from_nanos)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.calendar.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.calendar.is_empty()
     }
 }
 

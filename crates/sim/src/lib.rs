@@ -9,6 +9,30 @@
 //! `λ̂_i`, per-executor service rates `µ̂_i`, the external rate `λ̂0` and the
 //! measured mean sojourn `E[T̂]`.
 //!
+//! # Hot path
+//!
+//! The per-event cost is what bounds how much simulated traffic fits in a
+//! wall-clock second, so the whole step loop is allocation-free and O(1)
+//! amortized:
+//!
+//! * **event scheduling** runs on a [`calendar::CalendarQueue`] (calendar /
+//!   ladder queue hybrid): O(1) amortized insert and pop with a lazy
+//!   overflow ladder for far-future events and width/size heuristics keyed
+//!   off the observed event interarrival — replacing the previous binary
+//!   heap's O(log m) comparator cost while popping in the *identical*
+//!   deterministic `(time, FIFO-sequence)` order;
+//! * **tuple emission** walks a compiled CSR out-edge layout
+//!   ([`drs_topology::CsrOutEdges`], shared with the threaded runtime) by
+//!   value — no adjacency clone per processed tuple;
+//! * **tuple-tree acking** lives in a slab with a free list and recycled
+//!   dense `u32` slot ids — no per-root allocation or hashing.
+//!
+//! The same structures back the sharded multi-topology
+//! [`fleet::FleetCoordinator`], so fleet stepping inherits the O(1) event
+//! scheduling per shard. `repro perf` benchmarks the calendar queue against
+//! a binary-heap reference at 10⁴–10⁶ pending events and records the result
+//! in `BENCH_PERF.json`, which CI gates via `repro perfdiff`.
+//!
 //! See [`SimulationBuilder`] for the entry point and the `drs-apps` crate for
 //! fully calibrated workloads (video logo detection, frequent pattern
 //! detection, synthetic chains).
@@ -50,6 +74,7 @@
 #![forbid(unsafe_code)]
 
 pub mod backend;
+pub mod calendar;
 pub mod event;
 pub mod fleet;
 pub mod metrics;

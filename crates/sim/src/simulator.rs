@@ -24,7 +24,7 @@ use crate::metrics::{MeasurementWindow, OperatorWindow, RunningStats};
 use crate::time::{SimDuration, SimTime};
 use crate::workload::{CountDistribution, EdgeBehavior, OperatorBehavior};
 use drs_queueing::distribution::Distribution;
-use drs_topology::{OperatorId, OperatorKind, Topology};
+use drs_topology::{CsrOutEdges, OperatorId, OperatorKind, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -232,23 +232,10 @@ impl SimulationBuilder {
         let allocation = self.allocation.unwrap_or_else(|| vec![1; n]);
         validate_allocation(&self.topology, &allocation)?;
 
-        // Compressed-sparse-row layout of outgoing edges: the hot emit path
-        // walks `out_edge_index[out_edge_start[op]..out_edge_start[op+1]]`
-        // by value, so no per-tuple clone of an adjacency Vec is needed.
-        let mut out_edge_start = vec![0u32; n + 1];
-        for e in self.topology.edges() {
-            out_edge_start[e.from().index() + 1] += 1;
-        }
-        for i in 0..n {
-            out_edge_start[i + 1] += out_edge_start[i];
-        }
-        let mut cursor = out_edge_start.clone();
-        let mut out_edge_index = vec![0u32; self.topology.edges().len()];
-        for (idx, e) in self.topology.edges().iter().enumerate() {
-            let slot = &mut cursor[e.from().index()];
-            out_edge_index[*slot as usize] = idx as u32;
-            *slot += 1;
-        }
+        // Compiled CSR layout of outgoing edges, shared with the threaded
+        // runtime: the hot emit path walks flat arrays by value, so no
+        // per-tuple clone of an adjacency Vec is needed.
+        let csr = CsrOutEdges::compile(&self.topology);
 
         let mut sim = Simulator {
             ops: (0..n)
@@ -261,8 +248,7 @@ impl SimulationBuilder {
             topology: self.topology,
             behaviors,
             edge_behaviors,
-            out_edge_start,
-            out_edge_index,
+            csr,
             allocation,
             now: SimTime::ZERO,
             events: EventQueue::new(),
@@ -330,10 +316,10 @@ pub struct Simulator {
     topology: Topology,
     behaviors: Vec<OperatorBehavior>,
     edge_behaviors: Vec<EdgeBehavior>,
-    /// CSR adjacency: edge indices of operator `op`'s outgoing edges live at
-    /// `out_edge_index[out_edge_start[op] as usize..out_edge_start[op + 1] as usize]`.
-    out_edge_start: Vec<u32>,
-    out_edge_index: Vec<u32>,
+    /// Compiled CSR adjacency shared with the runtime's layout
+    /// ([`drs_topology::CsrOutEdges`]): flat out-edge arrays walked by
+    /// value on the emit path.
+    csr: CsrOutEdges,
     allocation: Vec<u32>,
     now: SimTime,
     events: EventQueue,
@@ -614,11 +600,9 @@ impl Simulator {
     /// allocation per processed tuple.
     fn emit_children(&mut self, op: usize, tree: u32) -> u32 {
         let mut emitted = 0;
-        let start = self.out_edge_start[op];
-        let end = self.out_edge_start[op + 1];
-        for slot in start..end {
-            let edge_idx = self.out_edge_index[slot as usize] as usize;
-            let target = self.topology.edges()[edge_idx].to().index();
+        for slot in 0..self.csr.out_degree(op) {
+            let edge_idx = self.csr.edges_of(op)[slot] as usize;
+            let target = self.csr.targets_of(op)[slot] as usize;
             let n = self.edge_behaviors[edge_idx].count.sample(&mut self.rng);
             for _ in 0..n {
                 let delay = SimDuration::from_secs_f64(

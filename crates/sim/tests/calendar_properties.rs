@@ -1,0 +1,145 @@
+//! Property tests pinning the calendar queue's determinism contract: pop
+//! order must be *identical* to a binary-heap reference ordered by
+//! `(time, insertion sequence)` — the order the simulator's old
+//! `BinaryHeap<Scheduled>` produced — across random schedules, including
+//! same-timestamp FIFO ties and far-future overflow spills.
+
+use drs_sim::calendar::CalendarQueue;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The binary-heap reference: a min-heap over `(time, seq)`.
+#[derive(Default)]
+struct HeapReference {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    next_seq: u64,
+}
+
+impl HeapReference {
+    fn push(&mut self, time: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time, seq)));
+        seq
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(pair)| pair)
+    }
+}
+
+/// One scripted operation: push at a time offset class, or pop.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Push `count` events at `base + jitter` (near horizon).
+    PushNear(u64, u8),
+    /// Push one event far beyond the band horizon (overflow ladder).
+    PushFar(u64),
+    /// Push `count` events at exactly the same instant (FIFO ties).
+    PushTies(u64, u8),
+    /// Pop `count` events.
+    Pop(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, 0u64..u64::MAX, 1u8..6).prop_map(|(kind, raw, count)| match kind {
+        0 => Op::PushNear(raw % (1 << 22), count),
+        1 => Op::PushFar(raw % (1 << 44)),
+        2 => Op::PushTies(raw % (1 << 20), count),
+        _ => Op::Pop(count),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pop_order_equals_binary_heap_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+        let mut reference = HeapReference::default();
+        // The virtual clock: pushes are always >= the last popped time,
+        // exactly like the simulator's schedule-at-now-plus-delay pattern.
+        let mut clock = 0u64;
+        for op in ops {
+            match op {
+                Op::PushNear(jitter, count) => {
+                    for i in 0..u64::from(count) {
+                        let t = clock + jitter + i * 17;
+                        let seq = reference.push(t);
+                        calendar.push(t, seq);
+                    }
+                }
+                Op::PushFar(jitter) => {
+                    let t = clock + (1 << 34) + jitter;
+                    let seq = reference.push(t);
+                    calendar.push(t, seq);
+                }
+                Op::PushTies(jitter, count) => {
+                    let t = clock + jitter;
+                    for _ in 0..count {
+                        let seq = reference.push(t);
+                        calendar.push(t, seq);
+                    }
+                }
+                Op::Pop(count) => {
+                    for _ in 0..count {
+                        let expected = reference.pop();
+                        prop_assert_eq!(calendar.peek_time(), expected.map(|(t, _)| t));
+                        let got = calendar.pop();
+                        prop_assert_eq!(got, expected);
+                        if let Some((t, _)) = got {
+                            clock = t;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(calendar.len(), reference.heap.len());
+        }
+        // Drain both completely: every remaining event must agree too
+        // (this is where far-future overflow spills get exercised).
+        loop {
+            let expected = reference.pop();
+            let got = calendar.pop();
+            prop_assert_eq!(got, expected);
+            if got.is_none() {
+                break;
+            }
+        }
+        prop_assert!(calendar.is_empty());
+    }
+
+    #[test]
+    fn tie_storms_stay_fifo(groups in prop::collection::vec((0u64..1_000, 1u8..40), 1..30)) {
+        // Many events at few distinct instants: pops must come back sorted
+        // by time and, within one instant, in insertion order.
+        let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+        let mut reference = HeapReference::default();
+        for &(t, count) in &groups {
+            for _ in 0..count {
+                let seq = reference.push(t);
+                calendar.push(t, seq);
+            }
+        }
+        while let Some(expected) = reference.pop() {
+            prop_assert_eq!(calendar.pop(), Some(expected));
+        }
+        prop_assert!(calendar.is_empty());
+    }
+
+    #[test]
+    fn massive_same_time_batch_triggers_rebuild_and_stays_ordered(
+        t in 0u64..1_000_000,
+        count in 200u32..2_000,
+    ) {
+        // Over-filling one instant forces the mid-epoch rebuild path; the
+        // FIFO contract must survive it.
+        let mut calendar: CalendarQueue<u32> = CalendarQueue::new();
+        for i in 0..count {
+            calendar.push(t, i);
+        }
+        for expect in 0..count {
+            prop_assert_eq!(calendar.pop(), Some((t, expect)));
+        }
+    }
+}

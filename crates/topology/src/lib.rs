@@ -40,10 +40,12 @@
 #![forbid(unsafe_code)]
 
 mod build;
+pub mod csr;
 pub mod presets;
 mod spec;
 mod topology;
 
 pub use build::{EdgeOptions, TopologyBuilder, TopologyError};
+pub use csr::CsrOutEdges;
 pub use spec::{EdgeSpec, Grouping, OperatorId, OperatorKind, OperatorSpec};
 pub use topology::Topology;
