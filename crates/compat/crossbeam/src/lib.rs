@@ -1,16 +1,22 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Implements the subset the runtime crate needs: MPMC [`channel`]s —
-//! [`channel::unbounded`] and capacity-limited [`channel::bounded`] (send
-//! blocks while full, giving natural backpressure) — with cloneable senders
-//! *and* receivers, `send` and `recv_timeout`. Backed by
-//! `Mutex<VecDeque>` + `Condvar`s; the queue's ring buffer is reused across
-//! messages, so a steady-state send performs no allocation. Wakeups are
-//! counted: `send`/`recv` only touch a `Condvar` when the other side is
-//! actually parked, keeping the uncontended hot path to one mutex
-//! lock/unlock. Adequate for the executor fan-out sizes exercised here
-//! (tens of threads), though still short of crossbeam's lock-free
-//! throughput.
+//! Implements the subset the runtime crate needs:
+//!
+//! * MPMC [`channel`]s — [`channel::unbounded`] and capacity-limited
+//!   [`channel::bounded`] (send blocks while full, giving natural
+//!   backpressure) — with cloneable senders *and* receivers, `send` and
+//!   `recv_timeout`. Backed by `Mutex<VecDeque>` + `Condvar`s; the queue's
+//!   ring buffer is reused across messages, so a steady-state send performs
+//!   no allocation. Wakeups are counted: `send`/`recv` only touch a
+//!   `Condvar` when the other side is actually parked, keeping the
+//!   uncontended hot path to one mutex lock/unlock. Adequate for the
+//!   executor fan-out sizes exercised here (tens of threads), though still
+//!   short of crossbeam's lock-free throughput.
+//! * work-stealing [`deque`]s — [`deque::Worker`], [`deque::Stealer`] and
+//!   the shared [`deque::Injector`], the API slice `drs-runtime`'s executor
+//!   pool schedules tasks through. Backed by `Mutex<VecDeque>` rather than
+//!   the real crate's lock-free Chase-Lev deque; same FIFO-steal/LIFO-pop
+//!   semantics, adequate for the worker counts exercised here.
 
 #![forbid(unsafe_code)]
 
@@ -115,11 +121,21 @@ pub mod channel {
     type Guard<'a, T> = std::sync::MutexGuard<'a, VecDeque<T>>;
 
     impl<T> Shared<T> {
-        /// Parks the sender once (bounded 5 ms, so a receiver dying or an
-        /// abort flag flipping mid-park is observed promptly).
-        fn park_for_space<'a>(&'a self, queue: Guard<'a, T>) -> Guard<'a, T> {
+        /// Parks the sender once — for at most 5 ms (so a receiver dying or
+        /// an abort flag flipping mid-park is observed promptly), clipped
+        /// to the caller's send deadline so a bounded-wait send never
+        /// overshoots its contract by a park quantum.
+        fn park_for_space<'a>(
+            &'a self,
+            queue: Guard<'a, T>,
+            deadline: Option<Instant>,
+        ) -> Guard<'a, T> {
+            let mut wait = Duration::from_millis(5);
+            if let Some(deadline) = deadline {
+                wait = wait.min(deadline.saturating_duration_since(Instant::now()));
+            }
             self.waiting_senders.fetch_add(1, Ordering::AcqRel);
-            let (guard, _) = match self.space.wait_timeout(queue, Duration::from_millis(5)) {
+            let (guard, _) = match self.space.wait_timeout(queue, wait) {
                 Ok(pair) => pair,
                 Err(poisoned) => {
                     let pair = poisoned.into_inner();
@@ -169,7 +185,7 @@ pub mod channel {
         ///
         /// Returns [`SendError`] carrying the value when no receiver exists.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.send_inner(value, None)
+            self.send_inner(value, None, None)
         }
 
         /// Stop-aware [`Sender::send`]: while waiting for space, if `abort`
@@ -183,10 +199,36 @@ pub mod channel {
         ///
         /// As for [`Sender::send`].
         pub fn send_abortable(&self, value: T, abort: &AtomicBool) -> Result<(), SendError<T>> {
-            self.send_inner(value, Some(abort))
+            self.send_inner(value, Some(abort), None)
         }
 
-        fn send_inner(&self, value: T, abort: Option<&AtomicBool>) -> Result<(), SendError<T>> {
+        /// Bounded-backpressure [`Sender::send`]: blocks at capacity for at
+        /// most `max_wait`, then enqueues past the capacity (soft bound);
+        /// the `abort` flag short-circuits the wait as in
+        /// [`Sender::send_abortable`]. This is the only send shape a
+        /// work-stealing pool may use from a worker thread — an unbounded
+        /// park would let N blocked producers starve the very consumers
+        /// that must drain the channel (the pool has no thread per
+        /// executor to fall back on).
+        ///
+        /// # Errors
+        ///
+        /// As for [`Sender::send`].
+        pub fn send_bounded(
+            &self,
+            value: T,
+            abort: &AtomicBool,
+            max_wait: Duration,
+        ) -> Result<(), SendError<T>> {
+            self.send_inner(value, Some(abort), Some(Instant::now() + max_wait))
+        }
+
+        fn send_inner(
+            &self,
+            value: T,
+            abort: Option<&AtomicBool>,
+            deadline: Option<Instant>,
+        ) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
@@ -195,10 +237,12 @@ pub mod channel {
                 if self.shared.receivers.load(Ordering::Acquire) == 0 {
                     return Err(SendError(value));
                 }
-                if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
-                    break; // soft-bound overrun: enqueue and let the caller stop
+                if abort.is_some_and(|a| a.load(Ordering::Acquire))
+                    || deadline.is_some_and(|d| Instant::now() >= d)
+                {
+                    break; // soft-bound overrun: enqueue and let the caller proceed
                 }
-                queue = self.shared.park_for_space(queue);
+                queue = self.shared.park_for_space(queue, deadline);
             }
             queue.push_back(value);
             drop(queue);
@@ -220,7 +264,7 @@ pub mod channel {
             &self,
             batch: impl IntoIterator<Item = T>,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, None)
+            self.send_batch_inner(batch, None, None)
         }
 
         /// Stop-aware [`Sender::send_batch`]; see [`Sender::send_abortable`]
@@ -235,13 +279,33 @@ pub mod channel {
             batch: impl IntoIterator<Item = T>,
             abort: &AtomicBool,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, Some(abort))
+            self.send_batch_inner(batch, Some(abort), None)
+        }
+
+        /// Bounded-backpressure [`Sender::send_batch`]: blocks at capacity
+        /// for at most `max_wait` in total, then enqueues the rest of the
+        /// batch past the capacity; see [`Sender::send_bounded`] for why
+        /// pool workers need this shape. `Duration::ZERO` never parks —
+        /// the requeue path of a stopping executor uses it to hand
+        /// unprocessed envelopes back without risking a park.
+        ///
+        /// # Errors
+        ///
+        /// As for [`Sender::send_batch`].
+        pub fn send_batch_bounded(
+            &self,
+            batch: impl IntoIterator<Item = T>,
+            abort: &AtomicBool,
+            max_wait: Duration,
+        ) -> Result<(), SendError<usize>> {
+            self.send_batch_inner(batch, Some(abort), Some(Instant::now() + max_wait))
         }
 
         fn send_batch_inner(
             &self,
             batch: impl IntoIterator<Item = T>,
             abort: Option<&AtomicBool>,
+            deadline: Option<Instant>,
         ) -> Result<(), SendError<usize>> {
             let mut iter = batch.into_iter();
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
@@ -256,14 +320,16 @@ pub mod channel {
                         self.shared.wake_receivers(pushed);
                         return Err(SendError(1 + iter.count()));
                     }
-                    if abort.is_some_and(|a| a.load(Ordering::Acquire)) {
+                    if abort.is_some_and(|a| a.load(Ordering::Acquire))
+                        || deadline.is_some_and(|d| Instant::now() >= d)
+                    {
                         break; // soft-bound overrun; see send_abortable
                     }
                     // Let receivers observe what is already enqueued.
                     if pushed > 0 && self.shared.waiting_receivers.load(Ordering::Acquire) > 0 {
                         self.shared.ready.notify_all();
                     }
-                    queue = self.shared.park_for_space(queue);
+                    queue = self.shared.park_for_space(queue, deadline);
                 }
                 queue.push_back(value);
                 pushed += 1;
@@ -275,6 +341,54 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Number of messages currently queued. Like the real crate's
+        /// `Receiver::len`, this is a racy snapshot — only ever a
+        /// scheduling hint.
+        pub fn len(&self) -> usize {
+            lock(&self.shared).len()
+        }
+
+        /// Whether the queue is currently empty (racy snapshot; a hint).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Dequeues up to `max` messages into `buf` under a single lock
+        /// acquisition *without ever parking*: returns
+        /// `Ok((taken, remaining))` — `(0, 0)` when the queue is
+        /// momentarily empty. The executor-pool twin of
+        /// [`Receiver::recv_batch_timeout`] — a pool task must yield its
+        /// worker instead of blocking on an idle channel, and the
+        /// `remaining` count (read from the lock already held) spares the
+        /// caller a second lock acquisition for its "more backlog?"
+        /// scheduling decision.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Disconnected`] when the queue is drained and
+        /// every sender is gone.
+        pub fn try_recv_batch(
+            &self,
+            buf: &mut Vec<T>,
+            max: usize,
+        ) -> Result<(usize, usize), RecvTimeoutError> {
+            let mut queue = lock(&self.shared);
+            if queue.is_empty() {
+                if self.shared.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Ok((0, 0));
+            }
+            let n = queue.len().min(max.max(1));
+            buf.extend(queue.drain(..n));
+            let remaining = queue.len();
+            drop(queue);
+            if self.shared.waiting_senders.load(Ordering::Acquire) > 0 {
+                self.shared.space.notify_all();
+            }
+            Ok((n, remaining))
+        }
+
         /// Dequeues a message, waiting up to `timeout` for one to arrive.
         ///
         /// # Errors
@@ -394,6 +508,190 @@ pub mod channel {
     impl<T> fmt::Debug for Receiver<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("Receiver")
+        }
+    }
+}
+
+/// Work-stealing deques: per-worker [`deque::Worker`]s with shared
+/// [`deque::Stealer`] handles, plus the global [`deque::Injector`] queue.
+///
+/// The API mirrors `crossbeam::deque` (the slice `drs-runtime` uses):
+/// workers pop their own end in LIFO order for cache locality while
+/// stealers and the injector hand out the opposite end FIFO, so the oldest
+/// queued task migrates first. The stand-in is `Mutex<VecDeque>`-backed —
+/// no lock-free Chase-Lev — which is adequate at the worker counts this
+/// workspace runs (the real crate drops in unchanged when the registry
+/// returns).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Mutex, MutexGuard};
+
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+        match queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and may be retried. The mutex-backed
+        /// stand-in never produces this; it exists for API compatibility
+        /// with the lock-free original.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                Steal::Empty | Steal::Retry => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A worker-owned deque: the owner pushes and pops one end (LIFO);
+    /// [`Stealer`]s take the other end (FIFO). Not cloneable — exactly one
+    /// owner — but any number of stealer handles may exist.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A shared handle stealing from the far end of one [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// The global injection queue: any thread pushes, workers steal FIFO.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty LIFO worker deque (pops return the most
+        /// recently pushed task).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops the owner's end (most recent task).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks (racy snapshot).
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+
+        /// Creates a stealer handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest queued task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task; any worker may steal it.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals the oldest injected task.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the injector is currently empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks (racy snapshot).
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    impl<T> fmt::Debug for Worker<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Worker")
+        }
+    }
+
+    impl<T> fmt::Debug for Stealer<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Stealer")
+        }
+    }
+
+    impl<T> fmt::Debug for Injector<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Injector")
         }
     }
 }
@@ -555,6 +853,123 @@ mod tests {
         assert!(
             start.elapsed() < Duration::from_millis(500),
             "abort must unblock the sender promptly"
+        );
+    }
+
+    #[test]
+    fn bounded_wait_send_overruns_after_the_deadline() {
+        use std::sync::atomic::AtomicBool;
+        let abort = AtomicBool::new(false);
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        // Full channel, nobody draining: both bounded sends must return
+        // within their deadline with the messages enqueued past capacity.
+        let start = std::time::Instant::now();
+        tx.send_bounded(1, &abort, Duration::from_millis(20))
+            .unwrap();
+        tx.send_batch_bounded([2, 3], &abort, Duration::from_millis(20))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(500),
+            "bounded sends must not park past their deadline"
+        );
+        assert_eq!(rx.len(), 4);
+        let drained: Vec<u32> =
+            std::iter::from_fn(|| rx.recv_timeout(Duration::from_millis(20)).ok()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_wait_batch_send_never_parks() {
+        use std::sync::atomic::AtomicBool;
+        let abort = AtomicBool::new(false);
+        let (tx, rx) = bounded(1);
+        tx.send(9).unwrap();
+        let start = std::time::Instant::now();
+        tx.send_batch_bounded([8, 7], &abort, Duration::ZERO)
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(rx.len(), 3);
+    }
+
+    #[test]
+    fn try_recv_batch_drains_without_parking() {
+        let (tx, rx) = unbounded();
+        let mut buf = Vec::new();
+        assert_eq!(rx.try_recv_batch(&mut buf, 4), Ok((0, 0)));
+        for i in 0..6 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_recv_batch(&mut buf, 4), Ok((4, 2)));
+        assert_eq!(buf, vec![0, 1, 2, 3]);
+        assert_eq!(rx.len(), 2);
+        assert!(!rx.is_empty());
+        drop(tx);
+        buf.clear();
+        assert_eq!(rx.try_recv_batch(&mut buf, 4), Ok((2, 0)));
+        assert_eq!(
+            rx.try_recv_batch(&mut buf, 4),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn deque_lifo_pop_fifo_steal() {
+        use super::deque::{Injector, Steal, Worker};
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.len(), 3);
+        // Owner pops the newest…
+        assert_eq!(w.pop(), Some(3));
+        // …stealers take the oldest.
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert!(w.is_empty() && s.is_empty());
+
+        let inj: Injector<u32> = Injector::new();
+        inj.push(10);
+        inj.push(11);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal().success(), Some(10));
+        assert_eq!(inj.steal().success(), Some(11));
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn deque_steals_balance_across_threads() {
+        use super::deque::Worker;
+        use std::sync::Arc;
+        let w: Worker<u32> = Worker::new_lifo();
+        for i in 0..1_000 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let total = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let threads: Vec<_> = stealers
+            .into_iter()
+            .map(|s| {
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    while s.steal().success().is_some() {
+                        total.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        let mut owner = 0;
+        while w.pop().is_some() {
+            owner += 1;
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            owner + total.load(std::sync::atomic::Ordering::Relaxed),
+            1_000
         );
     }
 

@@ -18,7 +18,17 @@
 //!   shard (each shard is an independent [`CspBackend`] on its own clock)
 //!   but resolves contention centrally every window. Capacity freed by a
 //!   shard whose demand drops is re-offered to starved shards on the next
-//!   negotiation round.
+//!   negotiation round;
+//! * before any grant is actuated it passes the shard's own cost/benefit
+//!   **decision gate** ([`crate::decision`], configured via
+//!   [`FleetDriverConfig::decision`]): noise-driven ±1 grant wobble is
+//!   kept rather than paid for with a pause every window, while target
+//!   violations, instability and real scale-downs still act. Shrinks
+//!   bypass the gate while the budget is contended — capped shards are
+//!   starving, so freed capacity must actually flow. Note the flip side:
+//!   an *uncontended* scale-down is deferred while the shard's measured
+//!   latency violates its target (never shrink a struggling shard), which
+//!   can also defer another shard's grow until the pool frees up.
 //!
 //! The `drs-sim` crate pairs this driver with a sharded multi-topology
 //! simulator (`drs_sim::fleet::FleetCoordinator`); `repro fleet` in
@@ -94,6 +104,7 @@
 //! # }
 //! ```
 
+use crate::decision::{self, DecisionInputs, DecisionPolicy};
 use crate::driver::{CspBackend, RebalancePlan};
 use crate::measurer::{Measurer, SampleBuilder, Smoothing};
 use crate::model::PerformanceModel;
@@ -357,11 +368,22 @@ pub struct FleetDriverConfig {
     /// re-assigns executors within a fixed machine pool, so the cheap
     /// steady-state pause of the improved DRS re-balancing applies.
     pub pause_secs: f64,
+    /// The per-shard rebalance cost/benefit gate (paper App. B-B), applied
+    /// before any grant is actuated: a grant that differs from the running
+    /// allocation is executed only when the shard's own model says the
+    /// move is worth its pause. This is what keeps noise-driven ±1 grant
+    /// wobble from re-balancing every shard every window. One exception:
+    /// while the budget is *contended*, shrinks bypass the gate — capped
+    /// shards are starving, so freed capacity must actually flow.
+    pub decision: DecisionPolicy,
 }
 
 impl FleetDriverConfig {
     /// A sensible fleet configuration for the given budget: 60 s windows,
-    /// 2 warmup windows, α = 0.5 smoothing, 0.5 s rebalance pause.
+    /// 2 warmup windows, α = 0.5 smoothing, 0.5 s rebalance pause, and the
+    /// default decision gate hardened for fleet noise
+    /// (`min_executor_savings` = 2, so a one-executor scale-down — the
+    /// classic noise wobble — never pays for a pause on its own).
     pub fn new(k_max: u32) -> Self {
         FleetDriverConfig {
             k_max,
@@ -369,6 +391,10 @@ impl FleetDriverConfig {
             warmup_windows: 2,
             smoothing: Smoothing::Alpha { alpha: 0.5 },
             pause_secs: 0.5,
+            decision: DecisionPolicy {
+                min_executor_savings: 2,
+                ..DecisionPolicy::default()
+            },
         }
     }
 }
@@ -463,6 +489,9 @@ pub struct ShardPoint {
     pub capped: bool,
     /// Whether a rebalance was applied to this shard during the window.
     pub rebalanced: bool,
+    /// Whether the negotiator's grant differed from the running allocation
+    /// but the cost/benefit gate kept the current one (noise damping).
+    pub gated: bool,
     /// Shard-level error this window (model fit, scheduling or a backend
     /// refusal), if any.
     pub error: Option<String>,
@@ -677,6 +706,7 @@ impl<B: CspBackend> FleetDriver<B> {
         // decided, so it must survive a grant later being discarded by a
         // backend refusal or a deferred grow.
         let mut capped = vec![false; n];
+        let mut gated = vec![false; n];
 
         if window >= self.config.warmup_windows {
             // 3. Each shard computes its own single-topology demand.
@@ -751,8 +781,41 @@ impl<B: CspBackend> FleetDriver<B> {
                 let Some(grant) = grants[i].clone() else {
                     continue;
                 };
-                if grant.allocation == shard.backend.current_allocation() {
+                let current = shard.backend.current_allocation();
+                if grant.allocation == current {
                     continue;
+                }
+                // Per-shard cost/benefit gate (paper App. B-B): actuate
+                // only moves worth their pause, so noise-driven grant
+                // wobble does not re-balance the shard every window.
+                // Contended shrinks bypass the gate — capped shards are
+                // starving and the freed capacity must actually flow.
+                let urgent_shrink = contended && grant.total() < current_totals[i];
+                if !urgent_shrink {
+                    if let Some(demand) = &demands_by_shard[i] {
+                        let network = &demand.network;
+                        let verdict = decision::decide(
+                            &self.config.decision,
+                            &DecisionInputs {
+                                current_estimate: network
+                                    .expected_sojourn(&current)
+                                    .unwrap_or(f64::INFINITY),
+                                candidate_estimate: network
+                                    .expected_sojourn(&grant.allocation)
+                                    .unwrap_or(f64::INFINITY),
+                                current_allocation: current,
+                                candidate_allocation: grant.allocation.clone(),
+                                pause_secs: self.config.pause_secs,
+                                t_max: Some(shard.t_max_secs),
+                                measured_sojourn: samples[i].mean_sojourn,
+                            },
+                        );
+                        if !verdict.is_rebalance() {
+                            gated[i] = true;
+                            grants[i] = None;
+                            continue;
+                        }
+                    }
                 }
                 if grant.total() > current_totals[i]
                     && fleet_total - current_totals[i] + grant.total()
@@ -817,6 +880,7 @@ impl<B: CspBackend> FleetDriver<B> {
                         .map(|d| executor_total(&d.desired)),
                     capped: capped[i],
                     rebalanced: rebalanced[i],
+                    gated: gated[i],
                     error: errors[i].take(),
                 }
             })
@@ -829,6 +893,25 @@ impl<B: CspBackend> FleetDriver<B> {
             error: fleet_error,
         });
         self.timeline.last().expect("just pushed")
+    }
+}
+
+/// The M/M/k-consistent "measured" sojourn a mock shard backend should
+/// report for its current rates and allocation — an unstable queue
+/// measures "very slow" (5 s), never infinite. Mock backends feeding the
+/// per-shard decision gate must use this (rather than a constant) or the
+/// gate sees a world no live engine produces: a permanently violated
+/// target freezes every scale-down behind the "never shrink a struggling
+/// shard" rule. Test support, not part of the public API surface.
+#[doc(hidden)]
+pub fn mmk_measured_sojourn(rate: f64, mu: f64, servers: u32) -> f64 {
+    let predicted = drs_queueing::erlang::MmKQueue::new(rate, mu)
+        .map(|q| q.expected_sojourn(servers))
+        .unwrap_or(f64::INFINITY);
+    if predicted.is_finite() {
+        predicted
+    } else {
+        5.0
     }
 }
 
@@ -854,7 +937,9 @@ mod tests {
     use super::*;
     use crate::driver::{AppliedRebalance, BackendError, CspBackend, OperatorSample, WindowSample};
 
-    /// Fixed-rate mock shard; rate can be changed mid-run.
+    /// Fixed-rate mock shard; rate can be changed mid-run. Reports the
+    /// M/M/k-consistent measured sojourn via [`mmk_measured_sojourn`] so
+    /// the decision gate sees the same world a live engine would.
     #[derive(Debug)]
     struct StaticShard {
         rate: f64,
@@ -885,13 +970,14 @@ mod tests {
             self.allocation.clone()
         }
         fn advance(&mut self, _window_secs: f64) -> WindowSample {
+            let measured = mmk_measured_sojourn(self.rate, self.mu, self.allocation[0]);
             WindowSample {
                 external_rate: Some(self.rate),
                 operators: vec![OperatorSample {
                     arrival_rate: Some(self.rate),
                     service_rate: Some(self.mu),
                 }],
-                mean_sojourn: Some(0.5),
+                mean_sojourn: Some(measured),
                 std_sojourn: None,
                 completed: 100,
             }

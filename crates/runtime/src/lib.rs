@@ -1,4 +1,5 @@
-//! A miniature threaded stream-processing engine (the "CSP layer").
+//! A miniature stream-processing engine (the "CSP layer") on a
+//! work-stealing executor pool.
 //!
 //! This crate stands in for Apache Storm in the DRS reproduction (Fu et al.,
 //! ICDCS 2015): spouts and bolts run on real threads, tuples flow through
@@ -11,11 +12,45 @@
 //! example at the repository root); the deterministic experiments of the
 //! paper are reproduced on the `drs-sim` discrete-event simulator instead.
 //!
+//! # Workers vs. logical executors
+//!
+//! The execution layer decouples the paper's control variable `k_i` (the
+//! executor count of operator `i`) from OS threads:
+//!
+//! * a fixed pool of **workers** (configurable via
+//!   `RuntimeBuilder::workers`, default: available parallelism with a
+//!   small oversubscription floor for blocking bolts) runs every bolt
+//!   execution. Workers own local task deques and steal from a shared
+//!   injector and from each other;
+//! * a **logical executor** is a scheduling slot of one operator, backed
+//!   by a dedicated pooled `Bolt` instance (so user bolts keep
+//!   executor-local state without synchronisation, exactly as with one
+//!   thread per executor). An operator's allocation `k_i` is a *weight*
+//!   bounding how many of its executor tasks may be in flight at once —
+//!   `k_i = 20` on a 4-worker pool means up to 20 claimable slots whose
+//!   concurrency the pool arbitrates, not 20 oversubscribed threads;
+//! * **`rebalance()` is a control-plane write**: weights are rewritten
+//!   atomically, growing operators gain pre-built bolt instances in O(1),
+//!   and only *shrinking* operators quiesce (each excess in-flight task
+//!   retires at its next envelope boundary). The measured pause drops from
+//!   thread join/spawn latency (≥ one 5 ms park quantum per generation) to
+//!   envelope-boundary drain — `repro perf` records both sides in
+//!   `BENCH_PERF.json` (`rebalance[pool]` vs the `thread_join` reference)
+//!   and `repro perfdiff` gates them;
+//! * **spouts keep dedicated threads** (they pace real time between
+//!   emissions) and emit *batches* of root tuples per
+//!   [`Spout::next_batch`] call, shipped through one
+//!   batched channel send per downstream edge.
+//!
 //! # Architecture
 //!
 //! * [`mod@tuple`] — tuple values.
 //! * [`operator`] — the `Spout`/`Bolt` traits users implement.
-//! * [`engine`] — executor threads, channels, acking, re-balancing.
+//! * [`engine`] — the builder, spout threads, re-balancing, shutdown.
+//! * `executor` (private) — logical-executor state: weights, pooled bolt
+//!   instances, the ack slab.
+//! * `pool` (private) — the work-stealing workers and the task scheduling
+//!   protocol.
 //! * [`metrics`] — the shared lock-free metrics registry.
 //!
 //! # Allocation-free data path
@@ -26,12 +61,14 @@
 //! with a free list instead of per-root allocations, downstream targets
 //! come from the compiled CSR layout shared with the simulator
 //! ([`drs_topology::CsrOutEdges`]), envelopes flow through bounded MPMC
-//! channels whose ring buffers are reused (and which backpressure the
-//! producer instead of growing without bound), and each executor reuses one
-//! emission buffer across tuples. See the [`engine`] module docs for the
-//! full inventory; `repro perf` tracks the resulting `tuples_per_wall_sec`
-//! on the live VLD pipeline in `BENCH_PERF.json`, gated by `repro
-//! perfdiff`.
+//! channels whose ring buffers are reused (and which backpressure spout
+//! producers instead of growing without bound; pool workers bound their
+//! waits so a finite pool cannot deadlock on its own downstream channels),
+//! and each worker reuses its collector/outbox/inbox buffers across
+//! slices. See the [`engine`] module docs for the full inventory; `repro
+//! perf` tracks the resulting `tuples_per_wall_sec` on the live VLD
+//! pipeline — plus a `worker_pool` sweep with Σk_i far above the worker
+//! count — in `BENCH_PERF.json`, gated by `repro perfdiff`.
 //!
 //! Groupings: the engine distributes tuples to executors through one shared
 //! queue per operator (shuffle semantics). Other Storm groupings affect
@@ -43,8 +80,10 @@
 
 pub mod backend;
 pub mod engine;
+mod executor;
 pub mod metrics;
 pub mod operator;
+mod pool;
 pub mod tuple;
 
 pub use engine::{RuntimeBuilder, RuntimeEngine, RuntimeError};

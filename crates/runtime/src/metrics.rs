@@ -108,10 +108,6 @@ impl MetricsRegistry {
         self.operators.is_empty()
     }
 
-    pub(crate) fn record_arrival(&self, op: usize) {
-        self.operators[op].arrivals.fetch_add(1, Ordering::Relaxed);
-    }
-
     /// Records `n` arrivals in one atomic add (the fan-out batch path).
     pub(crate) fn record_arrivals(&self, op: usize, n: u64) {
         self.operators[op].arrivals.fetch_add(n, Ordering::Relaxed);
@@ -126,8 +122,10 @@ impl MetricsRegistry {
             .fetch_add(busy_nanos, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_external(&self) {
-        self.external.fetch_add(1, Ordering::Relaxed);
+    /// Records `n` root emissions in one atomic add (the batched spout
+    /// path).
+    pub(crate) fn record_externals(&self, n: u64) {
+        self.external.fetch_add(n, Ordering::Relaxed);
     }
 
     pub(crate) fn record_sojourn(&self, secs: f64) {
@@ -181,11 +179,10 @@ mod tests {
         let m = MetricsRegistry::new(2);
         assert_eq!(m.len(), 2);
         assert!(!m.is_empty());
-        m.record_arrival(0);
-        m.record_arrival(0);
-        m.record_arrival(1);
+        m.record_arrivals(0, 2);
+        m.record_arrivals(1, 1);
         m.record_completion(0, 1_000_000); // 1 ms
-        m.record_external();
+        m.record_externals(1);
         m.record_sojourn(0.25);
 
         let snap = m.take_snapshot();
@@ -230,7 +227,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        m.record_arrival(0);
+                        m.record_arrivals(0, 1);
                         m.record_completion(0, 10);
                     }
                 })

@@ -19,12 +19,29 @@ pub struct SpoutEmission {
 }
 
 /// A data source. The engine runs each spout on its own thread, calling
-/// [`Spout::next`] in a loop and sleeping [`SpoutEmission::wait`] between
-/// emissions.
+/// [`Spout::next_batch`] in a loop and sleeping the returned wait between
+/// calls; the default implementation delegates to [`Spout::next`] one
+/// tuple at a time, so existing spouts keep working unchanged.
 pub trait Spout: Send {
     /// Produces the next tuple, or `None` when the stream is exhausted
     /// (the spout thread then exits).
     fn next(&mut self) -> Option<SpoutEmission>;
+
+    /// Batch-aware emission: appends up to `max` tuples to `out` and
+    /// returns the pause before the *next* call, or `None` when the stream
+    /// is exhausted (any tuples appended on the final call are still
+    /// emitted). The engine turns each appended tuple into its own root
+    /// tuple tree but ships the whole batch through one batched channel
+    /// send per downstream edge — high-rate spouts should override this to
+    /// amortise the per-root channel cost.
+    ///
+    /// The default emits a single [`Spout::next`] tuple per call.
+    fn next_batch(&mut self, max: usize, out: &mut Vec<Tuple>) -> Option<Duration> {
+        let _ = max;
+        let emission = self.next()?;
+        out.push(emission.tuple);
+        Some(emission.wait)
+    }
 }
 
 /// Sink for tuples emitted by a bolt during [`Bolt::execute`].

@@ -1,0 +1,411 @@
+//! The work-stealing worker pool running every logical executor.
+//!
+//! N OS threads ("workers", default: available parallelism floored at
+//! [`crate::engine::RuntimeBuilder::DEFAULT_MIN_WORKERS`]) each own a local
+//! task deque and steal from a shared injector and from each other. A
+//! *task* is simply an operator index: running it checks a pooled [`Bolt`]
+//! instance out of the operator's [`OpSlot`], pulls one batch of envelopes
+//! from the operator's input channel, executes them, and either continues
+//! (backlog remains) or retires (channel momentarily empty). The per-
+//! operator weight `k_i` bounds how many such tasks may be in flight at
+//! once — that bound *is* the executor allocation, so `rebalance()` is a
+//! weight-table write, not a thread lifecycle operation.
+//!
+//! # Scheduling protocol
+//!
+//! `scheduled[op]` counts in-flight tasks. [`PoolShared::nudge`] spawns one
+//! task when `scheduled < weight` (CAS-guarded, so the bound is never
+//! exceeded); producers nudge after every enqueue, and a task starting on a
+//! backlog larger than one slice nudges again ("cascade"), so wakeups cost
+//! O(1) per batch rather than per tuple. A retiring task re-checks the
+//! channel after decrementing `scheduled` and re-nudges if a producer raced
+//! it — the standard lost-wakeup guard.
+//!
+//! Continuations go through the shared injector rather than the local
+//! deque: a LIFO self-push would let one hot operator monopolise its
+//! worker while sibling tasks starve in the same deque; routing the
+//! continuation through the FIFO injector interleaves operators even on a
+//! single-worker pool. Cascade spawns and downstream nudges stay on the
+//! local deque for locality — idle workers steal them when the pool is
+//! unbalanced.
+//!
+//! # Blocking discipline
+//!
+//! Workers never park indefinitely inside user-visible operations: sends
+//! into full downstream channels wait at most [`BACKPRESSURE_WAIT`] before
+//! soft-overrunning the bounded channel. With one thread per executor a
+//! blocked producer always coexisted with live consumers; on a finite pool
+//! an unbounded park could occupy every worker and starve the very
+//! consumers that would free the space (classic pool deadlock). Spout
+//! threads are not workers and keep hard backpressure.
+
+use crate::executor::{DataPath, Envelope, OpSlot};
+use crate::operator::{Bolt, VecCollector};
+use crate::tuple::Tuple;
+use crossbeam::channel::{Receiver, SendError};
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A schedulable unit: the operator whose channel the task drains.
+pub(crate) type Task = u32;
+
+/// Maximum envelopes one task pulls per slice (single channel-lock
+/// acquisition); also the granularity at which weight changes are observed.
+pub(crate) const RECV_BATCH: usize = 128;
+
+/// Longest a worker blocks on a full downstream channel before
+/// soft-overrunning it (see the module docs on the blocking discipline).
+const BACKPRESSURE_WAIT: Duration = Duration::from_millis(1);
+
+/// Idle-worker park quantum: parked workers also wake on every nudge, so
+/// this only bounds the latency of rare lost wakeups.
+const PARK_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// Per-worker scratch buffers, reused across slices so the steady state
+/// allocates nothing: the emission collector, the `Arc`'d outbox and the
+/// batched inbox all keep their capacity.
+struct WorkerScratch {
+    collector: VecCollector,
+    arc_buf: Vec<Arc<Tuple>>,
+    inbox: Vec<Envelope>,
+}
+
+/// Pool state shared by workers, spout threads and the engine.
+pub(crate) struct PoolShared {
+    /// Per-operator executor state, indexed by operator id.
+    pub(crate) ops: Vec<OpSlot>,
+    /// Per-operator input channels (receiver side), indexed by operator id.
+    pub(crate) receivers: Vec<Receiver<Envelope>>,
+    pub(crate) path: DataPath,
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    idle_waiting: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for PoolShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolShared")
+            .field("workers", &self.stealers.len())
+            .field("ops", &self.ops)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PoolShared {
+    /// Spawns one executor task for `op` if its weight allows another; no-op
+    /// otherwise. Safe to call from any thread — pool workers pass their
+    /// local deque for a cheap push, spout threads and the control plane
+    /// pass `None` (injector).
+    pub(crate) fn nudge(&self, op: usize, local: Option<&Worker<Task>>) {
+        let slot = &self.ops[op];
+        if !slot.is_executable() {
+            return;
+        }
+        loop {
+            let w = slot.weight.load(Ordering::Acquire);
+            let s = slot.scheduled.load(Ordering::Acquire);
+            if s >= w {
+                return;
+            }
+            if slot
+                .scheduled
+                .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                match local {
+                    Some(deque) => deque.push(op as Task),
+                    None => self.injector.push(op as Task),
+                }
+                self.wake_one();
+                return;
+            }
+        }
+    }
+
+    fn wake_one(&self) {
+        if self.idle_waiting.load(Ordering::Acquire) > 0 {
+            let _guard = self
+                .idle_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.idle_cv.notify_one();
+        }
+    }
+
+    fn park(&self) {
+        self.idle_waiting.fetch_add(1, Ordering::AcqRel);
+        let guard = self
+            .idle_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !self.shutdown.load(Ordering::Acquire) && self.injector.is_empty() {
+            let _ = self
+                .idle_cv
+                .wait_timeout(guard, PARK_TIMEOUT)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        self.idle_waiting.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Executes one task: retire if the weight shrank, otherwise run one
+    /// batch slice and decide between continuation and retirement.
+    fn run_task(&self, op: usize, local: &Worker<Task>, scratch: &mut WorkerScratch) {
+        let slot = &self.ops[op];
+        // Shrink quiesce: excess tasks retire before touching any envelope.
+        loop {
+            let w = slot.weight.load(Ordering::Acquire);
+            let s = slot.scheduled.load(Ordering::Acquire);
+            if s <= w {
+                break;
+            }
+            if slot
+                .scheduled
+                .compare_exchange(s, s - 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                slot.trim_idle();
+                return;
+            }
+        }
+        let Some(mut bolt) = slot.checkout() else {
+            // A concurrent shrink drained the instance pool under us:
+            // retire, but do not forget pending envelopes.
+            slot.scheduled.fetch_sub(1, Ordering::AcqRel);
+            if !self.receivers[op].is_empty() {
+                self.nudge(op, Some(local));
+            }
+            return;
+        };
+        let (pulled, remaining) = self.receivers[op]
+            .try_recv_batch(&mut scratch.inbox, RECV_BATCH)
+            .unwrap_or((0, 0));
+        if remaining > 0 {
+            // Backlog beyond this slice: cascade another executor task (up
+            // to the weight) before spending time processing. `remaining`
+            // comes from the recv's own lock hold, so the hot path pays no
+            // extra channel-lock acquisition for this decision.
+            self.nudge(op, Some(local));
+        }
+        let interrupted = self.run_slice(op, bolt.as_mut(), scratch, local);
+        slot.checkin(bolt);
+        if !interrupted
+            && pulled > 0
+            && remaining > 0
+            && slot.scheduled.load(Ordering::Acquire) <= slot.weight.load(Ordering::Acquire)
+        {
+            // Continue through the injector for cross-operator fairness
+            // (see the module docs); `scheduled` stays claimed. `remaining`
+            // is a pre-slice snapshot: if the backlog was drained by
+            // siblings meanwhile, the continuation task simply finds an
+            // empty channel and retires.
+            self.injector.push(op as Task);
+            return;
+        }
+        slot.scheduled.fetch_sub(1, Ordering::AcqRel);
+        if !self.receivers[op].is_empty() {
+            // Lost-wakeup guard: a producer may have enqueued between our
+            // empty observation and the decrement above.
+            self.nudge(op, Some(local));
+        }
+    }
+
+    /// Runs the envelopes pulled into the inbox; re-checks shutdown and the
+    /// operator weight between envelopes, so a rebalance shrink is observed
+    /// within one service time rather than one slice. Unprocessed leftovers
+    /// go back to the operator's channel (zero-wait overrun: the requeue
+    /// must never park) for the next executor task. Returns whether the
+    /// slice was interrupted.
+    fn run_slice(
+        &self,
+        op: usize,
+        bolt: &mut dyn Bolt,
+        scratch: &mut WorkerScratch,
+        local: &Worker<Task>,
+    ) -> bool {
+        let slot = &self.ops[op];
+        let mut interrupted = false;
+        let mut drained = scratch.inbox.drain(..);
+        for env in &mut drained {
+            self.execute_one(
+                op,
+                env,
+                bolt,
+                &mut scratch.collector,
+                &mut scratch.arc_buf,
+                local,
+            );
+            if self.shutdown.load(Ordering::Acquire)
+                || slot.scheduled.load(Ordering::Acquire) > slot.weight.load(Ordering::Acquire)
+            {
+                interrupted = true;
+                break;
+            }
+        }
+        for env in drained {
+            if let Err(SendError(env)) =
+                self.path.senders[op].send_bounded(env, &self.shutdown, Duration::ZERO)
+            {
+                // Receivers gone (engine tearing down): reconcile so the
+                // tree still completes.
+                self.path
+                    .acks
+                    .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+            }
+        }
+        interrupted
+    }
+
+    /// Processes one envelope: run the bolt, fan the emissions out (one
+    /// `Arc` per emitted tuple, one batched bounded send per downstream
+    /// channel), nudge the consumers, settle the ack.
+    fn execute_one(
+        &self,
+        op: usize,
+        env: Envelope,
+        bolt: &mut dyn Bolt,
+        collector: &mut VecCollector,
+        arc_buf: &mut Vec<Arc<Tuple>>,
+        local: &Worker<Task>,
+    ) {
+        let path = &self.path;
+        let started = Instant::now();
+        bolt.execute(&env.tuple, collector);
+        let busy = started.elapsed();
+        path.metrics.record_completion(op, busy.as_nanos() as u64);
+        let targets = path.csr.targets_of(op);
+        if !collector.is_empty() && !targets.is_empty() {
+            arc_buf.extend(collector.drain_tuples().map(Arc::new));
+            path.acks
+                .add(&env.ack, (arc_buf.len() * targets.len()) as u64);
+            for &t in targets {
+                path.metrics
+                    .record_arrivals(t as usize, arc_buf.len() as u64);
+                let batch = arc_buf.iter().map(|tuple| Envelope {
+                    tuple: Arc::clone(tuple),
+                    ack: env.ack.clone(),
+                });
+                match path.senders[t as usize].send_batch_bounded(
+                    batch,
+                    &self.shutdown,
+                    BACKPRESSURE_WAIT,
+                ) {
+                    Ok(()) => {}
+                    Err(SendError(unsent)) => {
+                        path.acks
+                            .cancel(&env.ack, unsent as u64, &path.metrics, &path.open_trees);
+                    }
+                }
+                self.nudge(t as usize, Some(local));
+            }
+            arc_buf.clear();
+        } else {
+            collector.drain_tuples();
+        }
+        path.acks.done(env.ack, &path.metrics, &path.open_trees);
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, index: usize) {
+    let mut scratch = WorkerScratch {
+        collector: VecCollector::new(),
+        arc_buf: Vec::new(),
+        inbox: Vec::new(),
+    };
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let task = local
+            .pop()
+            .or_else(|| shared.injector.steal().success())
+            .or_else(|| {
+                let n = shared.stealers.len();
+                (1..n).find_map(|i| shared.stealers[(index + i) % n].steal().success())
+            });
+        match task {
+            Some(op) => shared.run_task(op as usize, &local, &mut scratch),
+            None => shared.park(),
+        }
+    }
+}
+
+/// The running pool: shared state plus the worker thread handles.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Builds the shared state and launches `workers` worker threads.
+    pub(crate) fn start(
+        ops: Vec<OpSlot>,
+        receivers: Vec<Receiver<Envelope>>,
+        path: DataPath,
+        workers: usize,
+    ) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let shared = Arc::new(PoolShared {
+            ops,
+            receivers,
+            path,
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            idle_waiting: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("drs-worker-{index}"))
+                    .spawn(move || worker_loop(shared, local, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// The shared pool state (for nudging and weight control).
+    pub(crate) fn shared(&self) -> &Arc<PoolShared> {
+        &self.shared
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.shared.stealers.len()
+    }
+
+    /// Stops and joins every worker. Idempotent.
+    pub(crate) fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self
+                .shared
+                .idle_lock
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            self.shared.idle_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -24,6 +24,24 @@
 //!   workload drift. A band that over-fills mid-epoch (> [`REBUILD_FACTOR`]×
 //!   the bucket count) is lazily rebuilt through the same path.
 //!
+//! # Re-spill cost bound
+//!
+//! The overflow is a *single* unsorted rung: every re-seed scans the whole
+//! overflow once — an O(|overflow|) `swap_remove` partition — and spills
+//! only the nearest stratum into the new band. For the simulator's actual
+//! workloads (service/arrival events scheduled within a bounded horizon of
+//! *now*) the overflow is small and re-seeds are rare, so the amortized
+//! cost per event stays O(1). The adversarial worst case is a
+//! **far-future-heavy** schedule: `S` well-separated strata of `m/S`
+//! events each force one re-seed per stratum, each scanning the events of
+//! every later stratum again — `Σ_{s=1..S} s·(m/S) = O(m·S)` total touches,
+//! i.e. each event is re-scanned once per earlier stratum, up to O(S)
+//! times. Correctness is unaffected (the regression test in
+//! `crates/sim/tests/calendar_properties.rs` pins pop order through
+//! exactly this shape), only the constant grows. A true multi-rung ladder
+//! would bound the re-spill work to O(1) touches per event per *rung*
+//! (O(log horizon) total) and is the named follow-up in the ROADMAP.
+//!
 //! # Determinism
 //!
 //! Every event carries a monotonically increasing sequence number assigned

@@ -143,3 +143,77 @@ proptest! {
         }
     }
 }
+
+/// Deterministic regression for the adversarial far-future-heavy shape the
+/// module docs' re-spill bound describes: `S` well-separated strata (each
+/// far beyond any band horizon) force one overflow re-seed per stratum,
+/// and every re-seed re-scans all later strata. Pop order must stay
+/// bit-identical to the heap reference through *every* one of those
+/// re-seeds — including FIFO tie storms inside a stratum, fresh far pushes
+/// injected mid-drain, and re-anchoring after full drains.
+#[test]
+fn far_future_heavy_schedule_pins_pop_order_through_repeated_reseeds() {
+    const STRATA: u64 = 48;
+    const PER_STRATUM: u64 = 97;
+    const STRATUM_GAP: u64 = 1 << 41; // far beyond any adaptive band span
+
+    let mut calendar: CalendarQueue<u64> = CalendarQueue::new();
+    let mut reference = HeapReference::default();
+    let mut xorshift = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        xorshift ^= xorshift << 13;
+        xorshift ^= xorshift >> 7;
+        xorshift ^= xorshift << 17;
+        xorshift
+    };
+
+    // Interleave the strata so consecutive pushes never land in the same
+    // one: every stratum is pure overflow at insertion time.
+    for i in 0..PER_STRATUM {
+        for s in 0..STRATA {
+            let base = (s + 1) * STRATUM_GAP;
+            let t = match i % 3 {
+                0 => base,                        // tie storm at the stratum anchor
+                1 => base + (next() % (1 << 18)), // near-anchor jitter
+                _ => base + (next() % (1 << 30)), // wide in-stratum spread
+            };
+            let seq = reference.push(t);
+            calendar.push(t, seq);
+        }
+    }
+
+    let mut popped = 0u64;
+    let mut last = (0u64, 0u64);
+    while let Some((t, seq)) = calendar.pop() {
+        let expect = reference.pop().expect("reference in lockstep");
+        assert_eq!(
+            (t, seq),
+            expect,
+            "divergence at pop {popped} (last = {last:?})"
+        );
+        assert!((t, seq) > last || popped == 0, "order went backwards");
+        last = (t, seq);
+        popped += 1;
+
+        // Mid-drain adversarial refills: every ~150 pops, push a burst of
+        // new far-future events (later strata the pending overflow has
+        // already been scanned against) plus a few near-now events that
+        // must cut ahead of everything far.
+        if popped.is_multiple_of(150) {
+            for b in 0..5 {
+                let far = t + STRATUM_GAP * (3 + b) + (next() % (1 << 25));
+                let seq = reference.push(far);
+                calendar.push(far, seq);
+            }
+            let near = t + (next() % 1_000);
+            let seq = reference.push(near);
+            calendar.push(near, seq);
+        }
+    }
+    assert!(reference.pop().is_none(), "calendar drained early");
+    assert!(
+        popped >= STRATA * PER_STRATUM,
+        "drained {popped} events, expected at least {}",
+        STRATA * PER_STRATUM
+    );
+}
