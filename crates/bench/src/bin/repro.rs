@@ -5,7 +5,7 @@
 //! ```text
 //! repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]
 //! repro drive [--backend sim|runtime|both] [--quick]
-//! repro fleet [--smoke] [--seed N]
+//! repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
 //! ```
 //!
@@ -13,7 +13,7 @@
 //! the paper's horizons (10-minute measurements, 27-minute timelines).
 
 use drs_bench::sweep::{run_sweep, App};
-use drs_bench::{ablation, drive, fig10, fig8, fig9, fleet, perf, perfdiff, surge, table2};
+use drs_bench::{ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, surge, table2};
 use std::env;
 use std::process::ExitCode;
 
@@ -24,6 +24,7 @@ struct Options {
     seed: u64,
     backend: String,
     tolerance: f64,
+    faults: Option<String>,
     paths: Vec<String>,
 }
 
@@ -36,6 +37,7 @@ fn main() -> ExitCode {
         seed: 2015, // the paper's year, for determinism
         backend: String::from("both"),
         tolerance: 0.15,
+        faults: None,
         paths: Vec::new(),
     };
     let mut args = env::args().skip(1);
@@ -57,6 +59,15 @@ fn main() -> ExitCode {
                 };
                 options.backend = v;
             }
+            "--faults" => {
+                let Some(v) = args.next() else {
+                    eprintln!(
+                        "--faults requires a scenario: smoke|lossy|laggy|partition|churn|crash-storm"
+                    );
+                    return ExitCode::FAILURE;
+                };
+                options.faults = Some(v);
+            }
             "--tolerance" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--tolerance requires a fraction, e.g. 0.15");
@@ -69,7 +80,9 @@ fn main() -> ExitCode {
                     "usage: repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]"
                 );
                 println!("       repro drive [--backend sim|runtime|both] [--quick]");
-                println!("       repro fleet [--smoke] [--seed N]");
+                println!(
+                    "       repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]"
+                );
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
                 println!(
                     "  perf also writes machine-readable BENCH_PERF.json to the current directory"
@@ -102,7 +115,7 @@ fn main() -> ExitCode {
         "surge" => run_surge(&options),
         "perf" => run_perf(&options),
         "drive" => return run_drive(&options),
-        "fleet" => run_fleet(&options),
+        "fleet" => return run_fleet(&options),
         "perfdiff" => return run_perfdiff(&options),
         "all" => {
             fig6_and_7(&options, true, true);
@@ -145,8 +158,23 @@ fn run_drive(options: &Options) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn run_fleet(options: &Options) {
-    let config = if options.smoke || options.quick {
+fn run_fleet(options: &Options) -> ExitCode {
+    let scenario = match options.faults.as_deref() {
+        None => None,
+        Some(name) => match faults::FaultScenario::parse(name) {
+            Some(s) => Some(s),
+            None => {
+                eprintln!(
+                    "unknown fault scenario {name}; use smoke|lossy|laggy|partition|churn|crash-storm"
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    // The smoke scenario *is* the CI variant: it always runs the short
+    // smoke shape regardless of flags.
+    let smoke = options.smoke || options.quick || scenario == Some(faults::FaultScenario::Smoke);
+    let config = if smoke {
         fleet::FleetBenchConfig::smoke(options.seed)
     } else {
         fleet::FleetBenchConfig {
@@ -154,8 +182,17 @@ fn run_fleet(options: &Options) {
             ..Default::default()
         }
     };
-    let run = fleet::run_fleet(&config);
-    print!("{}", fleet::render_fleet(&config, &run));
+    match scenario {
+        Some(scenario) => {
+            let run = faults::run_faulty_fleet(&config, scenario);
+            print!("{}", faults::render_faulty_fleet(&config, &run));
+        }
+        None => {
+            let run = fleet::run_fleet(&config);
+            print!("{}", fleet::render_fleet(&config, &run));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn run_perfdiff(options: &Options) -> ExitCode {

@@ -60,9 +60,9 @@ impl FleetBenchConfig {
 
 /// Latency target of the VLD shards (seconds); the no-queueing bound of
 /// the calibrated VLD network is ≈ 1.44 s, so this demands real headroom.
-const VLD_T_MAX: f64 = 1.7;
+pub(crate) const VLD_T_MAX: f64 = 1.7;
 /// Latency target of the FPD shards (seconds); bound ≈ 28 ms.
-const FPD_T_MAX: f64 = 0.045;
+pub(crate) const FPD_T_MAX: f64 = 0.045;
 
 /// A finished fleet run.
 #[derive(Debug, Clone, PartialEq)]

@@ -20,6 +20,10 @@
 //!   the live runtime, timelines side by side;
 //! * [`fleet`] — a four-topology VLD+FPD fleet sharing one contended
 //!   processor budget through the sharded fleet simulator;
+//! * [`faults`] — the same fleet under a degraded control plane: named
+//!   scenarios (`lossy`, `laggy`, `partition`, `churn`, `crash-storm`)
+//!   behind `repro fleet --faults`, rendering injected faults next to
+//!   the control-plane reactions;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -36,6 +40,7 @@
 
 pub mod ablation;
 pub mod drive;
+pub mod faults;
 pub mod fig10;
 pub mod fig8;
 pub mod fig9;

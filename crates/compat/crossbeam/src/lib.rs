@@ -185,7 +185,7 @@ pub mod channel {
         ///
         /// Returns [`SendError`] carrying the value when no receiver exists.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.send_inner(value, None, None)
+            self.send_inner(value, None, None).map(|_| ())
         }
 
         /// Stop-aware [`Sender::send`]: while waiting for space, if `abort`
@@ -199,7 +199,7 @@ pub mod channel {
         ///
         /// As for [`Sender::send`].
         pub fn send_abortable(&self, value: T, abort: &AtomicBool) -> Result<(), SendError<T>> {
-            self.send_inner(value, Some(abort), None)
+            self.send_inner(value, Some(abort), None).map(|_| ())
         }
 
         /// Bounded-backpressure [`Sender::send`]: blocks at capacity for at
@@ -214,21 +214,25 @@ pub mod channel {
         /// # Errors
         ///
         /// As for [`Sender::send`].
+        /// On success returns the number of items (0 or 1) enqueued *past*
+        /// the capacity — a soft-overrun count callers can surface in
+        /// metrics, since every overrun is unaccounted memory growth.
         pub fn send_bounded(
             &self,
             value: T,
             abort: &AtomicBool,
             max_wait: Duration,
-        ) -> Result<(), SendError<T>> {
+        ) -> Result<usize, SendError<T>> {
             self.send_inner(value, Some(abort), Some(Instant::now() + max_wait))
         }
 
+        /// Returns the number of items (0 or 1) enqueued past the capacity.
         fn send_inner(
             &self,
             value: T,
             abort: Option<&AtomicBool>,
             deadline: Option<Instant>,
-        ) -> Result<(), SendError<T>> {
+        ) -> Result<usize, SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
@@ -244,10 +248,11 @@ pub mod channel {
                 }
                 queue = self.shared.park_for_space(queue, deadline);
             }
+            let overrun = usize::from(queue.len() >= self.shared.capacity);
             queue.push_back(value);
             drop(queue);
             self.shared.wake_receivers(1);
-            Ok(())
+            Ok(overrun)
         }
 
         /// Enqueues every item of `batch` under a single lock acquisition —
@@ -264,7 +269,7 @@ pub mod channel {
             &self,
             batch: impl IntoIterator<Item = T>,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, None, None)
+            self.send_batch_inner(batch, None, None).map(|_| ())
         }
 
         /// Stop-aware [`Sender::send_batch`]; see [`Sender::send_abortable`]
@@ -279,7 +284,7 @@ pub mod channel {
             batch: impl IntoIterator<Item = T>,
             abort: &AtomicBool,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, Some(abort), None)
+            self.send_batch_inner(batch, Some(abort), None).map(|_| ())
         }
 
         /// Bounded-backpressure [`Sender::send_batch`]: blocks at capacity
@@ -289,6 +294,9 @@ pub mod channel {
         /// the requeue path of a stopping executor uses it to hand
         /// unprocessed envelopes back without risking a park.
         ///
+        /// On success returns the number of items enqueued *past* the
+        /// capacity — a soft-overrun count callers can surface in metrics.
+        ///
         /// # Errors
         ///
         /// As for [`Sender::send_batch`].
@@ -297,7 +305,7 @@ pub mod channel {
             batch: impl IntoIterator<Item = T>,
             abort: &AtomicBool,
             max_wait: Duration,
-        ) -> Result<(), SendError<usize>> {
+        ) -> Result<usize, SendError<usize>> {
             self.send_batch_inner(batch, Some(abort), Some(Instant::now() + max_wait))
         }
 
@@ -306,12 +314,13 @@ pub mod channel {
             batch: impl IntoIterator<Item = T>,
             abort: Option<&AtomicBool>,
             deadline: Option<Instant>,
-        ) -> Result<(), SendError<usize>> {
+        ) -> Result<usize, SendError<usize>> {
             let mut iter = batch.into_iter();
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(iter.count()));
             }
             let mut pushed = 0usize;
+            let mut overruns = 0usize;
             let mut queue = lock(&self.shared);
             while let Some(value) = iter.next() {
                 while queue.len() >= self.shared.capacity {
@@ -331,12 +340,13 @@ pub mod channel {
                     }
                     queue = self.shared.park_for_space(queue, deadline);
                 }
+                overruns += usize::from(queue.len() >= self.shared.capacity);
                 queue.push_back(value);
                 pushed += 1;
             }
             drop(queue);
             self.shared.wake_receivers(pushed);
-            Ok(())
+            Ok(overruns)
         }
     }
 
@@ -865,10 +875,17 @@ mod tests {
         // Full channel, nobody draining: both bounded sends must return
         // within their deadline with the messages enqueued past capacity.
         let start = std::time::Instant::now();
-        tx.send_bounded(1, &abort, Duration::from_millis(20))
+        let single = tx
+            .send_bounded(1, &abort, Duration::from_millis(20))
             .unwrap();
-        tx.send_batch_bounded([2, 3], &abort, Duration::from_millis(20))
+        let batch = tx
+            .send_batch_bounded([2, 3], &abort, Duration::from_millis(20))
             .unwrap();
+        assert_eq!(
+            (single, batch),
+            (1, 2),
+            "every item enqueued past capacity must be counted as an overrun"
+        );
         assert!(
             start.elapsed() < Duration::from_millis(500),
             "bounded sends must not park past their deadline"
@@ -886,9 +903,11 @@ mod tests {
         let (tx, rx) = bounded(1);
         tx.send(9).unwrap();
         let start = std::time::Instant::now();
-        tx.send_batch_bounded([8, 7], &abort, Duration::ZERO)
+        let overruns = tx
+            .send_batch_bounded([8, 7], &abort, Duration::ZERO)
             .unwrap();
         assert!(start.elapsed() < Duration::from_millis(100));
+        assert_eq!(overruns, 2);
         assert_eq!(rx.len(), 3);
     }
 

@@ -7,8 +7,9 @@
 //!   strategy` bindings, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`
 //!   and `prop_assume!`;
 //! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
-//!   ranges, tuples and [`strategy::Just`];
-//! * [`collection::vec`] with `Range`/`RangeInclusive`/fixed sizes.
+//!   ranges, tuples (up to arity 8) and [`strategy::Just`];
+//! * [`collection::vec`] with `Range`/`RangeInclusive`/fixed sizes;
+//! * [`option::of`] generating `Some`/`None` with equal probability.
 //!
 //! Cases are generated from a seed derived deterministically from the test
 //! path, so failures reproduce across runs. There is **no shrinking**: a
@@ -85,6 +86,34 @@ pub mod collection {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Optional-value strategies (`prop::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `Option`s of values drawn from an inner
+    /// strategy.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some(value)` and `None` with equal probability (real
+    /// proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            rng.gen_bool(0.5).then(|| self.inner.generate(rng))
         }
     }
 }
@@ -166,6 +195,7 @@ pub mod prelude {
     /// Namespace mirror of proptest's `prelude::prop`.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 

@@ -162,6 +162,14 @@ pub struct RebalancePlan {
     /// Backends that measure their own pause may ignore it; the simulator
     /// charges it.
     pub pause_secs: f64,
+    /// Actuation epoch: a per-topology monotonically increasing sequence
+    /// number stamped by the issuing driver. A backend (or the control
+    /// channel in front of it) that sees commands out of order must apply
+    /// only strictly increasing epochs and reject the rest, so a delayed or
+    /// duplicated command can never double-actuate or roll the allocation
+    /// back to a stale target. Backends on a reliable in-process channel
+    /// may ignore it.
+    pub epoch: u64,
 }
 
 /// What a backend actually did for a [`RebalancePlan`].
@@ -181,6 +189,14 @@ pub enum BackendError {
     /// The backend cannot rebalance right now (e.g. a previous rebalance
     /// pause is still in progress); retry on a later window.
     RebalanceUnavailable(String),
+    /// The command was sent but no acknowledgement came back within the
+    /// window: the actuation **may or may not** be in force. Unlike a
+    /// refusal, the driver must not assume the previous allocation still
+    /// runs — it re-synchronises from the backend's believed state and
+    /// retries under capped backoff ([`ActuationRetry`]), relying on
+    /// [`RebalancePlan::epoch`] for idempotence if the original command
+    /// was merely delayed.
+    Timeout(String),
     /// Any other backend-specific failure.
     Other(String),
 }
@@ -190,8 +206,70 @@ impl fmt::Display for BackendError {
         match self {
             BackendError::InvalidAllocation(s) => write!(f, "invalid allocation: {s}"),
             BackendError::RebalanceUnavailable(s) => write!(f, "rebalance unavailable: {s}"),
+            BackendError::Timeout(s) => write!(f, "actuation unacknowledged: {s}"),
             BackendError::Other(s) => write!(f, "backend error: {s}"),
         }
+    }
+}
+
+/// Capped-backoff retry schedule for unacknowledged actuations, shared by
+/// [`DrsDriver`] and the fleet driver so the two loops keep identical
+/// failure semantics.
+///
+/// A [`BackendError::Timeout`] means a command went out but no ack came
+/// back — the actuation may or may not be in force. Retrying every window
+/// would spam a partitioned backend, so after a timeout the driver holds
+/// off for a geometrically growing number of windows (1, 2, 4, … capped at
+/// `cap`) before issuing the next command, and relies on
+/// [`RebalancePlan::epoch`] for idempotence when the original command was
+/// merely delayed. Any *acknowledged* outcome — success or an explicit
+/// refusal — proves the channel is alive and resets the backoff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuationRetry {
+    backoff: u64,
+    next_attempt: u64,
+    cap: u64,
+}
+
+impl ActuationRetry {
+    /// Creates a schedule whose holdoff never exceeds `cap` windows.
+    pub fn new(cap: u64) -> Self {
+        ActuationRetry {
+            backoff: 1,
+            next_attempt: 0,
+            cap: cap.max(1),
+        }
+    }
+
+    /// Whether an actuation may be attempted during window `window`.
+    pub fn ready(&self, window: u64) -> bool {
+        window >= self.next_attempt
+    }
+
+    /// Windows remaining before the next attempt is allowed.
+    pub fn holdoff(&self, window: u64) -> u64 {
+        self.next_attempt.saturating_sub(window)
+    }
+
+    /// Records an unacknowledged attempt during `window`: the next attempt
+    /// is pushed `backoff` windows out and the backoff doubles (capped).
+    pub fn on_timeout(&mut self, window: u64) {
+        self.next_attempt = window + self.backoff;
+        self.backoff = (self.backoff * 2).min(self.cap);
+    }
+
+    /// Records an acknowledged outcome (success *or* explicit refusal):
+    /// the channel is alive, so the backoff resets.
+    pub fn on_ack(&mut self) {
+        self.backoff = 1;
+        self.next_attempt = 0;
+    }
+}
+
+impl Default for ActuationRetry {
+    /// The default cap: at most 8 windows between attempts.
+    fn default() -> Self {
+        ActuationRetry::new(8)
     }
 }
 
@@ -312,6 +390,9 @@ pub struct DrsDriver<B: CspBackend> {
     window_secs: f64,
     samples: SampleBuilder,
     timeline: Vec<TimelinePoint>,
+    /// Epoch stamped on the next issued command (strictly increasing).
+    epoch: u64,
+    retry: ActuationRetry,
 }
 
 impl<B: CspBackend> DrsDriver<B> {
@@ -351,7 +432,19 @@ impl<B: CspBackend> DrsDriver<B> {
             window_secs,
             samples: SampleBuilder::new(),
             timeline: Vec::new(),
+            epoch: 0,
+            retry: ActuationRetry::default(),
         })
+    }
+
+    /// Caps the retry holdoff after an actuation timeout at `cap` windows.
+    pub fn set_retry_backoff_cap(&mut self, cap: u64) {
+        self.retry = ActuationRetry::new(cap);
+    }
+
+    /// The retry schedule's state (for inspection in tests and reports).
+    pub fn actuation_retry(&self) -> &ActuationRetry {
+        &self.retry
     }
 
     /// The timeline recorded so far.
@@ -405,6 +498,7 @@ impl<B: CspBackend> DrsDriver<B> {
 
     /// Runs one measurement window and returns its timeline point.
     pub fn step(&mut self) -> &TimelinePoint {
+        let window = self.timeline.len() as u64;
         let sample = self.backend.advance(self.window_secs);
         let raw = self.samples.build(&sample);
         let mut rebalanced = false;
@@ -418,28 +512,53 @@ impl<B: CspBackend> DrsDriver<B> {
                     pause_secs: pause,
                     plan: machine_plan,
                 } => {
-                    let plan = RebalancePlan {
-                        allocation,
-                        pause_secs: pause,
-                    };
-                    match self.backend.apply(&plan) {
-                        Ok(applied) => {
-                            rebalanced = true;
-                            pause_secs = Some(applied.pause_secs);
-                            // A backend may legitimately adjust what it
-                            // puts in force (e.g. a capacity clamp); keep
-                            // the controller on what actually runs.
-                            self.drs.sync_allocation(applied.allocation);
-                        }
-                        Err(e) => {
-                            // The backend kept its previous allocation:
-                            // roll back the machine plan the controller
-                            // provisioned for this rebalance and resync
-                            // its view so later windows reason about
-                            // reality.
-                            backend_error = Some(e.to_string());
-                            let actual = self.backend.current_allocation();
-                            self.drs.rebalance_rejected(machine_plan.as_ref(), actual);
+                    if !self.retry.ready(window) {
+                        // Still backing off after an unacknowledged
+                        // command: withhold the actuation, roll the
+                        // controller back to reality, and try again once
+                        // the holdoff expires.
+                        backend_error = Some(format!(
+                            "actuation deferred: backoff after timeout \
+                             (next attempt in {} windows)",
+                            self.retry.holdoff(window)
+                        ));
+                        let actual = self.backend.current_allocation();
+                        self.drs.rebalance_rejected(machine_plan.as_ref(), actual);
+                    } else {
+                        self.epoch += 1;
+                        let plan = RebalancePlan {
+                            allocation,
+                            pause_secs: pause,
+                            epoch: self.epoch,
+                        };
+                        match self.backend.apply(&plan) {
+                            Ok(applied) => {
+                                rebalanced = true;
+                                pause_secs = Some(applied.pause_secs);
+                                self.retry.on_ack();
+                                // A backend may legitimately adjust what it
+                                // puts in force (e.g. a capacity clamp);
+                                // keep the controller on what actually
+                                // runs.
+                                self.drs.sync_allocation(applied.allocation);
+                            }
+                            Err(e) => {
+                                // Unacked commands open the backoff; a
+                                // refusal is itself an ack and resets it.
+                                if matches!(e, BackendError::Timeout(_)) {
+                                    self.retry.on_timeout(window);
+                                } else {
+                                    self.retry.on_ack();
+                                }
+                                // Roll back the machine plan the controller
+                                // provisioned for this rebalance and resync
+                                // its view to the backend's (believed)
+                                // allocation so later windows reason about
+                                // reality.
+                                backend_error = Some(e.to_string());
+                                let actual = self.backend.current_allocation();
+                                self.drs.rebalance_rejected(machine_plan.as_ref(), actual);
+                            }
                         }
                     }
                 }
@@ -473,6 +592,9 @@ mod tests {
         cursor: usize,
         allocation: Vec<u32>,
         fail_applies: usize,
+        /// Commands to drop on the floor (recorded, not applied, and
+        /// answered with [`BackendError::Timeout`]) before behaving again.
+        timeout_applies: usize,
         applied: Vec<RebalancePlan>,
     }
 
@@ -483,6 +605,7 @@ mod tests {
                 cursor: 0,
                 allocation,
                 fail_applies: 0,
+                timeout_applies: 0,
                 applied: Vec::new(),
             }
         }
@@ -516,6 +639,10 @@ mod tests {
                 return Err(BackendError::RebalanceUnavailable(
                     "pause in progress".to_owned(),
                 ));
+            }
+            if self.timeout_applies > 0 {
+                self.timeout_applies -= 1;
+                return Err(BackendError::Timeout("command lost".to_owned()));
             }
             self.allocation = plan.allocation.clone();
             Ok(AppliedRebalance {
@@ -684,6 +811,7 @@ mod tests {
                 let clamped = RebalancePlan {
                     allocation: plan.allocation.iter().map(|&k| k.max(2) - 1).collect(),
                     pause_secs: plan.pause_secs,
+                    epoch: plan.epoch,
                 };
                 self.inner.apply(&clamped)
             }
@@ -746,6 +874,63 @@ mod tests {
             DrsDriver::new(backend, drs, 0.0).unwrap_err(),
             DriverError::InvalidWindow(0.0)
         );
+    }
+
+    #[test]
+    fn timeout_backs_off_then_retries_with_fresh_epoch() {
+        // Two lost commands: the driver must not hammer the backend every
+        // window — after each timeout it holds off (1 window, then 2) —
+        // and every (re)issued command must carry a strictly larger epoch
+        // so a late duplicate of the lost command can never supersede it.
+        let mut backend = Scripted::new(vec![overloaded_sample()], vec![2]);
+        backend.timeout_applies = 2;
+        let mut d = driver(backend);
+        d.run_windows(12);
+        let timeline = d.timeline();
+        let timeouts: Vec<_> = timeline
+            .iter()
+            .filter(|p| {
+                p.backend_error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("unacknowledged"))
+            })
+            .collect();
+        assert_eq!(timeouts.len(), 2, "both lost commands must be visible");
+        let deferred = timeline
+            .iter()
+            .filter(|p| {
+                p.backend_error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("deferred"))
+            })
+            .count();
+        assert!(
+            deferred >= 1,
+            "the second attempt must respect the backoff holdoff"
+        );
+        // The loop recovers: the retry after the backoff lands.
+        assert!(timeline.iter().any(|p| p.rebalanced));
+        assert!(d.backend().current_allocation()[0] > 2);
+        // Epochs on the wire are strictly increasing.
+        let epochs: Vec<u64> = d.backend().applied.iter().map(|p| p.epoch).collect();
+        assert!(epochs.windows(2).all(|w| w[0] < w[1]), "epochs: {epochs:?}");
+        assert_eq!(epochs.len(), 3, "two lost + one landed");
+    }
+
+    #[test]
+    fn refusal_is_an_ack_and_resets_backoff() {
+        // A refusal proves the channel is alive: the very next window may
+        // retry (the pre-existing behaviour), with no holdoff inserted.
+        let mut backend = Scripted::new(vec![overloaded_sample()], vec![2]);
+        backend.fail_applies = 1;
+        let mut d = driver(backend);
+        d.run_windows(5);
+        assert!(d.timeline().iter().all(|p| !p
+            .backend_error
+            .as_deref()
+            .is_some_and(|e| e.contains("deferred"))));
+        assert!(d.timeline().iter().any(|p| p.rebalanced));
+        assert!(d.actuation_retry().ready(d.timeline().len() as u64));
     }
 
     #[test]

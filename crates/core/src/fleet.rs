@@ -30,10 +30,55 @@
 //!   latency violates its target (never shrink a struggling shard), which
 //!   can also defer another shard's grow until the pool frees up.
 //!
+//! # Degraded control plane
+//!
+//! Production control channels lose, delay and duplicate messages, and
+//! shards crash; the paper's convergence results all assume neither
+//! happens. The fleet loop is hardened for the degraded case (the
+//! `drs_sim::faults` module provides the matching deterministic fault
+//! injector). The contract, per failure mode:
+//!
+//! * **Retried** — an actuation whose acknowledgement never arrives
+//!   ([`crate::driver::BackendError::Timeout`]) is retried with capped
+//!   exponential backoff ([`crate::driver::ActuationRetry`], cap
+//!   [`FleetDriverConfig::retry_backoff_cap`]); windows inside the
+//!   backoff record an `actuation deferred` error instead of spamming
+//!   the channel. Any acknowledgement — success *or* refusal — proves
+//!   the channel alive and resets the backoff.
+//! * **Rejected** — every actuation carries a per-shard monotonically
+//!   increasing epoch ([`RebalancePlan::epoch`]); a backend must apply
+//!   only strictly newer epochs, so a late or duplicated command is
+//!   rejected at the shard instead of double-counted.
+//! * **Discounted** — measurement reports may be stale (delayed, or a
+//!   starved window substituted from history):
+//!   [`SampleBuilder`] tracks the age of every fallback rate and the
+//!   smoothed estimate weighs the sample down by
+//!   [`FleetDriverConfig::stale_decay`]`^age` instead of treating a
+//!   3-window-old report as current.
+//! * **Reclaimed** — a shard whose reports stop entirely for
+//!   [`FleetDriverConfig::lease_windows`] consecutive windows is
+//!   presumed dead (lease expiry): its executors stop reserving budget,
+//!   it is excluded from the fleet total, and the negotiator re-offers
+//!   its capacity to starved shards. A shard that was merely partitioned
+//!   renews its lease with the first report after the heal; the
+//!   over-budget guard below then re-converges the fleet.
+//! * **Deferred** — a refused or lost shrink leaves its executors in
+//!   force, so any grow that would push the *realized* fleet total over
+//!   `Kmax` is deferred to a later window rather than over-committing
+//!   the pool (the PR 5 guard, extended to lost actuations and lease
+//!   revivals).
+//!
+//! [`FleetDriver::checkpoint`] snapshots the entire control plane —
+//! negotiator, per-shard measurement state, epochs, backoff state,
+//! timeline, and (the backend being `Clone`) the backends with their
+//! virtual clocks — so long scenario sweeps can branch from a common
+//! prefix and replay deterministically.
+//!
 //! The `drs-sim` crate pairs this driver with a sharded multi-topology
 //! simulator (`drs_sim::fleet::FleetCoordinator`); `repro fleet` in
 //! `crates/bench` runs a four-topology mixed VLD+FPD fleet under a
-//! contended budget.
+//! contended budget, and `repro fleet --faults <scenario>` runs the same
+//! fleet through the fault injector.
 //!
 //! # Example
 //!
@@ -105,7 +150,7 @@
 //! ```
 
 use crate::decision::{self, DecisionInputs, DecisionPolicy};
-use crate::driver::{CspBackend, RebalancePlan};
+use crate::driver::{ActuationRetry, BackendError, CspBackend, RebalancePlan};
 use crate::measurer::{Measurer, SampleBuilder, Smoothing};
 use crate::model::PerformanceModel;
 use crate::scheduler::{self, Candidate, ScheduleError};
@@ -376,14 +421,34 @@ pub struct FleetDriverConfig {
     /// while the budget is *contended*, shrinks bypass the gate — capped
     /// shards are starving, so freed capacity must actually flow.
     pub decision: DecisionPolicy,
+    /// Lease length for shard liveness, in windows: a shard that produces
+    /// no usable measurement report for this many *consecutive* windows is
+    /// presumed dead — its executors stop reserving budget and the
+    /// negotiator re-offers them to starved shards. The first usable
+    /// report renews the lease. `0` disables the check (no shard is ever
+    /// presumed dead).
+    pub lease_windows: u64,
+    /// Cap, in windows, on the exponential backoff applied between retries
+    /// of an unacknowledged actuation (see
+    /// [`crate::driver::ActuationRetry`]). The backoff doubles on every
+    /// consecutive timeout — 1, 2, 4, … — up to this cap.
+    pub retry_backoff_cap: u64,
+    /// Per-window decay applied to the credibility of stale measurement
+    /// evidence: a sample whose oldest substituted rate is `a` windows old
+    /// enters the smoother with weight `stale_decay^a` (see
+    /// [`SampleBuilder::weight`]). `1.0` disables staleness discounting;
+    /// values are clamped to `(0, 1]`.
+    pub stale_decay: f64,
 }
 
 impl FleetDriverConfig {
     /// A sensible fleet configuration for the given budget: 60 s windows,
-    /// 2 warmup windows, α = 0.5 smoothing, 0.5 s rebalance pause, and the
+    /// 2 warmup windows, α = 0.5 smoothing, 0.5 s rebalance pause, the
     /// default decision gate hardened for fleet noise
     /// (`min_executor_savings` = 2, so a one-executor scale-down — the
-    /// classic noise wobble — never pays for a pause on its own).
+    /// classic noise wobble — never pays for a pause on its own), a
+    /// 3-window liveness lease, an 8-window retry-backoff cap, and 0.5
+    /// per-window stale-evidence decay.
     pub fn new(k_max: u32) -> Self {
         FleetDriverConfig {
             k_max,
@@ -395,6 +460,9 @@ impl FleetDriverConfig {
                 min_executor_savings: 2,
                 ..DecisionPolicy::default()
             },
+            lease_windows: 3,
+            retry_backoff_cap: 8,
+            stale_decay: 0.5,
         }
     }
 }
@@ -471,6 +539,16 @@ impl std::error::Error for FleetDriverError {}
 /// One shard's slice of a [`FleetWindow`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardPoint {
+    /// The shard's name. Recorded per window because churn
+    /// ([`FleetDriver::add_shard`] / [`FleetDriver::remove_shard`]) can
+    /// shift shard indices mid-run — correlate timelines by name, not
+    /// position.
+    pub name: String,
+    /// Whether the shard's liveness lease was expired this window (no
+    /// usable report for [`FleetDriverConfig::lease_windows`] consecutive
+    /// windows): the shard is presumed dead, its executors are excluded
+    /// from [`FleetWindow::total_granted`] and its budget is re-offered.
+    pub dead: bool,
     /// Measured mean complete sojourn time in milliseconds, when any tuple
     /// finished in the window.
     pub mean_sojourn_ms: Option<f64>,
@@ -513,7 +591,9 @@ pub struct FleetWindow {
     /// Whether demand exceeded the budget this window (some plan was
     /// capped).
     pub contended: bool,
-    /// Total executors in force across the fleet at the end of the window.
+    /// Total executors in force across the fleet at the end of the
+    /// window, counting live shards only — a dead shard's executors are
+    /// reclaimed (see [`ShardPoint::dead`]).
     pub total_granted: u64,
     /// Per-shard records, in shard index order (independent of the order
     /// shards were advanced in).
@@ -524,25 +604,62 @@ pub struct FleetWindow {
 }
 
 /// Per-shard loop state owned by the driver.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardState<B> {
     name: String,
     t_max_secs: f64,
     backend: B,
     samples: SampleBuilder,
     measurer: Measurer,
+    /// Last actuation epoch issued to this shard's backend (strictly
+    /// increasing; stale/duplicate commands are rejected shard-side).
+    epoch: u64,
+    /// Capped-backoff retry state for unacknowledged actuations.
+    retry: ActuationRetry,
+    /// Liveness lease expired: no usable report for `lease_windows`
+    /// consecutive windows.
+    dead: bool,
 }
 
 /// The fleet control loop: one DRS loop per shard, contention resolved
 /// centrally each window by a [`FleetNegotiator`].
 ///
-/// See the [module docs](self) for the scheme and a runnable example.
-#[derive(Debug)]
+/// See the [module docs](self) for the scheme, the degraded-channel
+/// contract, and a runnable example.
+#[derive(Debug, Clone)]
 pub struct FleetDriver<B: CspBackend> {
     shards: Vec<ShardState<B>>,
     negotiator: FleetNegotiator,
     config: FleetDriverConfig,
     timeline: Vec<FleetWindow>,
+}
+
+/// A snapshot of the full fleet control plane — negotiator, per-shard
+/// measurement/epoch/backoff state, timeline, and the backends themselves
+/// (including any virtual clocks a simulator backend carries).
+///
+/// Taken with [`FleetDriver::checkpoint`]; a checkpoint can be restored
+/// any number of times ([`FleetDriver::from_checkpoint`]) so long
+/// scenario sweeps branch from a common prefix instead of replaying it.
+/// Continuing from a restore is bit-identical to never having stopped —
+/// the checkpoint round-trip tests lock this in.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetCheckpoint<B: CspBackend> {
+    driver: FleetDriver<B>,
+}
+
+impl<B: CspBackend> FleetCheckpoint<B> {
+    /// Consumes the checkpoint, yielding a driver positioned exactly
+    /// where [`FleetDriver::checkpoint`] was called.
+    pub fn into_driver(self) -> FleetDriver<B> {
+        self.driver
+    }
+
+    /// The fleet window index the checkpoint was taken at (number of
+    /// completed windows).
+    pub fn window(&self) -> u64 {
+        self.driver.timeline.len() as u64
+    }
 }
 
 impl<B: CspBackend> FleetDriver<B> {
@@ -568,25 +685,7 @@ impl<B: CspBackend> FleetDriver<B> {
         }
         let mut states = Vec::with_capacity(shards.len());
         for spec in shards {
-            if !spec.t_max_secs.is_finite() || spec.t_max_secs <= 0.0 {
-                return Err(FleetDriverError::InvalidTarget {
-                    shard: spec.name,
-                    t_max_secs: spec.t_max_secs,
-                });
-            }
-            let n_ops = spec.backend.operator_names().len();
-            if n_ops == 0 {
-                return Err(FleetDriverError::NoOperators { shard: spec.name });
-            }
-            let measurer =
-                Measurer::new(n_ops, config.smoothing).map_err(FleetDriverError::Smoothing)?;
-            states.push(ShardState {
-                name: spec.name,
-                t_max_secs: spec.t_max_secs,
-                backend: spec.backend,
-                samples: SampleBuilder::new(),
-                measurer,
-            });
+            states.push(Self::shard_state(&config, spec)?);
         }
         Ok(FleetDriver {
             shards: states,
@@ -596,9 +695,92 @@ impl<B: CspBackend> FleetDriver<B> {
         })
     }
 
+    /// Validates a spec and builds its fresh loop state.
+    fn shard_state(
+        config: &FleetDriverConfig,
+        spec: FleetShardSpec<B>,
+    ) -> Result<ShardState<B>, FleetDriverError> {
+        if !spec.t_max_secs.is_finite() || spec.t_max_secs <= 0.0 {
+            return Err(FleetDriverError::InvalidTarget {
+                shard: spec.name,
+                t_max_secs: spec.t_max_secs,
+            });
+        }
+        let n_ops = spec.backend.operator_names().len();
+        if n_ops == 0 {
+            return Err(FleetDriverError::NoOperators { shard: spec.name });
+        }
+        let measurer =
+            Measurer::new(n_ops, config.smoothing).map_err(FleetDriverError::Smoothing)?;
+        Ok(ShardState {
+            name: spec.name,
+            t_max_secs: spec.t_max_secs,
+            backend: spec.backend,
+            samples: SampleBuilder::new(),
+            measurer,
+            epoch: 0,
+            retry: ActuationRetry::new(config.retry_backoff_cap),
+            dead: false,
+        })
+    }
+
+    /// Joins a new topology to the running fleet (churn). The shard starts
+    /// with fresh measurement state: until its model warms up it reserves
+    /// its current allocation out of the budget like any unmodeled shard,
+    /// then negotiates normally. Returns the new shard's index (indices of
+    /// existing shards are unchanged by a join).
+    ///
+    /// # Errors
+    ///
+    /// The same per-shard validation as [`FleetDriver::new`]:
+    /// [`FleetDriverError::InvalidTarget`] /
+    /// [`FleetDriverError::NoOperators`] / [`FleetDriverError::Smoothing`].
+    pub fn add_shard(&mut self, spec: FleetShardSpec<B>) -> Result<usize, FleetDriverError> {
+        let state = Self::shard_state(&self.config, spec)?;
+        self.shards.push(state);
+        Ok(self.shards.len() - 1)
+    }
+
+    /// Removes shard `i` from the fleet (graceful leave), returning its
+    /// backend. Its executors stop counting against the budget from the
+    /// next window, so the freed capacity is re-offered on the next
+    /// negotiation round. Indices of later shards shift down by one —
+    /// correlate timelines across churn by [`ShardPoint::name`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the fleet would become empty.
+    pub fn remove_shard(&mut self, i: usize) -> B {
+        assert!(
+            self.shards.len() > 1,
+            "a fleet needs at least one shard; cannot remove the last one"
+        );
+        self.shards.remove(i).backend
+    }
+
     /// The fleet timeline recorded so far.
     pub fn timeline(&self) -> &[FleetWindow] {
         &self.timeline
+    }
+
+    /// Whether shard `i`'s liveness lease is currently expired (see
+    /// [`FleetDriverConfig::lease_windows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_dead(&self, i: usize) -> bool {
+        self.shards[i].dead
+    }
+
+    /// Shard `i`'s capped-backoff retry state (see
+    /// [`crate::driver::ActuationRetry`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn actuation_retry(&self, i: usize) -> &ActuationRetry {
+        &self.shards[i].retry
     }
 
     /// The negotiator (budget introspection).
@@ -687,11 +869,17 @@ impl<B: CspBackend> FleetDriver<B> {
             .collect();
 
         // 2. Feed the measurers (shard index order; each stream is
-        //    per-shard, so this is order-independent too).
+        //    per-shard, so this is order-independent too). Stale evidence
+        //    enters the smoother discounted by `stale_decay^age`, and a
+        //    run of `lease_windows` fully-missed reports expires the
+        //    shard's liveness lease; the first usable report renews it.
         for (shard, sample) in self.shards.iter_mut().zip(&samples) {
             if let Some(raw) = shard.samples.build(sample) {
-                shard.measurer.observe(&raw);
+                let weight = shard.samples.weight(self.config.stale_decay);
+                shard.measurer.observe_weighted(&raw, weight);
             }
+            shard.dead = self.config.lease_windows > 0
+                && shard.samples.missed_windows() >= self.config.lease_windows;
         }
 
         let window = self.timeline.len() as u64;
@@ -709,8 +897,13 @@ impl<B: CspBackend> FleetDriver<B> {
         let mut gated = vec![false; n];
 
         if window >= self.config.warmup_windows {
-            // 3. Each shard computes its own single-topology demand.
+            // 3. Each shard computes its own single-topology demand. A
+            //    dead shard submits none: its (stale) model must not keep
+            //    claiming budget for a machine that is gone.
             for (i, shard) in self.shards.iter().enumerate() {
+                if shard.dead {
+                    continue;
+                }
                 let Some(estimates) = shard.measurer.estimates() else {
                     continue;
                 };
@@ -730,11 +923,13 @@ impl<B: CspBackend> FleetDriver<B> {
 
             // 4. Central arbitration. Shards without a usable model keep
             //    their current allocation; their executors are reserved out
-            //    of the budget before the others negotiate.
+            //    of the budget before the others negotiate. Dead shards
+            //    reserve nothing — lease expiry is precisely the signal
+            //    that their grants are reclaimed and re-offered.
             let modeled: Vec<usize> = (0..n).filter(|&i| demands_by_shard[i].is_some()).collect();
             if !modeled.is_empty() {
                 let reserved: u64 = (0..n)
-                    .filter(|i| demands_by_shard[*i].is_none())
+                    .filter(|&i| demands_by_shard[i].is_none() && !self.shards[i].dead)
                     .map(|i| executor_total(&self.shards[i].backend.current_allocation()))
                     .sum();
                 let budget = u32::try_from(u64::from(self.config.k_max).saturating_sub(reserved))
@@ -766,7 +961,14 @@ impl<B: CspBackend> FleetDriver<B> {
                 .iter()
                 .map(|s| executor_total(&s.backend.current_allocation()))
                 .collect();
-            let mut fleet_total: u64 = current_totals.iter().sum();
+            // Dead shards' executors are ghosts (the machine is gone):
+            // they neither occupy the pool nor block grows.
+            let mut fleet_total: u64 = current_totals
+                .iter()
+                .zip(&self.shards)
+                .filter(|(_, s)| !s.dead)
+                .map(|(&t, _)| t)
+                .sum();
             // Distinct from the caller's `order` (the measurement
             // interleaving): actuation always shrinks first.
             let mut actuation_order: Vec<usize> = (0..n).collect();
@@ -783,6 +985,17 @@ impl<B: CspBackend> FleetDriver<B> {
                 };
                 let current = shard.backend.current_allocation();
                 if grant.allocation == current {
+                    continue;
+                }
+                // Channel in backoff after an unacknowledged actuation:
+                // hold this window's command instead of spamming the
+                // (evidently degraded) control channel.
+                if !shard.retry.ready(window) {
+                    errors[i] = Some(format!(
+                        "actuation deferred: backoff after timeout (next attempt in {} windows)",
+                        shard.retry.holdoff(window)
+                    ));
+                    grants[i] = None;
                     continue;
                 }
                 // Per-shard cost/benefit gate (paper App. B-B): actuate
@@ -833,12 +1046,18 @@ impl<B: CspBackend> FleetDriver<B> {
                     grants[i] = None;
                     continue;
                 }
+                // Every command carries a fresh, strictly increasing
+                // epoch: a backend behind a delaying/duplicating channel
+                // rejects anything stale instead of double-applying it.
+                shard.epoch += 1;
                 let plan = RebalancePlan {
                     allocation: grant.allocation,
                     pause_secs: self.config.pause_secs,
+                    epoch: shard.epoch,
                 };
                 match shard.backend.apply(&plan) {
                     Ok(applied) => {
+                        shard.retry.on_ack();
                         rebalanced[i] = true;
                         let applied_total = executor_total(&applied.allocation);
                         fleet_total = fleet_total - current_totals[i] + applied_total;
@@ -852,8 +1071,18 @@ impl<B: CspBackend> FleetDriver<B> {
                         applied_allocations[i] = Some(applied.allocation);
                     }
                     Err(e) => {
-                        // The backend kept its previous allocation; the
-                        // freed/claimed capacity is re-offered next window.
+                        // A timeout means the command or its ack vanished:
+                        // back off before retrying. Any other error is an
+                        // acknowledgement (the channel works, the shard
+                        // refused), so the backoff resets. Either way the
+                        // backend is believed to keep its previous
+                        // allocation; the freed/claimed capacity is
+                        // re-offered next window.
+                        if matches!(e, BackendError::Timeout(_)) {
+                            shard.retry.on_timeout(window);
+                        } else {
+                            shard.retry.on_ack();
+                        }
                         errors[i] = Some(e.to_string());
                         grants[i] = None;
                     }
@@ -872,6 +1101,8 @@ impl<B: CspBackend> FleetDriver<B> {
                     .take()
                     .unwrap_or_else(|| shard.backend.current_allocation());
                 ShardPoint {
+                    name: shard.name.clone(),
+                    dead: shard.dead,
                     mean_sojourn_ms: samples[i].mean_sojourn.map(|s| s * 1e3),
                     completed: samples[i].completed,
                     allocation,
@@ -888,11 +1119,36 @@ impl<B: CspBackend> FleetDriver<B> {
         self.timeline.push(FleetWindow {
             window,
             contended,
-            total_granted: shard_points.iter().map(ShardPoint::granted).sum(),
+            // Dead shards' grants are reclaimed — only live executors
+            // occupy the pool.
+            total_granted: shard_points
+                .iter()
+                .filter(|s| !s.dead)
+                .map(ShardPoint::granted)
+                .sum(),
             shards: shard_points,
             error: fleet_error,
         });
         self.timeline.last().expect("just pushed")
+    }
+}
+
+impl<B: CspBackend + Clone> FleetDriver<B> {
+    /// Snapshots the full fleet state (see [`FleetCheckpoint`]). Cheap
+    /// relative to re-running a scenario prefix: one deep clone of the
+    /// control plane and every backend.
+    pub fn checkpoint(&self) -> FleetCheckpoint<B> {
+        FleetCheckpoint {
+            driver: self.clone(),
+        }
+    }
+
+    /// Restores a driver from a checkpoint without consuming it, so one
+    /// common prefix can branch into many scenario continuations.
+    /// Continuing from the restored driver is bit-identical to continuing
+    /// from the original at the moment [`FleetDriver::checkpoint`] ran.
+    pub fn from_checkpoint(checkpoint: &FleetCheckpoint<B>) -> Self {
+        checkpoint.driver.clone()
     }
 }
 
@@ -939,13 +1195,18 @@ mod tests {
 
     /// Fixed-rate mock shard; rate can be changed mid-run. Reports the
     /// M/M/k-consistent measured sojourn via [`mmk_measured_sojourn`] so
-    /// the decision gate sees the same world a live engine would.
-    #[derive(Debug)]
+    /// the decision gate sees the same world a live engine would. Can be
+    /// silenced (crash: reports stop) and can time out applies (lost
+    /// command/ack); records every epoch it is commanded with.
+    #[derive(Debug, Clone)]
     struct StaticShard {
         rate: f64,
         mu: f64,
         allocation: Vec<u32>,
         fail_applies: usize,
+        timeout_applies: usize,
+        silent: bool,
+        seen_epochs: Vec<u64>,
     }
 
     impl StaticShard {
@@ -955,6 +1216,9 @@ mod tests {
                 mu,
                 allocation: vec![k],
                 fail_applies: 0,
+                timeout_applies: 0,
+                silent: false,
+                seen_epochs: Vec::new(),
             }
         }
     }
@@ -970,6 +1234,18 @@ mod tests {
             self.allocation.clone()
         }
         fn advance(&mut self, _window_secs: f64) -> WindowSample {
+            if self.silent {
+                return WindowSample {
+                    external_rate: None,
+                    operators: vec![OperatorSample {
+                        arrival_rate: None,
+                        service_rate: None,
+                    }],
+                    mean_sojourn: None,
+                    std_sojourn: None,
+                    completed: 0,
+                };
+            }
             let measured = mmk_measured_sojourn(self.rate, self.mu, self.allocation[0]);
             WindowSample {
                 external_rate: Some(self.rate),
@@ -983,6 +1259,11 @@ mod tests {
             }
         }
         fn apply(&mut self, plan: &RebalancePlan) -> Result<AppliedRebalance, BackendError> {
+            self.seen_epochs.push(plan.epoch);
+            if self.timeout_applies > 0 {
+                self.timeout_applies -= 1;
+                return Err(BackendError::Timeout("command lost".to_owned()));
+            }
             if self.fail_applies > 0 {
                 self.fail_applies -= 1;
                 return Err(BackendError::RebalanceUnavailable(
@@ -1302,5 +1583,181 @@ mod tests {
             ],
         );
         f.step_with_order(&[0, 0]);
+    }
+
+    #[test]
+    fn timeout_backs_off_then_retries_with_fresh_epochs() {
+        // The shard needs to grow but its first two commands vanish.
+        let mut shard = StaticShard::new(60.0, 10.0, 4);
+        shard.timeout_applies = 2;
+        let mut f = fleet(20, vec![("only", 0.11, shard)]);
+        f.run_windows(10);
+
+        let errors: Vec<String> = f
+            .timeline()
+            .iter()
+            .filter_map(|w| w.shards[0].error.clone())
+            .collect();
+        let timeouts = errors
+            .iter()
+            .filter(|e| e.contains("unacknowledged"))
+            .count();
+        let deferred = errors
+            .iter()
+            .filter(|e| e.contains("deferred: backoff"))
+            .count();
+        assert_eq!(timeouts, 2, "both lost commands recorded: {errors:?}");
+        assert!(
+            deferred >= 1,
+            "the doubled backoff must hold at least one window: {errors:?}"
+        );
+        // The third attempt lands and the shard converges.
+        assert!(f.timeline().iter().any(|w| w.shards[0].rebalanced));
+        assert!(f.backend(0).allocation[0] > 4);
+        // Every command on the wire carried a fresh, strictly increasing
+        // epoch — a replaying channel could never double-apply.
+        let epochs = &f.backend(0).seen_epochs;
+        assert_eq!(epochs.len(), 3, "two timeouts + one success: {epochs:?}");
+        assert!(epochs.windows(2).all(|p| p[0] < p[1]), "{epochs:?}");
+        // After the ack the backoff is fully reset.
+        assert!(f.actuation_retry(0).ready(f.timeline().len() as u64));
+    }
+
+    #[test]
+    fn refusal_acks_the_channel_and_resets_backoff() {
+        let mut shard = StaticShard::new(60.0, 10.0, 4);
+        shard.fail_applies = 1;
+        let mut f = fleet(20, vec![("only", 0.11, shard)]);
+        f.run_windows(6);
+        // A refusal is an acknowledgement: no window is ever spent in
+        // backoff, and the retry lands on the very next round.
+        assert!(f.timeline().iter().all(|w| !w.shards[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("backoff")));
+        assert!(f.timeline().iter().any(|w| w.shards[0].rebalanced));
+    }
+
+    #[test]
+    fn dead_shard_budget_is_reclaimed_within_lease_windows() {
+        // Contended: hot wants more than the remainder cold leaves it.
+        let mut f = fleet(
+            12,
+            vec![
+                ("hot", 0.11, StaticShard::new(60.0, 10.0, 7)),
+                ("cold", 0.11, StaticShard::new(30.0, 10.0, 4)),
+            ],
+        );
+        f.run_windows(5);
+        let before = f.timeline().last().unwrap();
+        assert!(before.contended);
+        let hot_before = before.shards[0].granted();
+
+        // Cold's machine dies: reports stop. Within lease_windows (3) +
+        // one negotiation round, the lease expires and hot inherits the
+        // reclaimed budget.
+        f.backend_mut(1).silent = true;
+        let lease = f.config().lease_windows;
+        f.run_windows(lease + 2);
+        let after = f.timeline().last().unwrap();
+        assert!(after.shards[1].dead, "cold's lease must expire: {after:?}");
+        assert!(f.shard_dead(1));
+        assert!(
+            after.shards[0].granted() > hot_before,
+            "hot must inherit reclaimed budget: {} vs {hot_before}",
+            after.shards[0].granted()
+        );
+        // Live-only accounting keeps the pool within budget.
+        assert!(after.total_granted <= 12);
+
+        // The shard heals: the first report renews the lease and it
+        // negotiates again; grows elsewhere defer until the fleet
+        // re-converges under Kmax.
+        f.backend_mut(1).silent = false;
+        f.run_windows(6);
+        let healed = f.timeline().last().unwrap();
+        assert!(!healed.shards[1].dead);
+        assert!(
+            healed.total_granted <= 12,
+            "over budget after heal: {healed:?}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_continue_is_bit_identical() {
+        let build = || {
+            fleet(
+                12,
+                vec![
+                    ("hot", 0.11, StaticShard::new(60.0, 10.0, 7)),
+                    ("cold", 0.11, StaticShard::new(30.0, 10.0, 4)),
+                ],
+            )
+        };
+        // Uninterrupted run.
+        let mut straight = build();
+        straight.run_windows(12);
+
+        // Same run, checkpointed mid-way and branched twice.
+        let mut prefix = build();
+        prefix.run_windows(5);
+        let ckpt = prefix.checkpoint();
+        assert_eq!(ckpt.window(), 5);
+        let mut branch_a = FleetDriver::from_checkpoint(&ckpt);
+        let mut branch_b = ckpt.into_driver();
+        branch_a.run_windows(7);
+        branch_b.run_windows(7);
+
+        assert_eq!(straight.timeline(), branch_a.timeline());
+        assert_eq!(straight.timeline(), branch_b.timeline());
+    }
+
+    #[test]
+    fn churn_add_and_remove_shards_mid_run() {
+        let mut f = fleet(
+            20,
+            vec![
+                ("a", 0.11, StaticShard::new(40.0, 10.0, 5)),
+                ("b", 0.11, StaticShard::new(30.0, 10.0, 4)),
+            ],
+        );
+        f.run_windows(3);
+        assert_eq!(f.timeline().last().unwrap().shards.len(), 2);
+
+        // A topology joins mid-run…
+        let joined = f
+            .add_shard(FleetShardSpec::new(
+                "c",
+                0.11,
+                StaticShard::new(20.0, 10.0, 3),
+            ))
+            .unwrap();
+        assert_eq!(joined, 2);
+        f.run_windows(4);
+        let w = f.timeline().last().unwrap();
+        assert_eq!(w.shards.len(), 3);
+        assert_eq!(w.shards[2].name, "c");
+        assert!(w.shards[2].demand.is_some(), "joined shard negotiates");
+        assert!(w.total_granted <= 20);
+
+        // …and another leaves. Names keep the timeline correlatable.
+        let removed = f.remove_shard(0);
+        assert_eq!(removed.rate, 40.0);
+        f.run_windows(2);
+        let w = f.timeline().last().unwrap();
+        assert_eq!(w.shards.len(), 2);
+        assert_eq!(
+            w.shards.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            vec!["b", "c"]
+        );
+        assert!(w.total_granted <= 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn removing_the_last_shard_panics() {
+        let mut f = fleet(10, vec![("only", 0.5, StaticShard::new(10.0, 10.0, 2))]);
+        f.remove_shard(0);
     }
 }

@@ -71,12 +71,12 @@ pub use config::{DrsConfig, OptimizationGoal, SamplingConfig};
 pub use controller::{ControlAction, DrsController, LogEntry};
 pub use decision::{Decision, DecisionPolicy};
 pub use driver::{
-    AppliedRebalance, BackendError, CspBackend, DriverError, DrsDriver, OperatorSample,
-    RebalancePlan, TimelinePoint, WindowSample,
+    ActuationRetry, AppliedRebalance, BackendError, CspBackend, DriverError, DrsDriver,
+    OperatorSample, RebalancePlan, TimelinePoint, WindowSample,
 };
 pub use fleet::{
-    FleetDriver, FleetDriverConfig, FleetNegotiator, FleetShardSpec, FleetWindow, ShardDemand,
-    ShardGrant, ShardPoint,
+    FleetCheckpoint, FleetDriver, FleetDriverConfig, FleetNegotiator, FleetShardSpec, FleetWindow,
+    ShardDemand, ShardGrant, ShardPoint,
 };
 pub use measurer::{Measurer, RawSample, SampleBuilder, SmoothedEstimates, Smoothing};
 pub use migration::{plan_migration, MigrationPlan, TaskAssignment};

@@ -74,11 +74,20 @@ impl Smoothing {
     }
 }
 
-/// One raw metric stream being smoothed.
+/// One raw metric stream being smoothed. Observations carry a weight in
+/// `(0, 1]`: weight 1 is the classic update, lower weights shrink an
+/// observation's influence (used for age-decayed stale fallbacks).
 #[derive(Debug, Clone)]
 enum Stream {
-    Alpha { alpha: f64, state: Option<f64> },
-    Window { size: usize, values: VecDeque<f64> },
+    Alpha {
+        alpha: f64,
+        state: Option<f64>,
+    },
+    Window {
+        size: usize,
+        /// `(value, weight)` pairs; the estimate is the weighted mean.
+        values: VecDeque<(f64, f64)>,
+    },
 }
 
 impl Stream {
@@ -92,19 +101,25 @@ impl Stream {
         }
     }
 
-    fn observe(&mut self, x: f64) {
+    fn observe(&mut self, x: f64, weight: f64) {
         match self {
             Stream::Alpha { alpha, state } => {
+                // The fading factor scales with the weight: at weight 1
+                // this is exactly `α·prev + (1−α)·x`; at weight → 0 the
+                // previous state survives untouched.
                 *state = Some(match *state {
                     None => x,
-                    Some(prev) => *alpha * prev + (1.0 - *alpha) * x,
+                    Some(prev) => {
+                        let gain = (1.0 - *alpha) * weight;
+                        (1.0 - gain) * prev + gain * x
+                    }
                 });
             }
             Stream::Window { size, values } => {
                 if values.len() == *size {
                     values.pop_front();
                 }
-                values.push_back(x);
+                values.push_back((x, weight));
             }
         }
     }
@@ -113,7 +128,14 @@ impl Stream {
         match self {
             Stream::Alpha { state, .. } => *state,
             Stream::Window { values, .. } => {
-                (!values.is_empty()).then(|| values.iter().sum::<f64>() / values.len() as f64)
+                if values.is_empty() {
+                    return None;
+                }
+                let total: f64 = values.iter().map(|&(_, w)| w).sum();
+                if total <= 0.0 {
+                    return None;
+                }
+                Some(values.iter().map(|&(x, w)| x * w).sum::<f64>() / total)
             }
         }
     }
@@ -223,19 +245,41 @@ impl Measurer {
     /// Panics if `raw.operators.len()` differs from the configured operator
     /// count — a programming error in the wiring between CSP layer and DRS.
     pub fn observe(&mut self, raw: &RawSample) {
+        self.observe_weighted(raw, 1.0);
+    }
+
+    /// Ingests one raw window with a credibility weight in `(0, 1]`.
+    ///
+    /// Weight 1 is exactly [`observe`](Self::observe). Lower weights shrink
+    /// the window's influence on the smoothed estimates — the staleness
+    /// hook: a sample whose rates are an age-`n` fallback (see
+    /// [`SampleBuilder::staleness`]) should be fed with weight `decay^n`
+    /// instead of being treated as fresh evidence. Non-finite or
+    /// out-of-range weights are clamped to `[0.001, 1]` so a stale report
+    /// can never freeze the estimates entirely.
+    ///
+    /// # Panics
+    ///
+    /// As for [`observe`](Self::observe).
+    pub fn observe_weighted(&mut self, raw: &RawSample, weight: f64) {
         assert_eq!(
             raw.operators.len(),
             self.arrivals.len(),
             "raw sample operator count mismatch"
         );
+        let weight = if weight.is_finite() {
+            weight.clamp(1e-3, 1.0)
+        } else {
+            1.0
+        };
         self.windows_seen += 1;
-        self.external.observe(raw.external_rate);
+        self.external.observe(raw.external_rate, weight);
         for (i, rates) in raw.operators.iter().enumerate() {
-            self.arrivals[i].observe(rates.arrival_rate);
-            self.services[i].observe(rates.service_rate);
+            self.arrivals[i].observe(rates.arrival_rate, weight);
+            self.services[i].observe(rates.service_rate, weight);
         }
         if let Some(s) = raw.mean_sojourn {
-            self.sojourn.observe(s);
+            self.sojourn.observe(s, weight);
         }
     }
 
@@ -260,7 +304,22 @@ impl Measurer {
 
 /// Builds [`RawSample`]s from backend [`WindowSample`]s, falling back to
 /// the last known rates for operators a window starved (paper App. B: brief
-/// starvation under a rebalance pause must not zero the model).
+/// starvation under a rebalance pause must not zero the model) — and
+/// tracking **how old** that fallback evidence is, so callers on a lossy
+/// control channel can discount a 3-window-old report instead of treating
+/// it as current.
+///
+/// After every [`build`](Self::build):
+///
+/// * [`staleness`](Self::staleness) is the age, in windows, of the oldest
+///   substituted rate in the sample just built (0 when every operator
+///   reported fresh rates) — feed it to
+///   [`Measurer::observe_weighted`] as `decay^staleness`, or use
+///   [`weight`](Self::weight) directly;
+/// * [`missed_windows`](Self::missed_windows) counts the *consecutive*
+///   windows for which no usable report existed at all (`build` returned
+///   `None`) — the liveness signal behind the fleet's lease-style dead
+///   shard detection.
 ///
 /// One instance lives inside every `DrsDriver` (see [`crate::driver`]);
 /// it is public so hand-rolled loops and tests can reuse the exact same
@@ -281,15 +340,25 @@ impl Measurer {
 ///     completed: 100,
 /// };
 /// assert!(b.build(&observed).is_some());
+/// assert_eq!(b.staleness(), 0);
 ///
-/// // A starved window (pause, idle operator) reuses the last known rates.
+/// // A starved window (pause, idle operator) reuses the last known rates —
+/// // but the sample is now flagged one window stale.
 /// let starved = WindowSample { operators: vec![OperatorSample { arrival_rate: None, service_rate: None }], ..observed };
 /// let raw = b.build(&starved).unwrap();
 /// assert_eq!(raw.operators[0].service_rate, 4.0);
+/// assert_eq!(b.staleness(), 1);
+/// assert!(b.weight(0.5) < 1.0);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct SampleBuilder {
     last_rates: Option<Vec<OperatorRates>>,
+    /// Windows since operator `i` last produced fresh rates.
+    ages: Vec<u64>,
+    /// Age of the oldest substituted rate in the last built sample.
+    staleness: u64,
+    /// Consecutive windows with no usable report (`build` returned `None`).
+    missed: u64,
 }
 
 impl SampleBuilder {
@@ -303,31 +372,88 @@ impl SampleBuilder {
     /// rates; returns `None` when no usable rates exist yet (nothing has
     /// ever arrived, or a starved operator has no history).
     pub fn build(&mut self, w: &crate::driver::WindowSample) -> Option<RawSample> {
+        if self.ages.len() < w.operators.len() {
+            self.ages.resize(w.operators.len(), 0);
+        }
+        match self.build_inner(w) {
+            Some(raw) => {
+                self.missed = 0;
+                Some(raw)
+            }
+            None => {
+                // The whole window is missing evidence: everything ages.
+                self.missed += 1;
+                for age in &mut self.ages {
+                    *age += 1;
+                }
+                self.staleness = self.ages.iter().copied().max().unwrap_or(0);
+                None
+            }
+        }
+    }
+
+    fn build_inner(&mut self, w: &crate::driver::WindowSample) -> Option<RawSample> {
         let external_rate = w.external_rate?;
         if external_rate <= 0.0 {
             return None;
         }
         let mut operators = Vec::with_capacity(w.operators.len());
+        let mut ages = std::mem::take(&mut self.ages);
+        let mut staleness = 0u64;
         for (slot, op) in w.operators.iter().enumerate() {
             match (op.arrival_rate, op.service_rate) {
                 (Some(a), Some(s)) if a > 0.0 && s > 0.0 => {
+                    ages[slot] = 0;
                     operators.push(OperatorRates {
                         arrival_rate: a,
                         service_rate: s,
                     });
                 }
                 _ => {
-                    let last = self.last_rates.as_ref()?;
-                    operators.push(*last.get(slot)?);
+                    let Some(last) = self.last_rates.as_ref().and_then(|l| l.get(slot)) else {
+                        self.ages = ages;
+                        return None;
+                    };
+                    ages[slot] += 1;
+                    staleness = staleness.max(ages[slot]);
+                    operators.push(*last);
                 }
             }
         }
+        self.ages = ages;
+        self.staleness = staleness;
         self.last_rates = Some(operators.clone());
         Some(RawSample {
             external_rate,
             operators,
             mean_sojourn: w.mean_sojourn,
         })
+    }
+
+    /// Age, in windows, of the oldest substituted rate in the most recent
+    /// [`build`](Self::build) (0 when every operator reported fresh rates;
+    /// after a run of fully-missed windows, the age of the surviving
+    /// history).
+    pub fn staleness(&self) -> u64 {
+        self.staleness
+    }
+
+    /// Consecutive windows for which [`build`](Self::build) found no usable
+    /// report at all. Resets to 0 the moment a window yields a sample.
+    pub fn missed_windows(&self) -> u64 {
+        self.missed
+    }
+
+    /// The age-decayed credibility weight of the last built sample:
+    /// `decay^staleness`, for `decay ∈ (0, 1]`. Feed it to
+    /// [`Measurer::observe_weighted`].
+    pub fn weight(&self, decay: f64) -> f64 {
+        let decay = if decay.is_finite() {
+            decay.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        decay.powi(i32::try_from(self.staleness.min(1_000)).expect("bounded"))
     }
 }
 
@@ -526,5 +652,114 @@ mod tests {
             0.0
         )
         .is_none());
+    }
+
+    fn window(
+        external: Option<f64>,
+        ops: &[(Option<f64>, Option<f64>)],
+    ) -> crate::driver::WindowSample {
+        crate::driver::WindowSample {
+            external_rate: external,
+            operators: ops
+                .iter()
+                .map(|&(a, s)| crate::driver::OperatorSample {
+                    arrival_rate: a,
+                    service_rate: s,
+                })
+                .collect(),
+            mean_sojourn: None,
+            std_sojourn: None,
+            completed: 0,
+        }
+    }
+
+    #[test]
+    fn weighted_observe_at_full_weight_matches_unweighted() {
+        let mut plain = Measurer::new(1, Smoothing::Alpha { alpha: 0.8 }).unwrap();
+        let mut weighted = Measurer::new(1, Smoothing::Alpha { alpha: 0.8 }).unwrap();
+        for r in [10.0, 20.0, 15.0, 40.0] {
+            plain.observe(&sample(r, Some(0.3)));
+            weighted.observe_weighted(&sample(r, Some(0.3)), 1.0);
+        }
+        let p = plain.estimates().unwrap();
+        let w = weighted.estimates().unwrap();
+        assert_eq!(p.external_rate.to_bits(), w.external_rate.to_bits());
+        assert_eq!(
+            p.operators[0].service_rate.to_bits(),
+            w.operators[0].service_rate.to_bits()
+        );
+    }
+
+    #[test]
+    fn low_weight_observations_barely_move_the_estimate() {
+        let mut m = Measurer::new(1, Smoothing::Alpha { alpha: 0.8 }).unwrap();
+        m.observe(&sample(10.0, None));
+        // A stale echo of an old 100/s report, heavily discounted.
+        m.observe_weighted(&sample(100.0, None), 0.01);
+        let est = m.estimates().unwrap().external_rate;
+        // Full weight would give 0.8*10 + 0.2*100 = 28; near-zero weight stays near 10.
+        assert!(est < 11.0, "estimate {est}");
+        assert!(est > 10.0, "estimate {est}");
+    }
+
+    #[test]
+    fn weighted_window_mean_discounts_stale_values() {
+        let mut m = Measurer::new(1, Smoothing::Window { size: 4 }).unwrap();
+        m.observe_weighted(&sample(10.0, None), 1.0);
+        m.observe_weighted(&sample(50.0, None), 0.25);
+        // Weighted mean: (10*1 + 50*0.25) / 1.25 = 18.
+        assert!((m.estimates().unwrap().external_rate - 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_tracks_staleness_of_fallback_rates() {
+        let mut b = SampleBuilder::new();
+        let fresh = window(Some(10.0), &[(Some(10.0), Some(4.0))]);
+        let starved = window(Some(10.0), &[(None, None)]);
+
+        assert!(b.build(&fresh).is_some());
+        assert_eq!(b.staleness(), 0);
+        assert_eq!(b.missed_windows(), 0);
+        assert!((b.weight(0.5) - 1.0).abs() < 1e-12);
+
+        // Two starved windows in a row: fallback ages 1, then 2.
+        assert!(b.build(&starved).is_some());
+        assert_eq!(b.staleness(), 1);
+        assert!((b.weight(0.5) - 0.5).abs() < 1e-12);
+        assert!(b.build(&starved).is_some());
+        assert_eq!(b.staleness(), 2);
+        assert!((b.weight(0.5) - 0.25).abs() < 1e-12);
+
+        // Fresh evidence resets the age.
+        assert!(b.build(&fresh).is_some());
+        assert_eq!(b.staleness(), 0);
+    }
+
+    #[test]
+    fn builder_counts_consecutive_missed_windows() {
+        let mut b = SampleBuilder::new();
+        let fresh = window(Some(10.0), &[(Some(10.0), Some(4.0))]);
+        let silent = window(None, &[(None, None)]);
+
+        assert!(b.build(&fresh).is_some());
+        assert!(b.build(&silent).is_none());
+        assert!(b.build(&silent).is_none());
+        assert_eq!(b.missed_windows(), 2);
+        // Fully-missed windows age the surviving history too.
+        assert_eq!(b.staleness(), 2);
+
+        // A usable window resets the lease counter.
+        assert!(b.build(&fresh).is_some());
+        assert_eq!(b.missed_windows(), 0);
+        assert_eq!(b.staleness(), 0);
+    }
+
+    #[test]
+    fn builder_missed_windows_before_any_history() {
+        let mut b = SampleBuilder::new();
+        let silent = window(None, &[(None, None)]);
+        assert!(b.build(&silent).is_none());
+        assert!(b.build(&silent).is_none());
+        assert_eq!(b.missed_windows(), 2);
     }
 }

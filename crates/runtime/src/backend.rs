@@ -161,6 +161,7 @@ mod tests {
             .apply(&RebalancePlan {
                 allocation: vec![4],
                 pause_secs: 99.0, // estimate ignored: the engine measures
+                epoch: 0,
             })
             .unwrap();
         assert_eq!(applied.allocation, vec![4]);
@@ -175,7 +176,8 @@ mod tests {
         assert!(matches!(
             e.apply(&RebalancePlan {
                 allocation: vec![1, 1],
-                pause_secs: 0.0
+                pause_secs: 0.0,
+                epoch: 0,
             })
             .unwrap_err(),
             BackendError::InvalidAllocation(_)
@@ -183,7 +185,8 @@ mod tests {
         assert!(matches!(
             e.apply(&RebalancePlan {
                 allocation: vec![0],
-                pause_secs: 0.0
+                pause_secs: 0.0,
+                epoch: 0,
             })
             .unwrap_err(),
             BackendError::InvalidAllocation(_)

@@ -412,6 +412,16 @@ impl RuntimeEngine {
         self.path.metrics.take_snapshot()
     }
 
+    /// Cumulative per-operator counts of envelopes pushed past the soft
+    /// bound of the operator's input channel (fan-out senders that
+    /// exhausted the bounded backpressure wait). Indexed by operator id;
+    /// never reset by [`RuntimeEngine::metrics_snapshot`]. A healthy
+    /// deployment keeps every entry at zero — non-zero values mean the
+    /// configured channel capacity is too small for the offered load.
+    pub fn soft_overruns(&self) -> Vec<u64> {
+        self.path.metrics.soft_overruns()
+    }
+
     /// Re-balances to a new allocation: each operator's executor weight is
     /// rewritten atomically; growing operators gain pre-built bolt
     /// instances and are nudged immediately, and only *shrinking*

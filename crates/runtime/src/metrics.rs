@@ -18,6 +18,9 @@ pub(crate) struct OperatorCounters {
     pub completions: AtomicU64,
     /// Nanoseconds executors spent inside `execute`.
     pub busy_nanos: AtomicU64,
+    /// Envelopes enqueued past the soft capacity of the operator's input
+    /// channel after the bounded backpressure wait expired.
+    pub soft_overruns: AtomicU64,
 }
 
 /// A point-in-time copy of all metrics, with rates derived over the window
@@ -44,6 +47,11 @@ pub struct OperatorMetrics {
     pub completions: u64,
     /// Executor-seconds spent executing.
     pub busy_secs: f64,
+    /// Envelopes pushed past the operator's soft channel bound during the
+    /// window (senders that exhausted the bounded backpressure wait).
+    /// Non-zero values mean the configured channel capacity was too small
+    /// for the offered load.
+    pub soft_overruns: u64,
 }
 
 impl OperatorMetrics {
@@ -76,6 +84,7 @@ struct Baseline {
     arrivals: Vec<u64>,
     completions: Vec<u64>,
     busy_nanos: Vec<u64>,
+    soft_overruns: Vec<u64>,
     external: u64,
 }
 
@@ -93,6 +102,7 @@ impl MetricsRegistry {
                 arrivals: vec![0; n_operators],
                 completions: vec![0; n_operators],
                 busy_nanos: vec![0; n_operators],
+                soft_overruns: vec![0; n_operators],
                 external: 0,
             }),
         }
@@ -132,6 +142,24 @@ impl MetricsRegistry {
         self.sojourn.lock().record(secs);
     }
 
+    /// Records `n` envelopes pushed past `op`'s soft channel bound (the
+    /// fan-out path exhausted its bounded backpressure wait).
+    pub(crate) fn record_soft_overruns(&self, op: usize, n: u64) {
+        self.operators[op]
+            .soft_overruns
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Cumulative soft-overrun counts per operator since the registry was
+    /// created (never reset by [`MetricsRegistry::take_snapshot`] — the
+    /// windowed delta lives in [`OperatorMetrics::soft_overruns`]).
+    pub fn soft_overruns(&self) -> Vec<u64> {
+        self.operators
+            .iter()
+            .map(|c| c.soft_overruns.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Takes a windowed snapshot: rates cover the interval since the last
     /// snapshot (or registry creation) and the window is reset.
     pub fn take_snapshot(&self) -> MetricsSnapshot {
@@ -146,14 +174,17 @@ impl MetricsRegistry {
             let arrivals = c.arrivals.load(Ordering::Relaxed);
             let completions = c.completions.load(Ordering::Relaxed);
             let busy = c.busy_nanos.load(Ordering::Relaxed);
+            let soft_overruns = c.soft_overruns.load(Ordering::Relaxed);
             operators.push(OperatorMetrics {
                 arrivals: arrivals - baseline.arrivals[i],
                 completions: completions - baseline.completions[i],
                 busy_secs: (busy - baseline.busy_nanos[i]) as f64 / 1e9,
+                soft_overruns: soft_overruns - baseline.soft_overruns[i],
             });
             baseline.arrivals[i] = arrivals;
             baseline.completions[i] = completions;
             baseline.busy_nanos[i] = busy;
+            baseline.soft_overruns[i] = soft_overruns;
         }
         let external_total = self.external.load(Ordering::Relaxed);
         let external_arrivals = external_total - baseline.external;
@@ -184,20 +215,26 @@ mod tests {
         m.record_completion(0, 1_000_000); // 1 ms
         m.record_externals(1);
         m.record_sojourn(0.25);
+        m.record_soft_overruns(1, 3);
 
         let snap = m.take_snapshot();
         assert_eq!(snap.operators[0].arrivals, 2);
         assert_eq!(snap.operators[1].arrivals, 1);
         assert_eq!(snap.operators[0].completions, 1);
         assert!((snap.operators[0].busy_secs - 0.001).abs() < 1e-9);
+        assert_eq!(snap.operators[0].soft_overruns, 0);
+        assert_eq!(snap.operators[1].soft_overruns, 3);
         assert_eq!(snap.external_arrivals, 1);
         assert_eq!(snap.sojourn.count(), 1);
 
-        // The next window starts empty.
+        // The next window starts empty, but the cumulative overrun count
+        // survives snapshots.
         let snap2 = m.take_snapshot();
         assert_eq!(snap2.operators[0].arrivals, 0);
+        assert_eq!(snap2.operators[1].soft_overruns, 0);
         assert_eq!(snap2.external_arrivals, 0);
         assert_eq!(snap2.sojourn.count(), 0);
+        assert_eq!(m.soft_overruns(), vec![0, 3]);
     }
 
     #[test]
@@ -206,6 +243,7 @@ mod tests {
             arrivals: 100,
             completions: 80,
             busy_secs: 4.0,
+            soft_overruns: 0,
         };
         assert_eq!(om.arrival_rate(10.0), Some(10.0));
         assert_eq!(om.service_rate(), Some(20.0));
@@ -214,6 +252,7 @@ mod tests {
             arrivals: 0,
             completions: 0,
             busy_secs: 0.0,
+            soft_overruns: 0,
         };
         assert_eq!(idle.service_rate(), None);
     }

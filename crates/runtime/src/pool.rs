@@ -295,7 +295,12 @@ impl PoolShared {
                     &self.shutdown,
                     BACKPRESSURE_WAIT,
                 ) {
-                    Ok(()) => {}
+                    Ok(overrun) => {
+                        if overrun > 0 {
+                            path.metrics
+                                .record_soft_overruns(t as usize, overrun as u64);
+                        }
+                    }
                     Err(SendError(unsent)) => {
                         path.acks
                             .cancel(&env.ack, unsent as u64, &path.metrics, &path.open_trees);

@@ -128,6 +128,14 @@ fn rebalancing_every_few_ms_loses_nothing() {
         engine.open_trees()
     );
     assert_eq!(engine.open_trees(), 0);
+    // The soft channel bound must never be pierced here: 8 000 roots ×
+    // fan-out 2 stays far below the 64 Ki-envelope default capacity, so
+    // any overrun would mean the bounded-send accounting itself is wrong.
+    assert_eq!(
+        engine.soft_overruns(),
+        vec![0, 0, 0],
+        "channels overran their soft bound under rebalance stress"
+    );
     let snap = engine.shutdown(Duration::from_secs(2));
     assert_eq!(snap.external_arrivals, ROOTS, "spout roots lost");
     assert_eq!(
@@ -183,6 +191,11 @@ fn windowed_metrics_stay_monotone_across_rebalances() {
         }
     }
     assert!(engine.wait_until_drained(Duration::from_secs(60)));
+    assert_eq!(
+        engine.soft_overruns(),
+        vec![0, 0],
+        "channels overran their soft bound under windowed snapshots"
+    );
     let last = engine.shutdown(Duration::from_secs(2));
     completions += last.operators[1].completions;
     externals += last.external_arrivals;

@@ -139,6 +139,7 @@ mod tests {
             .apply(&RebalancePlan {
                 allocation: vec![5],
                 pause_secs: 0.0,
+                epoch: 0,
             })
             .unwrap();
         assert_eq!(applied.allocation, vec![5]);
@@ -152,6 +153,7 @@ mod tests {
         sim.apply(&RebalancePlan {
             allocation: vec![4],
             pause_secs: 30.0,
+            epoch: 0,
         })
         .unwrap();
         // The pause outlasts the next window: a second apply must fail
@@ -161,6 +163,7 @@ mod tests {
             .apply(&RebalancePlan {
                 allocation: vec![6],
                 pause_secs: 1.0,
+                epoch: 0,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::RebalanceUnavailable(_)));
@@ -173,6 +176,7 @@ mod tests {
             .apply(&RebalancePlan {
                 allocation: vec![2, 2],
                 pause_secs: 0.0,
+                epoch: 0,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::InvalidAllocation(_)));
@@ -180,6 +184,7 @@ mod tests {
             .apply(&RebalancePlan {
                 allocation: vec![0],
                 pause_secs: 0.0,
+                epoch: 0,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::InvalidAllocation(_)));

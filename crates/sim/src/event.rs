@@ -61,7 +61,7 @@ pub enum Event {
 /// assert_eq!(t.as_nanos(), 10);
 /// assert!(matches!(e, Event::ExternalArrival { spout: 0 }));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EventQueue {
     calendar: CalendarQueue<Event>,
 }

@@ -11,6 +11,12 @@
 //! stepping (shards may be advanced in any order within a window without
 //! changing any shard's measurements — the clocks are isolated).
 //!
+//! A [`FaultyFleetCoordinator`] is the same fleet with every shard behind
+//! a fault-injected control channel ([`crate::faults`]): lossy/delayed
+//! reports and actuations, partitions, churn and crashes — the substrate
+//! for the robustness scenarios (`repro fleet --faults`) and the
+//! checkpoint/restore sweeps ([`FleetCoordinator::checkpoint`]).
+//!
 //! ```
 //! use drs_core::fleet::{FleetDriverConfig, FleetShardSpec};
 //! use drs_queueing::distribution::Distribution;
@@ -49,14 +55,15 @@
 //! # }
 //! ```
 
+use crate::faults::{FaultEvent, FaultyShard};
 use crate::simulator::Simulator;
 use drs_core::fleet::{
-    FleetDriver, FleetDriverConfig, FleetDriverError, FleetShardSpec, FleetWindow,
+    FleetCheckpoint, FleetDriver, FleetDriverConfig, FleetDriverError, FleetShardSpec, FleetWindow,
 };
 
 /// N topologies, N virtual clocks, one processor budget. See the
 /// [module docs](self).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FleetCoordinator {
     driver: FleetDriver<Simulator>,
 }
@@ -145,6 +152,136 @@ impl FleetCoordinator {
     /// Panics if `order` is not a permutation of `0..shard_count()`.
     pub fn step_with_order(&mut self, order: &[usize]) -> &FleetWindow {
         self.driver.step_with_order(order)
+    }
+
+    /// Snapshots the full fleet — control plane and every shard's virtual
+    /// clock (see [`drs_core::fleet::FleetCheckpoint`]).
+    pub fn checkpoint(&self) -> FleetCheckpoint<Simulator> {
+        self.driver.checkpoint()
+    }
+
+    /// Restores a coordinator from a checkpoint without consuming it, so
+    /// one common prefix branches into many continuations.
+    pub fn from_checkpoint(checkpoint: &FleetCheckpoint<Simulator>) -> Self {
+        FleetCoordinator {
+            driver: FleetDriver::from_checkpoint(checkpoint),
+        }
+    }
+}
+
+/// The fault-injected fleet: every shard is a
+/// [`FaultyShard`]`<`[`Simulator`]`>`, so all measurement reports and
+/// actuation commands run through per-shard
+/// [`crate::faults::ControlChannel`]s (loss, delay + jitter, reordering,
+/// duplication, partitions, crashes) while the coordinator runs the
+/// hardened `drs_core::fleet` loop against them — epoch-guarded
+/// actuations, capped-backoff retries, stale-evidence discounting and
+/// lease-style dead-shard budget reclaim. See [`crate::faults`] for the
+/// channel model and `repro fleet --faults` for named scenarios.
+#[derive(Debug, Clone)]
+pub struct FaultyFleetCoordinator {
+    driver: FleetDriver<FaultyShard<Simulator>>,
+}
+
+impl FaultyFleetCoordinator {
+    /// Creates a fault-injected coordinator over wrapped simulator shards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FleetDriver::new`].
+    pub fn new(
+        config: FleetDriverConfig,
+        shards: Vec<FleetShardSpec<FaultyShard<Simulator>>>,
+    ) -> Result<Self, FleetDriverError> {
+        Ok(FaultyFleetCoordinator {
+            driver: FleetDriver::new(config, shards)?,
+        })
+    }
+
+    /// The global processor budget `Kmax`.
+    pub fn k_max(&self) -> u32 {
+        self.driver.negotiator().k_max()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.driver.shard_count()
+    }
+
+    /// The shard names, in shard index order.
+    pub fn shard_names(&self) -> Vec<&str> {
+        self.driver.shard_names()
+    }
+
+    /// Shard `i`'s fault-injected backend (channel, fault log, crash
+    /// state, wrapped simulator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard(&self, i: usize) -> &FaultyShard<Simulator> {
+        self.driver.backend(i)
+    }
+
+    /// Mutable access to shard `i` — the hook for mid-run workload drift
+    /// (via [`FaultyShard::inner_mut`]) and for scheduling crashes
+    /// ([`FaultyShard::crash_at`] / [`FaultyShard::crash_now`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_mut(&mut self, i: usize) -> &mut FaultyShard<Simulator> {
+        self.driver.backend_mut(i)
+    }
+
+    /// Shard `i`'s fault log: every injected fault and shard-side
+    /// rejection, in window order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fault_log(&self, i: usize) -> &[FaultEvent] {
+        self.driver.backend(i).fault_log()
+    }
+
+    /// The underlying generic fleet driver (timeline, negotiator, churn
+    /// via `add_shard`/`remove_shard`, per-shard retry/lease state).
+    pub fn driver(&self) -> &FleetDriver<FaultyShard<Simulator>> {
+        &self.driver
+    }
+
+    /// Mutable access to the underlying driver.
+    pub fn driver_mut(&mut self) -> &mut FleetDriver<FaultyShard<Simulator>> {
+        &mut self.driver
+    }
+
+    /// The fleet timeline recorded so far.
+    pub fn timeline(&self) -> &[FleetWindow] {
+        self.driver.timeline()
+    }
+
+    /// Runs `windows` fleet windows (shards advanced in index order).
+    pub fn run_windows(&mut self, windows: u64) -> &[FleetWindow] {
+        self.driver.run_windows(windows)
+    }
+
+    /// Runs one fleet window.
+    pub fn step(&mut self) -> &FleetWindow {
+        self.driver.step()
+    }
+
+    /// Snapshots the full fault-injected fleet: control plane, virtual
+    /// clocks, in-flight messages and channel RNG state — continuing from
+    /// a restore is bit-identical to never having stopped.
+    pub fn checkpoint(&self) -> FleetCheckpoint<FaultyShard<Simulator>> {
+        self.driver.checkpoint()
+    }
+
+    /// Restores a coordinator from a checkpoint without consuming it.
+    pub fn from_checkpoint(checkpoint: &FleetCheckpoint<FaultyShard<Simulator>>) -> Self {
+        FaultyFleetCoordinator {
+            driver: FleetDriver::from_checkpoint(checkpoint),
+        }
     }
 }
 

@@ -33,6 +33,26 @@
 //! a binary-heap reference at 10⁴–10⁶ pending events and records the result
 //! in `BENCH_PERF.json`, which CI gates via `repro perfdiff`.
 //!
+//! # Degraded control plane
+//!
+//! The fleet is also a stress lab for the control plane: the [`faults`]
+//! module models each shard's link to the coordinator as a deterministic,
+//! seedable [`faults::ControlChannel`] — per-message loss, latency +
+//! jitter (quantized to measurement windows, delivered through the same
+//! calendar queue and therefore naturally reordered), duplication, ack
+//! loss, scheduled partitions with heal times, and machine-failure
+//! crashes. [`fleet::FaultyFleetCoordinator`] routes every measurement
+//! report and actuation command through those channels, while
+//! `drs_core::fleet` supplies the hardening that makes the loop converge
+//! anyway: actuation epochs (stale/duplicate commands rejected),
+//! capped-backoff retry on unacknowledged actuations, age-weighted stale
+//! evidence, lease-style dead-shard budget reclaim, and
+//! checkpoint/restore of the full fleet (virtual clocks, in-flight
+//! messages and RNG state included) so scenario sweeps branch from a
+//! common prefix. Every injected fault is recorded as a
+//! [`faults::FaultEvent`] next to the control decisions it provoked;
+//! `repro fleet --faults <scenario>` renders both.
+//!
 //! See [`SimulationBuilder`] for the entry point and the `drs-apps` crate for
 //! fully calibrated workloads (video logo detection, frequent pattern
 //! detection, synthetic chains).
@@ -76,13 +96,17 @@
 pub mod backend;
 pub mod calendar;
 pub mod event;
+pub mod faults;
 pub mod fleet;
 pub mod metrics;
 pub mod simulator;
 pub mod time;
 pub mod workload;
 
-pub use fleet::FleetCoordinator;
+pub use faults::{
+    ControlChannel, FaultEvent, FaultKind, FaultyShard, LinkFaults, Partition, WindowJitter,
+};
+pub use fleet::{FaultyFleetCoordinator, FleetCoordinator};
 pub use metrics::{MeasurementWindow, OperatorWindow, RunningStats};
 pub use simulator::{SimError, SimulationBuilder, Simulator};
 pub use time::{SimDuration, SimTime};

@@ -286,7 +286,7 @@ fn validate_allocation(topology: &Topology, allocation: &[u32]) -> Result<(), Si
     Ok(())
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct OpState {
     queue: VecDeque<QueuedTuple>,
     busy: u32,
@@ -311,7 +311,7 @@ struct TreeState {
 
 /// The discrete-event stream-processing simulator. See the module docs for
 /// the execution model and [`SimulationBuilder`] for construction.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Simulator {
     topology: Topology,
     behaviors: Vec<OperatorBehavior>,
