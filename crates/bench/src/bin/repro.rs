@@ -6,6 +6,7 @@
 //! repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]
 //! repro drive [--backend sim|runtime|both] [--quick]
 //! repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]
+//! repro place [--smoke] [--seed N]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
 //! ```
 //!
@@ -13,7 +14,9 @@
 //! the paper's horizons (10-minute measurements, 27-minute timelines).
 
 use drs_bench::sweep::{run_sweep, App};
-use drs_bench::{ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, surge, table2};
+use drs_bench::{
+    ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, place, surge, table2,
+};
 use std::env;
 use std::process::ExitCode;
 
@@ -83,6 +86,7 @@ fn main() -> ExitCode {
                 println!(
                     "       repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]"
                 );
+                println!("       repro place [--smoke] [--seed N]");
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
                 println!(
                     "  perf also writes machine-readable BENCH_PERF.json to the current directory"
@@ -116,6 +120,7 @@ fn main() -> ExitCode {
         "perf" => run_perf(&options),
         "drive" => return run_drive(&options),
         "fleet" => return run_fleet(&options),
+        "place" => run_place(&options),
         "perfdiff" => return run_perfdiff(&options),
         "all" => {
             fig6_and_7(&options, true, true);
@@ -125,6 +130,7 @@ fn main() -> ExitCode {
             run_table2(&options);
             run_ablation(&options);
             run_surge(&options);
+            run_place(&options);
             run_perf(&options);
         }
         other => {
@@ -286,6 +292,19 @@ fn run_ablation(options: &Options) {
     let (windows, window_secs) = if options.quick { (8, 30) } else { (15, 60) };
     let rows = ablation::run_gate_value(windows, window_secs, options.seed);
     print!("{}", ablation::render_gate_value(&rows));
+}
+
+fn run_place(options: &Options) {
+    let config = if options.smoke || options.quick {
+        place::PlaceBenchConfig::smoke(options.seed)
+    } else {
+        place::PlaceBenchConfig {
+            seed: options.seed,
+            ..Default::default()
+        }
+    };
+    let run = place::run_place(&config);
+    print!("{}", place::render_place(&config, &run));
 }
 
 fn run_perf(options: &Options) {

@@ -24,6 +24,9 @@
 //!   scenarios (`lossy`, `laggy`, `partition`, `churn`, `crash-storm`)
 //!   behind `repro fleet --faults`, rendering injected faults next to
 //!   the control-plane reactions;
+//! * [`place`] — machine-granular placement on the same fleet sharing an
+//!   8-machine pool: the resource-aware solver vs a round-robin deal,
+//!   compared on cross-machine tuple fraction and end-to-end sojourn;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -47,6 +50,7 @@ pub mod fig9;
 pub mod fleet;
 pub mod perf;
 pub mod perfdiff;
+pub mod place;
 pub mod report;
 pub mod surge;
 pub mod sweep;

@@ -1,9 +1,10 @@
 //! Perf trajectory: heap+incremental scheduling vs the retained reference
 //! implementation, the calendar event queue vs a binary-heap reference,
-//! end-to-end simulator throughput, and live-runtime throughput — rendered
-//! as tables and exported as machine-readable `BENCH_PERF.json` so
-//! successive PRs can compare like for like (`repro perfdiff` gates the
-//! trajectory in CI).
+//! end-to-end simulator throughput, live-runtime throughput, and the
+//! machine-placement comparison (solver vs round-robin on the contended
+//! fleet) — rendered as tables and exported as machine-readable
+//! `BENCH_PERF.json` so successive PRs can compare like for like
+//! (`repro perfdiff` gates the trajectory in CI).
 
 use crate::report::render_table;
 use crate::timing::time_per_call_us;
@@ -115,6 +116,24 @@ impl RebalancePoint {
     }
 }
 
+/// One placement policy's outcome on the `repro place` smoke scenario
+/// (the contended 8-machine VLD+FPD fleet). Virtual-clock simulation with
+/// fixed seeds: the numbers are deterministic, so the perfdiff gate can
+/// hold them to tight tolerances across machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementPoint {
+    /// `solver` (the resource-aware placement) or `round_robin` (the
+    /// capacity-oblivious baseline, kept as the reference oracle).
+    pub policy: &'static str,
+    /// Fleet-wide fraction of edge tuples that crossed machines.
+    pub cross_fraction: f64,
+    /// Completion-weighted mean end-to-end sojourn across the fleet (ms).
+    pub mean_sojourn_ms: f64,
+    /// Relative cut vs the round-robin baseline (`1 − solver/baseline`);
+    /// zero on the baseline's own row.
+    pub cross_cut: f64,
+}
+
 /// The whole perf snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -130,6 +149,8 @@ pub struct PerfReport {
     pub worker_pool: Vec<WorkerPoolPoint>,
     /// Rebalance pause: pool vs thread-per-executor reference.
     pub rebalance: RebalancePoint,
+    /// Machine placement on the contended fleet: solver vs round-robin.
+    pub placement: Vec<PlacementPoint>,
 }
 
 /// Pending-population sizes of the event-queue sweep.
@@ -527,6 +548,26 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         thread_join_pause_us: thread_join_rebalance_pause_us(8, 3, 5),
     };
 
+    // The placement comparison always runs the smoke shape (deliberately
+    // independent of `iterations`/`--quick`): it is a deterministic
+    // virtual-clock scenario, so baseline and CI must measure the same
+    // thing.
+    let place_run = crate::place::run_place(&crate::place::PlaceBenchConfig::smoke(seed));
+    let placement = vec![
+        PlacementPoint {
+            policy: "solver",
+            cross_fraction: place_run.solver.cross_fraction(),
+            mean_sojourn_ms: place_run.solver.mean_sojourn_ms,
+            cross_cut: place_run.cross_cut(),
+        },
+        PlacementPoint {
+            policy: "round_robin",
+            cross_fraction: place_run.round_robin.cross_fraction(),
+            mean_sojourn_ms: place_run.round_robin.mean_sojourn_ms,
+            cross_cut: 0.0,
+        },
+    ];
+
     PerfReport {
         scheduling,
         event_queue,
@@ -534,6 +575,7 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         runtime,
         worker_pool,
         rebalance,
+        placement,
     }
 }
 
@@ -632,6 +674,23 @@ pub fn render_perf(report: &PerfReport) -> String {
             format!("{:.1}x", report.rebalance.speedup()),
         ]],
     ));
+    let place_rows: Vec<Vec<String>> = report
+        .placement
+        .iter()
+        .map(|p| {
+            vec![
+                p.policy.to_owned(),
+                format!("{:.3}", p.cross_fraction),
+                format!("{:.1}", p.mean_sojourn_ms),
+                format!("{:.0}%", p.cross_cut * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        "Placement: solver vs round-robin on the contended 8-machine fleet",
+        &["policy", "cross fraction", "sojourn (ms)", "cut"],
+        &place_rows,
+    ));
     out
 }
 
@@ -706,6 +765,24 @@ pub fn perf_json(report: &PerfReport) -> String {
         "    {{\"path\": \"thread_join\", \"pause_us\": {:.2}}}\n",
         report.rebalance.thread_join_pause_us,
     ));
+    s.push_str("  ],\n  \"placement\": [\n");
+    for (i, p) in report.placement.iter().enumerate() {
+        // The cut is only meaningful relative to the baseline row, so it
+        // is emitted (and gated) on the solver row alone.
+        let cut = if p.policy == "solver" {
+            format!(", \"cross_cut\": {:.4}", p.cross_cut)
+        } else {
+            String::new()
+        };
+        s.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"cross_fraction\": {:.4}, \"mean_sojourn_ms\": {:.2}{}}}{}\n",
+            p.policy,
+            p.cross_fraction,
+            p.mean_sojourn_ms,
+            cut,
+            if i + 1 < report.placement.len() { "," } else { "" },
+        ));
+    }
     s.push_str("  ]\n}\n");
     s
 }
@@ -798,6 +875,20 @@ mod tests {
                 pool_pause_us: 200.0,
                 thread_join_pause_us: 6_000.0,
             },
+            placement: vec![
+                PlacementPoint {
+                    policy: "solver",
+                    cross_fraction: 0.37,
+                    mean_sojourn_ms: 180.0,
+                    cross_cut: 0.5,
+                },
+                PlacementPoint {
+                    policy: "round_robin",
+                    cross_fraction: 0.74,
+                    mean_sojourn_ms: 195.0,
+                    cross_cut: 0.0,
+                },
+            ],
         }
     }
 
@@ -816,6 +907,11 @@ mod tests {
         assert!(json.contains("\"path\": \"pool\""));
         assert!(json.contains("\"pause_speedup\": 30.00"));
         assert!(json.contains("\"path\": \"thread_join\""));
+        assert!(json.contains("\"policy\": \"solver\""));
+        assert!(json.contains("\"cross_cut\": 0.5000"));
+        assert!(json.contains("\"policy\": \"round_robin\""));
+        // The baseline row carries no cut: it IS the reference.
+        assert_eq!(json.matches("cross_cut").count(), 1);
         assert!(!json.contains("},\n  ]"), "no trailing commas:\n{json}");
     }
 
@@ -828,6 +924,8 @@ mod tests {
         assert!(s.contains("tuples/wall-sec"));
         assert!(s.contains("Worker-pool sweep"));
         assert!(s.contains("thread-join (µs)"));
+        assert!(s.contains("Placement: solver vs round-robin"));
+        assert!(s.contains("cross fraction"));
     }
 
     #[test]

@@ -23,10 +23,17 @@
 //!   pipeline at fixed small pool sizes with Σk ≫ workers, per pool size;
 //! * `rebalance[pool].pause_us` (lower is better) and
 //!   `rebalance[pool].pause_speedup` (higher is better) — the live
-//!   rebalance pause against the retained thread-per-executor reference.
+//!   rebalance pause against the retained thread-per-executor reference;
+//! * `placement[solver].cross_fraction` and
+//!   `placement[solver].mean_sojourn_ms` (both lower is better) and
+//!   `placement[solver].cross_cut` (higher is better) — the machine
+//!   placement solver against the round-robin deal on the contended fleet
+//!   scenario. These come from a seeded virtual-clock simulation, so they
+//!   are deterministic: any drift is a code change, not runner noise.
 //!
-//! The `reference_us`/`heap_ns`/`thread_join` columns alone are the
-//! deliberately slow oracles and are not gated directly. The parser reads
+//! The `reference_us`/`heap_ns`/`thread_join` columns and the
+//! `round_robin` placement row alone are the deliberately naive oracles
+//! and are not gated directly. The parser reads
 //! only the flat schema [`crate::perf::perf_json`] writes (the offline
 //! build has no serde_json).
 //!
@@ -193,6 +200,32 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                 });
             }
         }
+        if let (Some("solver"), Some(fraction)) =
+            (field_str(line, "policy"), field_f64(line, "cross_fraction"))
+        {
+            metrics.push(MetricDelta {
+                name: "placement[solver].cross_fraction".to_owned(),
+                baseline: fraction,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(sojourn) = field_f64(line, "mean_sojourn_ms") {
+                metrics.push(MetricDelta {
+                    name: "placement[solver].mean_sojourn_ms".to_owned(),
+                    baseline: sojourn,
+                    current: f64::NAN,
+                    higher_is_better: false,
+                });
+            }
+            if let Some(cut) = field_f64(line, "cross_cut") {
+                metrics.push(MetricDelta {
+                    name: "placement[solver].cross_cut".to_owned(),
+                    baseline: cut,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+        }
     }
     if metrics.is_empty() {
         return Err(PerfDiffError(
@@ -287,9 +320,28 @@ pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDel
 mod tests {
     use super::*;
     use crate::perf::{
-        perf_json, EventQueuePoint, PerfReport, RebalancePoint, RuntimePoint, SchedPoint, SimPoint,
-        WorkerPoolPoint,
+        perf_json, EventQueuePoint, PerfReport, PlacementPoint, RebalancePoint, RuntimePoint,
+        SchedPoint, SimPoint, WorkerPoolPoint,
     };
+
+    /// The placement rows shared by the fixtures; varied only by the
+    /// placement-specific tests.
+    fn placement_rows(cross: f64, sojourn: f64, cut: f64) -> Vec<PlacementPoint> {
+        vec![
+            PlacementPoint {
+                policy: "solver",
+                cross_fraction: cross,
+                mean_sojourn_ms: sojourn,
+                cross_cut: cut,
+            },
+            PlacementPoint {
+                policy: "round_robin",
+                cross_fraction: 0.74,
+                mean_sojourn_ms: 195.0,
+                cross_cut: 0.0,
+            },
+        ]
+    }
 
     /// Fixture with every gated section; the worker-pool and rebalance
     /// values are parameterised separately so the older tests (which vary
@@ -304,6 +356,7 @@ mod tests {
         wp_tps: f64,
         pool_pause_us: f64,
         thread_join_pause_us: f64,
+        placement: Vec<PlacementPoint>,
     ) -> String {
         perf_json(&PerfReport {
             scheduling: vec![SchedPoint {
@@ -337,19 +390,29 @@ mod tests {
                 pool_pause_us,
                 thread_join_pause_us,
             },
+            placement,
         })
     }
 
     fn full_snapshot(heap_us: f64, cal_ns: f64, tps: f64, rt_tps: f64) -> String {
-        snapshot_with(heap_us, cal_ns, tps, rt_tps, 0.8e6, 200.0, 6_000.0)
+        snapshot_with(
+            heap_us,
+            cal_ns,
+            tps,
+            rt_tps,
+            0.8e6,
+            200.0,
+            6_000.0,
+            placement_rows(0.37, 180.0, 0.5),
+        )
     }
 
     fn snapshot(heap_us: f64, tps: f64) -> String {
         full_snapshot(heap_us, 50.0, tps, 1.0e6)
     }
 
-    /// A baseline predating the event-queue, runtime, worker-pool and
-    /// rebalance sections.
+    /// A baseline predating the event-queue, runtime, worker-pool,
+    /// rebalance and placement sections.
     fn old_schema_snapshot(heap_us: f64, tps: f64) -> String {
         snapshot(heap_us, tps)
             .lines()
@@ -358,10 +421,12 @@ mod tests {
                     && !l.contains("pipeline")
                     && !l.contains("workers")
                     && !l.contains("\"path\"")
+                    && !l.contains("\"policy\"")
                     && !l.contains("\"event_queue\"")
                     && !l.contains("\"runtime\"")
                     && !l.contains("\"worker_pool\"")
                     && !l.contains("\"rebalance\"")
+                    && !l.contains("\"placement\"")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -383,9 +448,14 @@ mod tests {
                 "worker_pool[workers=2].tuples_per_wall_sec",
                 "rebalance[pool].pause_us",
                 "rebalance[pool].pause_speedup",
+                "placement[solver].cross_fraction",
+                "placement[solver].mean_sojourn_ms",
+                "placement[solver].cross_cut",
             ]
         );
-        let expect_higher = [false, true, false, true, true, true, true, false, true];
+        let expect_higher = [
+            false, true, false, true, true, true, true, false, true, false, false, true,
+        ];
         for (m, &higher) in metrics.iter().zip(&expect_higher) {
             assert_eq!(m.higher_is_better, higher, "{}", m.name);
         }
@@ -395,9 +465,10 @@ mod tests {
     fn rebalance_pause_is_gated_direction_aware() {
         // Pause doubles while the thread-join reference doubles with it:
         // pause_us offends, the hardware-immune speedup ratio does not.
+        let rows = || placement_rows(0.37, 180.0, 0.5);
         let deltas = diff(
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0),
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 400.0, 12_000.0),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows()),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 400.0, 12_000.0, rows()),
         )
         .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -412,8 +483,8 @@ mod tests {
         // Pause doubles against the *same* reference: the ratio regresses
         // too, and a worker-pool throughput drop is flagged independently.
         let deltas = diff(
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0),
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.4e6, 400.0, 6_000.0),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows()),
+            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.4e6, 400.0, 6_000.0, rows()),
         )
         .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -425,6 +496,45 @@ mod tests {
             offenders
                 .iter()
                 .any(|m| m.name == "worker_pool[workers=2].tuples_per_wall_sec"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn placement_solver_metrics_are_gated_direction_aware() {
+        let with_placement =
+            |rows| snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows);
+        // The solver losing ground offends on both the (lower-is-better)
+        // cross fraction and the (higher-is-better) cut; sojourn, held
+        // steady, stays clean. The round_robin oracle row is never gated.
+        let base = with_placement(placement_rows(0.37, 180.0, 0.5));
+        let worse = with_placement(placement_rows(0.60, 180.0, 0.19));
+        let deltas = diff(&base, &worse).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "placement[solver].cross_fraction"),
+            "{rendered}"
+        );
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "placement[solver].cross_cut"),
+            "{rendered}"
+        );
+        assert!(
+            !offenders.iter().any(|m| m.name.contains("sojourn")),
+            "{rendered}"
+        );
+        assert!(!offenders.iter().any(|m| m.name.contains("round_robin")));
+
+        // Improvement in the same metrics is never an offence.
+        let better = with_placement(placement_rows(0.25, 170.0, 0.66));
+        let deltas = diff(&base, &better).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            !offenders.iter().any(|m| m.name.starts_with("placement")),
             "{rendered}"
         );
     }
@@ -475,6 +585,7 @@ mod tests {
                 pool_pause_us: 200.0,
                 thread_join_pause_us: 6_000.0,
             },
+            placement: placement_rows(0.37, 180.0, 0.5),
         });
         let deltas = diff(&snapshot(2.0, 1000.0), &slower).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -545,6 +656,7 @@ mod tests {
                 pool_pause_us: 200.0,
                 thread_join_pause_us: 6_000.0,
             },
+            placement: placement_rows(0.37, 180.0, 0.5),
         });
         let deltas = diff(&full_snapshot(2.0, 50.0, 1000.0, 1.0e6), &current).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -563,8 +675,9 @@ mod tests {
         let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
         assert_eq!(
             news.len(),
-            6,
-            "calendar_ns, eq_speedup, runtime tps, worker_pool tps, pause_us, pause_speedup"
+            9,
+            "calendar_ns, eq_speedup, runtime tps, worker_pool tps, pause_us, \
+             pause_speedup, cross_fraction, mean_sojourn_ms, cross_cut"
         );
         assert!(news.iter().all(|d| d.regression() == 0.0));
         let (rendered, offenders) = report(&deltas, 0.15);

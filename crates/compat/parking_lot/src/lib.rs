@@ -1,13 +1,14 @@
 //! Offline stand-in for `parking_lot`.
 //!
-//! Provides the poison-free [`Mutex`] API the runtime crate uses, backed by
-//! `std::sync::Mutex`. Lock poisoning is transparently ignored (matching
-//! parking_lot semantics: a panicking holder does not poison the lock).
+//! Provides the poison-free [`Mutex`] and [`RwLock`] APIs the runtime
+//! crate uses, backed by their `std::sync` counterparts. Lock poisoning is
+//! transparently ignored (matching parking_lot semantics: a panicking
+//! holder does not poison the lock).
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with parking_lot's non-poisoning `lock()`.
 #[derive(Default)]
@@ -49,9 +50,56 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// A reader-writer lock with parking_lot's non-poisoning `read()`/`write()`.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_round_trip() {
@@ -78,5 +126,13 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(1);
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
     }
 }

@@ -150,12 +150,16 @@
 //! ```
 
 use crate::decision::{self, DecisionInputs, DecisionPolicy};
-use crate::driver::{ActuationRetry, BackendError, CspBackend, RebalancePlan};
+use crate::driver::{ActuationRetry, BackendError, CspBackend, RebalancePlan, WindowSample};
 use crate::measurer::{Measurer, SampleBuilder, Smoothing};
 use crate::model::PerformanceModel;
+use crate::placement::{
+    self, EdgeTraffic, MachinePool as PlacementPool, OperatorLoad, Placement, PlacementRequest,
+};
 use crate::scheduler::{self, Candidate, ScheduleError};
 use drs_queueing::incremental::NetworkSojourn;
 use drs_queueing::jackson::JacksonNetwork;
+use drs_topology::ResourceProfile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -467,6 +471,53 @@ impl FleetDriverConfig {
     }
 }
 
+/// Per-shard placement metadata for fleets that share a machine pool
+/// ([`FleetDriver::set_machine_pool`]): what one executor of each model
+/// operator costs and how tuples flow between operators. Shards without
+/// this metadata keep negotiating executor *counts* but receive no machine
+/// assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlacementInfo {
+    /// Per-executor resource demand of each model operator (model order).
+    /// Missing entries default to [`ResourceProfile::default`].
+    pub profiles: Vec<ResourceProfile>,
+    /// Directed edges between model operators as `(from, to, gain)`: the
+    /// edge's tuple rate this window is `gain` times operator `from`'s
+    /// measured arrival rate (falling back to `gain` alone while the rate
+    /// is unmeasured).
+    pub edges: Vec<(usize, usize, f64)>,
+}
+
+impl ShardPlacementInfo {
+    /// The placement request for running `allocation` given this window's
+    /// measured `sample`.
+    pub fn request(&self, allocation: &[u32], sample: &WindowSample) -> PlacementRequest {
+        let operators = allocation
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| OperatorLoad {
+                executors: k,
+                profile: self.profiles.get(i).copied().unwrap_or_default(),
+            })
+            .collect();
+        let edges = self
+            .edges
+            .iter()
+            .map(|&(from, to, gain)| EdgeTraffic {
+                from,
+                to,
+                rate: gain
+                    * sample
+                        .operators
+                        .get(from)
+                        .and_then(|o| o.arrival_rate)
+                        .unwrap_or(1.0),
+            })
+            .collect();
+        PlacementRequest { operators, edges }
+    }
+}
+
 /// One shard handed to [`FleetDriver::new`]: a named backend plus its
 /// latency target.
 #[derive(Debug)]
@@ -479,6 +530,9 @@ pub struct FleetShardSpec<B> {
     pub t_max_secs: f64,
     /// The shard's CSP backend.
     pub backend: B,
+    /// Placement metadata, for fleets that share a machine pool (optional;
+    /// see [`ShardPlacementInfo`]).
+    pub placement: Option<ShardPlacementInfo>,
 }
 
 impl<B> FleetShardSpec<B> {
@@ -488,7 +542,14 @@ impl<B> FleetShardSpec<B> {
             name: name.into(),
             t_max_secs,
             backend,
+            placement: None,
         }
+    }
+
+    /// Declares placement metadata (builder style).
+    pub fn with_placement(mut self, info: ShardPlacementInfo) -> Self {
+        self.placement = Some(info);
+        self
     }
 }
 
@@ -619,6 +680,93 @@ struct ShardState<B> {
     /// Liveness lease expired: no usable report for `lease_windows`
     /// consecutive windows.
     dead: bool,
+    /// Placement metadata (when the fleet shares a machine pool).
+    placement_info: Option<ShardPlacementInfo>,
+    /// The machine assignment currently in force on the backend.
+    placement: Option<Placement>,
+}
+
+/// Per-window working buffers, reused across windows so the fleet loop
+/// allocates nothing per shard in steady state (the per-shard `Vec`s this
+/// replaces dominated the loop's allocation profile). All buffers are
+/// cleared at the top of every [`FleetDriver::step_with_order`]; their
+/// contents never carry information across windows.
+#[derive(Debug, Clone, Default)]
+struct FleetScratch {
+    /// Permutation check for the caller-supplied advance order.
+    seen: Vec<bool>,
+    /// This window's measurement report per shard.
+    samples: Vec<Option<WindowSample>>,
+    /// Shard-level error per shard.
+    errors: Vec<Option<String>>,
+    /// Index into `demands` per shard (`None`: no usable model).
+    demand_idx: Vec<Option<usize>>,
+    /// Packed negotiation demands (handed to the negotiator directly —
+    /// no per-window clone).
+    demands: Vec<ShardDemand>,
+    /// Shard index per `demands` entry.
+    modeled: Vec<usize>,
+    /// The negotiator's grant per shard.
+    grants: Vec<Option<ShardGrant>>,
+    capped: Vec<bool>,
+    gated: Vec<bool>,
+    /// Shrinks the gate-aware pass promoted to urgent (holding them would
+    /// starve another shard): they bypass the actuation-time gate.
+    urgent: Vec<bool>,
+    rebalanced: Vec<bool>,
+    /// The allocation a rebalance put in force this window.
+    applied: Vec<Option<Vec<u32>>>,
+    /// Executors currently in force per shard.
+    current_totals: Vec<u64>,
+    actuation_order: Vec<usize>,
+    /// Shards held back by the gate-aware pass.
+    held: Vec<usize>,
+    /// Re-negotiation buffers for the gate-aware pass.
+    round_demands: Vec<ShardDemand>,
+    round_shards: Vec<usize>,
+    /// This window's solved machine assignment per shard.
+    planned: Vec<Option<Placement>>,
+    /// Shard index per entry of the placement request list.
+    placement_shards: Vec<usize>,
+    /// Request list handed to `placement::plan`.
+    placement_requests: Vec<(String, PlacementRequest)>,
+}
+
+impl FleetScratch {
+    /// Clears every buffer and sizes the per-shard ones for `n` shards.
+    fn reset(&mut self, n: usize) {
+        self.seen.clear();
+        self.seen.resize(n, false);
+        self.samples.clear();
+        self.samples.resize_with(n, || None);
+        self.errors.clear();
+        self.errors.resize_with(n, || None);
+        self.demand_idx.clear();
+        self.demand_idx.resize(n, None);
+        self.demands.clear();
+        self.modeled.clear();
+        self.grants.clear();
+        self.grants.resize_with(n, || None);
+        self.capped.clear();
+        self.capped.resize(n, false);
+        self.gated.clear();
+        self.gated.resize(n, false);
+        self.urgent.clear();
+        self.urgent.resize(n, false);
+        self.rebalanced.clear();
+        self.rebalanced.resize(n, false);
+        self.applied.clear();
+        self.applied.resize_with(n, || None);
+        self.current_totals.clear();
+        self.actuation_order.clear();
+        self.held.clear();
+        self.round_demands.clear();
+        self.round_shards.clear();
+        self.planned.clear();
+        self.planned.resize_with(n, || None);
+        self.placement_shards.clear();
+        self.placement_requests.clear();
+    }
 }
 
 /// The fleet control loop: one DRS loop per shard, contention resolved
@@ -631,6 +779,9 @@ pub struct FleetDriver<B: CspBackend> {
     shards: Vec<ShardState<B>>,
     negotiator: FleetNegotiator,
     config: FleetDriverConfig,
+    machine_pool: Option<PlacementPool>,
+    wasted_grants: u64,
+    scratch: FleetScratch,
     timeline: Vec<FleetWindow>,
 }
 
@@ -691,6 +842,9 @@ impl<B: CspBackend> FleetDriver<B> {
             shards: states,
             negotiator: FleetNegotiator::new(config.k_max),
             config,
+            machine_pool: None,
+            wasted_grants: 0,
+            scratch: FleetScratch::default(),
             timeline: Vec::new(),
         })
     }
@@ -721,6 +875,8 @@ impl<B: CspBackend> FleetDriver<B> {
             epoch: 0,
             retry: ActuationRetry::new(config.retry_backoff_cap),
             dead: false,
+            placement_info: spec.placement,
+            placement: None,
         })
     }
 
@@ -788,6 +944,42 @@ impl<B: CspBackend> FleetDriver<B> {
         &self.negotiator
     }
 
+    /// Installs a shared machine pool: from the next window on, the driver
+    /// re-solves the fleet's machine assignment every round (over the live
+    /// shards that declared [`ShardPlacementInfo`]) and threads it through
+    /// the control plane — a shard that rebalances carries its assignment
+    /// in [`RebalancePlan::placement`], and a shard whose executor counts
+    /// are unchanged but whose assignment moved receives it via
+    /// [`CspBackend::apply_placement`].
+    pub fn set_machine_pool(&mut self, pool: PlacementPool) {
+        self.machine_pool = Some(pool);
+    }
+
+    /// The shared machine pool, when one is installed.
+    pub fn machine_pool(&self) -> Option<&PlacementPool> {
+        self.machine_pool.as_ref()
+    }
+
+    /// Shard `i`'s machine assignment currently in force, when the fleet
+    /// shares a machine pool and the shard declared placement metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn shard_placement(&self, i: usize) -> Option<&Placement> {
+        self.shards[i].placement.as_ref()
+    }
+
+    /// Grant/refuse round-trips wasted at *actuation* time: a negotiated
+    /// grant discarded by the shard-side decision gate, or a grow deferred
+    /// because a refused shrink left the realized fleet total too high.
+    /// The gate-aware negotiation pass exists to keep this counter flat —
+    /// refusals are discovered while the budget is still being arbitrated,
+    /// so the surplus lands with a shard that will actually actuate it.
+    pub fn wasted_grants(&self) -> u64 {
+        self.wasted_grants
+    }
+
     /// The configuration.
     pub fn config(&self) -> &FleetDriverConfig {
         &self.config
@@ -848,32 +1040,32 @@ impl<B: CspBackend> FleetDriver<B> {
     /// Panics if `order` is not a permutation of `0..shard_count()`.
     pub fn step_with_order(&mut self, order: &[usize]) -> &FleetWindow {
         let n = self.shards.len();
-        let mut seen = vec![false; n];
+        // The scratch buffers live on the driver so the loop allocates
+        // nothing per shard in steady state; taken out for the duration of
+        // the step to keep the borrow checker happy, put back at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.reset(n);
         assert_eq!(order.len(), n, "order must cover every shard exactly once");
         for &i in order {
             assert!(
-                i < n && !seen[i],
+                i < n && !scratch.seen[i],
                 "order must be a permutation of 0..{n}, got {order:?}"
             );
-            seen[i] = true;
+            scratch.seen[i] = true;
         }
 
         // 1. Advance every shard one window, in the caller's order.
-        let mut samples: Vec<Option<crate::driver::WindowSample>> = vec![None; n];
         for &i in order {
-            samples[i] = Some(self.shards[i].backend.advance(self.config.window_secs));
+            scratch.samples[i] = Some(self.shards[i].backend.advance(self.config.window_secs));
         }
-        let samples: Vec<crate::driver::WindowSample> = samples
-            .into_iter()
-            .map(|s| s.expect("every shard advanced"))
-            .collect();
 
         // 2. Feed the measurers (shard index order; each stream is
         //    per-shard, so this is order-independent too). Stale evidence
         //    enters the smoother discounted by `stale_decay^age`, and a
         //    run of `lease_windows` fully-missed reports expires the
         //    shard's liveness lease; the first usable report renews it.
-        for (shard, sample) in self.shards.iter_mut().zip(&samples) {
+        for (shard, sample) in self.shards.iter_mut().zip(&scratch.samples) {
+            let sample = sample.as_ref().expect("every shard advanced");
             if let Some(raw) = shard.samples.build(sample) {
                 let weight = shard.samples.weight(self.config.stale_decay);
                 shard.measurer.observe_weighted(&raw, weight);
@@ -883,21 +1075,12 @@ impl<B: CspBackend> FleetDriver<B> {
         }
 
         let window = self.timeline.len() as u64;
-        let mut errors: Vec<Option<String>> = vec![None; n];
-        let mut demands_by_shard: Vec<Option<ShardDemand>> = vec![None; n];
-        let mut grants: Vec<Option<ShardGrant>> = vec![None; n];
-        let mut rebalanced = vec![false; n];
-        let mut applied_allocations: Vec<Option<Vec<u32>>> = vec![None; n];
         let mut fleet_error = None;
         let mut contended = false;
-        // Negotiation-time record: `capped` describes what the negotiator
-        // decided, so it must survive a grant later being discarded by a
-        // backend refusal or a deferred grow.
-        let mut capped = vec![false; n];
-        let mut gated = vec![false; n];
 
         if window >= self.config.warmup_windows {
-            // 3. Each shard computes its own single-topology demand. A
+            // 3. Each shard computes its own single-topology demand,
+            //    pushed straight into the packed negotiation buffer. A
             //    dead shard submits none: its (stale) model must not keep
             //    claiming budget for a machine that is gone.
             for (i, shard) in self.shards.iter().enumerate() {
@@ -910,15 +1093,22 @@ impl<B: CspBackend> FleetDriver<B> {
                 match PerformanceModel::new(&estimates.to_model_inputs()) {
                     Ok(model) => match shard_demand(&model, shard.t_max_secs, self.config.k_max) {
                         Ok(desired) => {
-                            demands_by_shard[i] = Some(ShardDemand {
+                            scratch.demand_idx[i] = Some(scratch.demands.len());
+                            scratch.modeled.push(i);
+                            scratch.demands.push(ShardDemand {
                                 network: model.network().clone(),
                                 desired,
                             });
                         }
-                        Err(e) => errors[i] = Some(e.to_string()),
+                        Err(e) => scratch.errors[i] = Some(e.to_string()),
                     },
-                    Err(e) => errors[i] = Some(e.to_string()),
+                    Err(e) => scratch.errors[i] = Some(e.to_string()),
                 }
+            }
+            for shard in &self.shards {
+                scratch
+                    .current_totals
+                    .push(executor_total(&shard.backend.current_allocation()));
             }
 
             // 4. Central arbitration. Shards without a usable model keep
@@ -926,29 +1116,34 @@ impl<B: CspBackend> FleetDriver<B> {
             //    of the budget before the others negotiate. Dead shards
             //    reserve nothing — lease expiry is precisely the signal
             //    that their grants are reclaimed and re-offered.
-            let modeled: Vec<usize> = (0..n).filter(|&i| demands_by_shard[i].is_some()).collect();
-            if !modeled.is_empty() {
+            if !scratch.modeled.is_empty() {
                 let reserved: u64 = (0..n)
-                    .filter(|&i| demands_by_shard[i].is_none() && !self.shards[i].dead)
-                    .map(|i| executor_total(&self.shards[i].backend.current_allocation()))
+                    .filter(|&i| scratch.demand_idx[i].is_none() && !self.shards[i].dead)
+                    .map(|i| scratch.current_totals[i])
                     .sum();
                 let budget = u32::try_from(u64::from(self.config.k_max).saturating_sub(reserved))
                     .expect("reserved budget is clamped below k_max, which fits in u32");
-                let demands: Vec<ShardDemand> = modeled
-                    .iter()
-                    .map(|&i| demands_by_shard[i].clone().expect("modeled shard"))
-                    .collect();
-                match self.negotiator.negotiate_within(budget, &demands) {
+                match self.negotiator.negotiate_within(budget, &scratch.demands) {
                     Ok(granted) => {
                         contended = granted.iter().any(|g| g.capped);
-                        for (&i, grant) in modeled.iter().zip(granted) {
-                            capped[i] = grant.capped;
-                            grants[i] = Some(grant);
+                        for (slot, grant) in granted.into_iter().enumerate() {
+                            let i = scratch.modeled[slot];
+                            scratch.capped[i] = grant.capped;
+                            scratch.grants[i] = Some(grant);
                         }
+                        // 4b. Gate-aware wobble pass: consult each shard's
+                        //     decision gate *now* and re-arbitrate around
+                        //     refusals, instead of discovering them at
+                        //     actuation time.
+                        self.gate_aware_pass(&mut scratch, budget, contended);
                     }
                     Err(e) => fleet_error = Some(e.to_string()),
                 }
             }
+
+            // 4c. With a shared machine pool installed, solve the fleet's
+            //     machine assignment from the allocations about to be run.
+            self.plan_placements(&mut scratch, &mut fleet_error);
 
             // 5. Actuate: rebalance every shard whose grant differs from
             //    what it currently runs — shrinks before grows, and every
@@ -956,111 +1151,106 @@ impl<B: CspBackend> FleetDriver<B> {
             //    first, so a refused shrink (e.g. a shard still mid-pause)
             //    can never combine with a successful grow to push the
             //    fleet over `Kmax` against a real pool.
-            let current_totals: Vec<u64> = self
-                .shards
-                .iter()
-                .map(|s| executor_total(&s.backend.current_allocation()))
-                .collect();
+            //
             // Dead shards' executors are ghosts (the machine is gone):
             // they neither occupy the pool nor block grows.
-            let mut fleet_total: u64 = current_totals
+            let mut fleet_total: u64 = scratch
+                .current_totals
                 .iter()
                 .zip(&self.shards)
                 .filter(|(_, s)| !s.dead)
                 .map(|(&t, _)| t)
                 .sum();
-            // Distinct from the caller's `order` (the measurement
-            // interleaving): actuation always shrinks first.
-            let mut actuation_order: Vec<usize> = (0..n).collect();
-            actuation_order.sort_by_key(|&i| {
-                let target = grants[i]
-                    .as_ref()
-                    .map_or(current_totals[i], ShardGrant::total);
-                (target > current_totals[i], i)
-            });
-            for i in actuation_order {
-                let shard = &mut self.shards[i];
-                let Some(grant) = grants[i].clone() else {
+            {
+                // Distinct from the caller's `order` (the measurement
+                // interleaving): actuation always shrinks first.
+                let FleetScratch {
+                    actuation_order,
+                    grants,
+                    current_totals,
+                    ..
+                } = &mut scratch;
+                actuation_order.extend(0..n);
+                actuation_order.sort_by_key(|&i| {
+                    let target = grants[i]
+                        .as_ref()
+                        .map_or(current_totals[i], ShardGrant::total);
+                    (target > current_totals[i], i)
+                });
+            }
+            for slot in 0..n {
+                let i = scratch.actuation_order[slot];
+                let Some(grant) = scratch.grants[i].take() else {
                     continue;
                 };
-                let current = shard.backend.current_allocation();
+                let current = self.shards[i].backend.current_allocation();
                 if grant.allocation == current {
                     continue;
                 }
                 // Channel in backoff after an unacknowledged actuation:
                 // hold this window's command instead of spamming the
                 // (evidently degraded) control channel.
-                if !shard.retry.ready(window) {
-                    errors[i] = Some(format!(
+                if !self.shards[i].retry.ready(window) {
+                    scratch.errors[i] = Some(format!(
                         "actuation deferred: backoff after timeout (next attempt in {} windows)",
-                        shard.retry.holdoff(window)
+                        self.shards[i].retry.holdoff(window)
                     ));
-                    grants[i] = None;
                     continue;
                 }
-                // Per-shard cost/benefit gate (paper App. B-B): actuate
-                // only moves worth their pause, so noise-driven grant
-                // wobble does not re-balance the shard every window.
-                // Contended shrinks bypass the gate — capped shards are
+                // Per-shard cost/benefit gate (paper App. B-B), now a
+                // safety net behind the gate-aware negotiation pass:
+                // anything refused here is a wasted grant/refuse
+                // round-trip the pass failed to predict. Contended and
+                // promoted shrinks bypass the gate — capped shards are
                 // starving and the freed capacity must actually flow.
-                let urgent_shrink = contended && grant.total() < current_totals[i];
-                if !urgent_shrink {
-                    if let Some(demand) = &demands_by_shard[i] {
-                        let network = &demand.network;
-                        let verdict = decision::decide(
-                            &self.config.decision,
-                            &DecisionInputs {
-                                current_estimate: network
-                                    .expected_sojourn(&current)
-                                    .unwrap_or(f64::INFINITY),
-                                candidate_estimate: network
-                                    .expected_sojourn(&grant.allocation)
-                                    .unwrap_or(f64::INFINITY),
-                                current_allocation: current,
-                                candidate_allocation: grant.allocation.clone(),
-                                pause_secs: self.config.pause_secs,
-                                t_max: Some(shard.t_max_secs),
-                                measured_sojourn: samples[i].mean_sojourn,
-                            },
-                        );
-                        if !verdict.is_rebalance() {
-                            gated[i] = true;
-                            grants[i] = None;
-                            continue;
-                        }
-                    }
+                let urgent_shrink =
+                    (contended || scratch.urgent[i]) && grant.total() < scratch.current_totals[i];
+                if !urgent_shrink && self.gate_refuses(i, &grant, &current, &scratch) {
+                    scratch.gated[i] = true;
+                    self.wasted_grants += 1;
+                    continue;
                 }
-                if grant.total() > current_totals[i]
-                    && fleet_total - current_totals[i] + grant.total()
+                if grant.total() > scratch.current_totals[i]
+                    && fleet_total - scratch.current_totals[i] + grant.total()
                         > u64::from(self.config.k_max)
                 {
                     // An earlier shrink was refused and its executors are
                     // still in force: defer this grow to a later window
                     // rather than over-commit the pool.
-                    errors[i] = Some(format!(
+                    scratch.errors[i] = Some(format!(
                         "grow to {} deferred: a refused shrink left the fleet at {} of {} executors",
                         grant.total(),
                         fleet_total,
                         self.config.k_max
                     ));
-                    grants[i] = None;
+                    self.wasted_grants += 1;
                     continue;
                 }
                 // Every command carries a fresh, strictly increasing
                 // epoch: a backend behind a delaying/duplicating channel
                 // rejects anything stale instead of double-applying it.
+                let shard = &mut self.shards[i];
                 shard.epoch += 1;
                 let plan = RebalancePlan {
                     allocation: grant.allocation,
                     pause_secs: self.config.pause_secs,
                     epoch: shard.epoch,
+                    placement: scratch.planned[i].take(),
                 };
                 match shard.backend.apply(&plan) {
                     Ok(applied) => {
                         shard.retry.on_ack();
-                        rebalanced[i] = true;
+                        scratch.rebalanced[i] = true;
                         let applied_total = executor_total(&applied.allocation);
-                        fleet_total = fleet_total - current_totals[i] + applied_total;
+                        fleet_total = fleet_total - scratch.current_totals[i] + applied_total;
+                        // The machine assignment rode the rebalance plan;
+                        // it is in force only if the backend actually put
+                        // the matching executor counts in force.
+                        if let Some(p) = plan.placement {
+                            if p.allocation() == applied.allocation {
+                                shard.placement = Some(p);
+                            }
+                        }
                         // A backend may adjust what it puts in force (and a
                         // simulator defers the swap until its pause ends):
                         // the timeline must carry the allocation the
@@ -1068,7 +1258,7 @@ impl<B: CspBackend> FleetDriver<B> {
                         // otherwise a contended window would pair this
                         // round's demand/capped flags with last round's
                         // allocations.
-                        applied_allocations[i] = Some(applied.allocation);
+                        scratch.applied[i] = Some(applied.allocation);
                     }
                     Err(e) => {
                         // A timeout means the command or its ack vanished:
@@ -1083,8 +1273,39 @@ impl<B: CspBackend> FleetDriver<B> {
                         } else {
                             shard.retry.on_ack();
                         }
-                        errors[i] = Some(e.to_string());
-                        grants[i] = None;
+                        scratch.errors[i] = Some(e.to_string());
+                    }
+                }
+            }
+
+            // 5b. Placement-only moves: a shard whose executor counts did
+            //     not change this window can still need its machine
+            //     assignment refreshed (fleet-wide traffic shifted the
+            //     shared pool). Those assignments go through the dedicated
+            //     control-plane call instead of a full rebalance.
+            for i in 0..n {
+                if scratch.rebalanced[i] {
+                    continue;
+                }
+                let Some(p) = scratch.planned[i].take() else {
+                    continue;
+                };
+                let shard = &mut self.shards[i];
+                if shard.dead || shard.placement.as_ref() == Some(&p) {
+                    continue;
+                }
+                // A deferred or refused grant leaves the assignment solved
+                // for an allocation the backend never adopted: drop it and
+                // re-solve next window.
+                if p.allocation() != shard.backend.current_allocation() {
+                    continue;
+                }
+                match shard.backend.apply_placement(&p) {
+                    Ok(()) => shard.placement = Some(p),
+                    Err(e) => {
+                        if scratch.errors[i].is_none() {
+                            scratch.errors[i] = Some(format!("placement: {e}"));
+                        }
                     }
                 }
             }
@@ -1097,22 +1318,22 @@ impl<B: CspBackend> FleetDriver<B> {
             .iter()
             .enumerate()
             .map(|(i, shard)| {
-                let allocation = applied_allocations[i]
+                let allocation = scratch.applied[i]
                     .take()
                     .unwrap_or_else(|| shard.backend.current_allocation());
+                let sample = scratch.samples[i].as_ref().expect("every shard advanced");
                 ShardPoint {
                     name: shard.name.clone(),
                     dead: shard.dead,
-                    mean_sojourn_ms: samples[i].mean_sojourn.map(|s| s * 1e3),
-                    completed: samples[i].completed,
+                    mean_sojourn_ms: sample.mean_sojourn.map(|s| s * 1e3),
+                    completed: sample.completed,
                     allocation,
-                    demand: demands_by_shard[i]
-                        .as_ref()
-                        .map(|d| executor_total(&d.desired)),
-                    capped: capped[i],
-                    rebalanced: rebalanced[i],
-                    gated: gated[i],
-                    error: errors[i].take(),
+                    demand: scratch.demand_idx[i]
+                        .map(|slot| executor_total(&scratch.demands[slot].desired)),
+                    capped: scratch.capped[i],
+                    rebalanced: scratch.rebalanced[i],
+                    gated: scratch.gated[i],
+                    error: scratch.errors[i].take(),
                 }
             })
             .collect();
@@ -1129,7 +1350,173 @@ impl<B: CspBackend> FleetDriver<B> {
             shards: shard_points,
             error: fleet_error,
         });
+        self.scratch = scratch;
         self.timeline.last().expect("just pushed")
+    }
+
+    /// Whether shard `i`'s own cost/benefit gate (paper App. B-B) refuses
+    /// `grant` given what it currently runs. `false` when the shard has no
+    /// usable model this window.
+    fn gate_refuses(
+        &self,
+        i: usize,
+        grant: &ShardGrant,
+        current: &[u32],
+        scratch: &FleetScratch,
+    ) -> bool {
+        let Some(slot) = scratch.demand_idx[i] else {
+            return false;
+        };
+        let network = &scratch.demands[slot].network;
+        let sample = scratch.samples[i].as_ref().expect("every shard advanced");
+        let verdict = decision::decide(
+            &self.config.decision,
+            &DecisionInputs {
+                current_estimate: network.expected_sojourn(current).unwrap_or(f64::INFINITY),
+                candidate_estimate: network
+                    .expected_sojourn(&grant.allocation)
+                    .unwrap_or(f64::INFINITY),
+                current_allocation: current.to_vec(),
+                candidate_allocation: grant.allocation.clone(),
+                pause_secs: self.config.pause_secs,
+                t_max: Some(self.shards[i].t_max_secs),
+                measured_sojourn: sample.mean_sojourn,
+            },
+        );
+        !verdict.is_rebalance()
+    }
+
+    /// The gate-aware wobble pass (phase 4b of the window): consult every
+    /// modeled shard's decision gate on its freshly negotiated grant and
+    /// arbitrate around the refusals *now*, instead of discovering them at
+    /// actuation time and stranding the capacity for a window.
+    ///
+    /// Refused shards are held at their current allocation and the rest
+    /// re-negotiate within the realized budget (what the held shards keep
+    /// in force comes off the top). Two outcomes:
+    ///
+    /// * the re-negotiation is uncontended — the holds stand (`gated`),
+    ///   and every remaining grant fits the realized pool, so nothing is
+    ///   deferred at actuation;
+    /// * the re-negotiation is capped or infeasible — the "wobble" was
+    ///   load-bearing after all (holding it starves another shard), so the
+    ///   round-1 grants stand and the held shrinks are promoted to urgent:
+    ///   they bypass the actuation gate exactly like contended shrinks.
+    fn gate_aware_pass(&mut self, scratch: &mut FleetScratch, budget: u32, contended: bool) {
+        for slot in 0..scratch.modeled.len() {
+            let i = scratch.modeled[slot];
+            let Some(grant) = &scratch.grants[i] else {
+                continue;
+            };
+            let current = self.shards[i].backend.current_allocation();
+            if grant.allocation == current {
+                continue;
+            }
+            if contended && grant.total() < scratch.current_totals[i] {
+                continue; // contended shrinks actuate unconditionally
+            }
+            if self.gate_refuses(i, grant, &current, scratch) {
+                scratch.held.push(i);
+            }
+        }
+        if scratch.held.is_empty() {
+            return;
+        }
+        if scratch.held.len() == scratch.modeled.len() {
+            for idx in 0..scratch.held.len() {
+                let i = scratch.held[idx];
+                scratch.gated[i] = true;
+                scratch.grants[i] = None;
+            }
+            return;
+        }
+        let held_reserved: u64 = scratch
+            .held
+            .iter()
+            .map(|&i| scratch.current_totals[i])
+            .sum();
+        let budget2 =
+            u32::try_from(u64::from(budget).saturating_sub(held_reserved)).unwrap_or(u32::MAX);
+        for slot in 0..scratch.modeled.len() {
+            let i = scratch.modeled[slot];
+            if scratch.held.contains(&i) {
+                continue;
+            }
+            scratch.round_shards.push(i);
+            scratch.round_demands.push(scratch.demands[slot].clone());
+        }
+        match self
+            .negotiator
+            .negotiate_within(budget2, &scratch.round_demands)
+        {
+            Ok(granted) if granted.iter().all(|g| !g.capped) => {
+                for idx in 0..scratch.held.len() {
+                    let i = scratch.held[idx];
+                    scratch.gated[i] = true;
+                    scratch.grants[i] = None;
+                }
+                for (slot, grant) in granted.into_iter().enumerate() {
+                    let i = scratch.round_shards[slot];
+                    scratch.capped[i] = grant.capped;
+                    scratch.grants[i] = Some(grant);
+                }
+            }
+            _ => {
+                for idx in 0..scratch.held.len() {
+                    let i = scratch.held[idx];
+                    scratch.urgent[i] = true;
+                }
+            }
+        }
+    }
+
+    /// Phase 4c: with a shared machine pool installed, solve one fleet-wide
+    /// [`placement::plan`] over every live shard that declared placement
+    /// metadata, from the allocation each shard is about to run (its grant
+    /// where one stands, its current executors otherwise) with edge rates
+    /// scaled by this window's measured arrival rates. Solved in
+    /// sorted-name order, so the assignment is independent of shard indices
+    /// and advance order.
+    fn plan_placements(&self, scratch: &mut FleetScratch, fleet_error: &mut Option<String>) {
+        let Some(pool) = &self.machine_pool else {
+            return;
+        };
+        for (i, shard) in self.shards.iter().enumerate() {
+            if shard.dead {
+                continue;
+            }
+            let Some(info) = &shard.placement_info else {
+                continue;
+            };
+            let current;
+            let target: &[u32] = match scratch.grants[i].as_ref() {
+                Some(grant) => &grant.allocation,
+                None => {
+                    current = shard.backend.current_allocation();
+                    &current
+                }
+            };
+            let sample = scratch.samples[i].as_ref().expect("every shard advanced");
+            scratch.placement_shards.push(i);
+            scratch
+                .placement_requests
+                .push((shard.name.clone(), info.request(target, sample)));
+        }
+        if scratch.placement_requests.is_empty() {
+            return;
+        }
+        match placement::plan(pool, &scratch.placement_requests) {
+            Ok(placements) => {
+                for (slot, p) in placements.into_iter().enumerate() {
+                    scratch.planned[scratch.placement_shards[slot]] = Some(p);
+                }
+            }
+            Err(e) => {
+                if fleet_error.is_none() {
+                    *fleet_error = Some(format!("placement: {e}"));
+                }
+            }
+        }
     }
 }
 
@@ -1207,6 +1594,7 @@ mod tests {
         timeout_applies: usize,
         silent: bool,
         seen_epochs: Vec<u64>,
+        placement_calls: usize,
     }
 
     impl StaticShard {
@@ -1219,6 +1607,7 @@ mod tests {
                 timeout_applies: 0,
                 silent: false,
                 seen_epochs: Vec::new(),
+                placement_calls: 0,
             }
         }
     }
@@ -1275,6 +1664,10 @@ mod tests {
                 allocation: plan.allocation.clone(),
                 pause_secs: plan.pause_secs,
             })
+        }
+        fn apply_placement(&mut self, _placement: &Placement) -> Result<(), BackendError> {
+            self.placement_calls += 1;
+            Ok(())
         }
     }
 
@@ -1759,5 +2152,153 @@ mod tests {
     fn removing_the_last_shard_panics() {
         let mut f = fleet(10, vec![("only", 0.5, StaticShard::new(10.0, 10.0, 2))]);
         f.remove_shard(0);
+    }
+
+    /// The gate-aware pass: shard a's −1 wobble shrink is refused by its
+    /// gate at *negotiation* time, so shard b's grow is sized to the
+    /// realized pool (a keeps its 8) and actuates without a deferral. The
+    /// old flow discovered a's refusal at actuation and granted b a grow
+    /// that could only bounce off the over-commit guard — one wasted
+    /// grant/refuse round-trip per window, forever. Churn (a third shard
+    /// joining and leaving) must not reintroduce any.
+    #[test]
+    fn gate_aware_negotiation_avoids_wasted_round_trips_under_churn() {
+        let mut f = fleet(
+            13,
+            vec![
+                ("a", 0.2, StaticShard::new(55.0, 10.0, 8)),
+                ("b", 0.2, StaticShard::new(25.0, 10.0, 3)),
+            ],
+        );
+        f.run_windows(5);
+        let w = f.timeline().last().unwrap();
+        // a's shrink 8→7 saves one executor: held by its gate, visibly.
+        assert!(w.shards[0].gated, "a's wobble shrink must be held: {w:?}");
+        assert_eq!(w.shards[0].allocation, vec![8]);
+        // b still actuated its grow out of the free budget.
+        assert_eq!(w.shards[1].allocation, vec![4], "b must reach its demand");
+        assert_eq!(f.wasted_grants(), 0, "no refusal discovered at actuation");
+
+        // Churn: a third shard joins (the pool tightens, a's held surplus
+        // becomes load-bearing and must flow), then leaves again.
+        f.add_shard(FleetShardSpec::new(
+            "c",
+            0.2,
+            StaticShard::new(25.0, 10.0, 3),
+        ))
+        .unwrap();
+        f.run_windows(6);
+        assert!(f.timeline().last().unwrap().total_granted <= 13);
+        f.remove_shard(2);
+        f.run_windows(4);
+        let w = f.timeline().last().unwrap();
+        assert!(w.total_granted <= 13);
+        assert_eq!(
+            f.wasted_grants(),
+            0,
+            "churn must not reintroduce wasted grant/refuse round-trips"
+        );
+        assert!(
+            f.timeline()
+                .iter()
+                .all(|w| w.shards.iter().all(|s| s.error.is_none())),
+            "no deferrals anywhere: {:?}",
+            f.timeline()
+                .iter()
+                .flat_map(|w| &w.shards)
+                .filter_map(|s| s.error.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// The revert arm of the gate-aware pass: holding a's refused shrink
+    /// would starve b below its minimum stable allocation, so the wobble
+    /// is load-bearing — a's shrink is promoted past the gate and b's grow
+    /// follows in the same window. The old flow livelocked here: a gated
+    /// every window, b deferred every window.
+    #[test]
+    fn load_bearing_wobble_is_promoted_instead_of_stranded() {
+        let mut f = fleet(
+            12,
+            vec![
+                ("a", 0.2, StaticShard::new(55.0, 10.0, 8)),
+                ("b", 0.2, StaticShard::new(42.0, 10.0, 4)),
+            ],
+        );
+        f.run_windows(6);
+        let w = f.timeline().last().unwrap();
+        assert_eq!(w.shards[0].allocation, vec![7], "a's shrink must land");
+        assert_eq!(w.shards[1].allocation, vec![5], "b's grow must land");
+        assert_eq!(f.wasted_grants(), 0);
+        assert!(
+            f.timeline().iter().all(|w| w.shards.iter().all(|s| !s
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .contains("deferred"))),
+            "nothing may bounce off the over-commit guard: {:?}",
+            f.timeline().last()
+        );
+    }
+
+    /// End-to-end machine placement in the fleet: with a shared pool
+    /// installed, every live shard with metadata gets a machine assignment
+    /// (via `apply_placement` when its executor counts are unchanged),
+    /// the assignment matches the running allocation, and the combined
+    /// usage respects every machine's capacity vector.
+    #[test]
+    fn machine_pool_threads_placement_end_to_end() {
+        let pool = PlacementPool::uniform(2, ResourceProfile::uniform(16.0)).unwrap();
+        let profile = ResourceProfile::uniform(2.0);
+        let info = ShardPlacementInfo {
+            profiles: vec![profile],
+            edges: vec![],
+        };
+        // Both shards already run their demanded allocation: no rebalance
+        // ever fires, so the assignment must travel via `apply_placement`.
+        let mut config = FleetDriverConfig::new(20);
+        config.warmup_windows = 1;
+        config.window_secs = 1.0;
+        let mut f = FleetDriver::new(
+            config,
+            vec![
+                FleetShardSpec::new("a", 0.2, StaticShard::new(40.0, 10.0, 5))
+                    .with_placement(info.clone()),
+                FleetShardSpec::new("b", 0.2, StaticShard::new(25.0, 10.0, 4))
+                    .with_placement(info.clone()),
+            ],
+        )
+        .unwrap();
+        f.set_machine_pool(pool);
+        f.run_windows(4);
+
+        let mut usage = vec![ResourceProfile::uniform(0.0); 2];
+        for i in 0..2 {
+            let p = f.shard_placement(i).expect("placement in force");
+            assert_eq!(p.allocation(), f.backend(i).allocation, "shard {i}");
+            for (m, u) in p.usage(&info.profiles).iter().enumerate() {
+                usage[m].cpu += u.cpu;
+                usage[m].mem += u.mem;
+                usage[m].net += u.net;
+            }
+            assert!(
+                f.backend(i).placement_calls >= 1,
+                "assignment must go through apply_placement"
+            );
+        }
+        for u in &usage {
+            assert!(u.cpu <= 16.0 && u.mem <= 16.0 && u.net <= 16.0, "{u}");
+        }
+        // In-force assignments are stable: re-solving an unchanged fleet
+        // must not keep issuing placement commands.
+        let calls: Vec<usize> = (0..2).map(|i| f.backend(i).placement_calls).collect();
+        f.run_windows(3);
+        assert_eq!(
+            calls,
+            (0..2)
+                .map(|i| f.backend(i).placement_calls)
+                .collect::<Vec<_>>(),
+            "converged fleet must not re-issue identical assignments"
+        );
     }
 }

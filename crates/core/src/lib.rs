@@ -19,6 +19,12 @@
 //!    improvement against the rebalance pause, and the
 //!    [`negotiator::MachinePool`] adds/removes machines when the resource
 //!    goal calls for it.
+//! 4. **Where — on which machine — does each executor run?** The
+//!    [`placement`] module turns the count schedule into a machine
+//!    assignment: a [`placement::MachinePool`] of capacity vectors, operator
+//!    [`drs_topology::ResourceProfile`]s, and a solver minimising
+//!    cross-machine traffic (R-Storm style) that rides along in every
+//!    [`driver::RebalancePlan`].
 //!
 //! The [`controller::DrsController`] wires these together behind a single
 //! `on_window` call; the measurement side (two-level sampling and smoothing,
@@ -65,6 +71,7 @@ pub mod measurer;
 pub mod migration;
 pub mod model;
 pub mod negotiator;
+pub mod placement;
 pub mod scheduler;
 
 pub use config::{DrsConfig, OptimizationGoal, SamplingConfig};
@@ -72,14 +79,18 @@ pub use controller::{ControlAction, DrsController, LogEntry};
 pub use decision::{Decision, DecisionPolicy};
 pub use driver::{
     ActuationRetry, AppliedRebalance, BackendError, CspBackend, DriverError, DrsDriver,
-    OperatorSample, RebalancePlan, TimelinePoint, WindowSample,
+    OperatorSample, PlacementSpec, RebalancePlan, TimelinePoint, WindowSample,
 };
 pub use fleet::{
     FleetCheckpoint, FleetDriver, FleetDriverConfig, FleetNegotiator, FleetShardSpec, FleetWindow,
-    ShardDemand, ShardGrant, ShardPoint,
+    ShardDemand, ShardGrant, ShardPlacementInfo, ShardPoint,
 };
 pub use measurer::{Measurer, RawSample, SampleBuilder, SmoothedEstimates, Smoothing};
 pub use migration::{plan_migration, MigrationPlan, TaskAssignment};
 pub use model::{ModelInputs, OperatorRates, PerformanceModel};
 pub use negotiator::{MachinePool, MachinePoolConfig, NegotiationPlan};
+// `placement::MachinePool` (capacity vectors) deliberately stays behind its
+// module path: the crate root already exports the count-based negotiator
+// pool under that name.
+pub use placement::{EdgeTraffic, OperatorLoad, Placement, PlacementError, PlacementRequest};
 pub use scheduler::{assign_processors, min_processors_for_target, Allocation, ScheduleError};

@@ -1,0 +1,949 @@
+//! Machine-granular, resource-aware executor placement (R-Storm style).
+//!
+//! DRS (the paper) schedules executor *counts* `k = (k_1, …, k_N)`; real
+//! clusters hand those executors out *on machines* with finite CPU, memory
+//! and network budgets. This module closes that gap:
+//!
+//! * a [`MachinePool`] describes the machines — per-machine capacity
+//!   vectors ([`drs_topology::ResourceProfile`] reused as the capacity
+//!   type), shared across fleet shards;
+//! * a [`PlacementRequest`] carries each operator's executor count, its
+//!   per-executor resource demand, and the measured tuple rate on every
+//!   edge (from `WindowSample`-derived rates);
+//! * [`solve`] maps executors onto machines to minimise expected
+//!   **cross-machine traffic** subject to per-machine capacity.
+//!
+//! # Objective
+//!
+//! Under shuffle grouping, an edge `u → v` carrying `r` tuples/s crosses
+//! machines with probability `1 − Σ_m (c_u[m]/k_u)·(c_v[m]/k_v)` where
+//! `c_i[m]` is the number of `i`-executors placed on machine `m`. The
+//! solver minimises `Σ_edges r_e · crossprob_e` subject to
+//! `Σ_i c_i[m] · profile_i ≤ capacity_m` componentwise on every machine.
+//!
+//! # Solvers
+//!
+//! [`solve`] dispatches between two strategies:
+//!
+//! * **exhaustive oracle** — a pruned depth-first search over per-operator
+//!   machine compositions, exact, used when the enumeration size
+//!   `Π_i C(k_i+m−1, m−1)` is small (≤ [`EXACT_LIMIT`]). Ties are broken
+//!   lexicographically so the result is deterministic.
+//! * **greedy by resource distance** — R-Storm style: operators in
+//!   descending order of adjacent traffic, each executor placed on the
+//!   feasible machine with the highest co-location affinity to
+//!   already-placed neighbours, ties broken by smallest resource distance
+//!   (best fit), then lowest machine index.
+//!
+//! The greedy heuristic equals the oracle on small instances (enforced by
+//! proptests in `tests/placement_properties.rs`) and stays within capacity
+//! always; on large instances only the oracle guarantee is dropped.
+//!
+//! # Fleet sharing
+//!
+//! [`plan`] places *several* topologies (fleet shards) into one shared
+//! pool. Shards are processed in sorted-name order regardless of argument
+//! order, so the outcome is deterministic across shard-advance orders —
+//! the property the fleet driver relies on when re-planning each window.
+//!
+//! [`round_robin`] provides the locality-blind baseline the `repro place`
+//! bench compares against: same executor counts, machines cycled.
+
+use drs_topology::ResourceProfile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Above this estimated enumeration size, [`solve`] switches from the
+/// exhaustive oracle to the greedy heuristic.
+pub const EXACT_LIMIT: u64 = 50_000;
+
+/// Slack tolerance for floating-point capacity comparisons.
+const EPS: f64 = 1e-9;
+
+/// One machine: a name and a capacity vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable machine name (unique within a pool by convention).
+    pub name: String,
+    /// Total resource capacity of this machine.
+    pub capacity: ResourceProfile,
+}
+
+/// A set of machines with per-machine CPU/mem/network capacity, shared by
+/// every shard of a fleet.
+///
+/// The pool itself is immutable during solving; remaining capacity is
+/// tracked per [`solve`]/[`plan`] call so concurrent planners cannot
+/// interfere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachinePool {
+    machines: Vec<MachineSpec>,
+}
+
+impl MachinePool {
+    /// Creates a pool from explicit machine specs.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidPool`] if the pool is empty or any capacity
+    /// component is negative/non-finite.
+    pub fn new(machines: Vec<MachineSpec>) -> Result<Self, PlacementError> {
+        if machines.is_empty() {
+            return Err(PlacementError::InvalidPool {
+                what: "pool has no machines".into(),
+            });
+        }
+        for m in &machines {
+            if !m.capacity.is_valid() {
+                return Err(PlacementError::InvalidPool {
+                    what: format!("machine {} has an invalid capacity vector", m.name),
+                });
+            }
+        }
+        Ok(MachinePool { machines })
+    }
+
+    /// A homogeneous pool of `count` machines named `m0, m1, …`, each with
+    /// the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// See [`MachinePool::new`].
+    pub fn uniform(count: usize, capacity: ResourceProfile) -> Result<Self, PlacementError> {
+        MachinePool::new(
+            (0..count)
+                .map(|i| MachineSpec {
+                    name: format!("m{i}"),
+                    capacity,
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the pool is empty (never true for constructed pools).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The machine specs, in index order.
+    pub fn machines(&self) -> &[MachineSpec] {
+        &self.machines
+    }
+
+    fn capacities(&self) -> Vec<ResourceProfile> {
+        self.machines.iter().map(|m| m.capacity).collect()
+    }
+}
+
+/// One operator's placement inputs: how many executors it runs and what
+/// each executor demands.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorLoad {
+    /// Executor count `k_i` (model order — the caller decides which
+    /// operators participate; spouts may be included with `k = 1`).
+    pub executors: u32,
+    /// Per-executor resource demand.
+    pub profile: ResourceProfile,
+}
+
+/// Measured traffic on one operator edge, used as the cross-machine cost
+/// weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeTraffic {
+    /// Source operator index (into [`PlacementRequest::operators`]).
+    pub from: usize,
+    /// Destination operator index.
+    pub to: usize,
+    /// Measured tuple rate on this edge (tuples/s, from `WindowSample`
+    /// arrival rates × gains).
+    pub rate: f64,
+}
+
+/// Everything the solver needs for one topology: operator loads plus
+/// rate-weighted edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlacementRequest {
+    /// Operator loads, indexed by the operator indices used in `edges`.
+    pub operators: Vec<OperatorLoad>,
+    /// Rate-weighted edges between the operators.
+    pub edges: Vec<EdgeTraffic>,
+}
+
+impl PlacementRequest {
+    fn validate(&self, machines: usize) -> Result<(), PlacementError> {
+        for (i, op) in self.operators.iter().enumerate() {
+            if !op.profile.is_valid() {
+                return Err(PlacementError::InvalidRequest {
+                    what: format!("operator {i} has an invalid resource profile"),
+                });
+            }
+        }
+        for e in &self.edges {
+            if e.from >= self.operators.len() || e.to >= self.operators.len() {
+                return Err(PlacementError::InvalidRequest {
+                    what: format!("edge {} -> {} references an unknown operator", e.from, e.to),
+                });
+            }
+            if !e.rate.is_finite() || e.rate < 0.0 {
+                return Err(PlacementError::InvalidRequest {
+                    what: format!("edge {} -> {} has invalid rate {}", e.from, e.to, e.rate),
+                });
+            }
+        }
+        if machines == 0 {
+            return Err(PlacementError::InvalidPool {
+                what: "pool has no machines".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A machine assignment: `counts[op][machine]` executors of `op` run on
+/// `machine`. Produced by [`solve`]/[`plan`]/[`round_robin`]; carried by
+/// `RebalancePlan` through the control plane.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    counts: Vec<Vec<u32>>,
+}
+
+impl Placement {
+    /// Builds a placement from raw per-operator, per-machine counts.
+    /// Intended for tests and backends reconstructing state; solver output
+    /// is always capacity-checked.
+    pub fn from_counts(counts: Vec<Vec<u32>>) -> Self {
+        Placement { counts }
+    }
+
+    /// `counts()[op][machine]` = executors of `op` on `machine`.
+    pub fn counts(&self) -> &[Vec<u32>] {
+        &self.counts
+    }
+
+    /// Number of operators covered.
+    pub fn operators(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of machines covered (0 for an empty placement).
+    pub fn machines(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
+    }
+
+    /// Total executors of one operator.
+    pub fn executors_of(&self, op: usize) -> u32 {
+        self.counts[op].iter().sum()
+    }
+
+    /// Per-operator totals, i.e. the allocation vector this placement
+    /// realises.
+    pub fn allocation(&self) -> Vec<u32> {
+        (0..self.counts.len())
+            .map(|i| self.executors_of(i))
+            .collect()
+    }
+
+    /// Resource usage per machine given the operators' demand profiles.
+    pub fn usage(&self, profiles: &[ResourceProfile]) -> Vec<ResourceProfile> {
+        let machines = self.machines();
+        let mut usage = vec![ResourceProfile::uniform(0.0); machines];
+        for (op, per_machine) in self.counts.iter().enumerate() {
+            let p = profiles[op];
+            for (m, &c) in per_machine.iter().enumerate() {
+                let c = c as f64;
+                usage[m].cpu += c * p.cpu;
+                usage[m].mem += c * p.mem;
+                usage[m].net += c * p.net;
+            }
+        }
+        usage
+    }
+
+    /// Probability that a tuple on edge `from → to` crosses machines under
+    /// shuffle grouping: `1 − Σ_m (c_from[m]/k_from)·(c_to[m]/k_to)`.
+    ///
+    /// Edges touching an operator with zero executors contribute 0.
+    pub fn cross_probability(&self, from: usize, to: usize) -> f64 {
+        let kf = self.executors_of(from) as f64;
+        let kt = self.executors_of(to) as f64;
+        if kf == 0.0 || kt == 0.0 {
+            return 0.0;
+        }
+        let mut colocated = 0.0;
+        for m in 0..self.machines() {
+            colocated += (self.counts[from][m] as f64 / kf) * (self.counts[to][m] as f64 / kt);
+        }
+        (1.0 - colocated).max(0.0)
+    }
+
+    /// Expected cross-machine tuple rate: `Σ_e rate_e · crossprob_e`.
+    pub fn cross_rate(&self, edges: &[EdgeTraffic]) -> f64 {
+        edges
+            .iter()
+            .map(|e| e.rate * self.cross_probability(e.from, e.to))
+            .sum()
+    }
+
+    /// Expected fraction of edge traffic that crosses machines (0 when the
+    /// edges carry no traffic).
+    pub fn cross_fraction(&self, edges: &[EdgeTraffic]) -> f64 {
+        let total: f64 = edges.iter().map(|e| e.rate).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.cross_rate(edges) / total
+    }
+}
+
+/// Errors produced by the placement solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The machine pool was empty or carried invalid capacities.
+    InvalidPool {
+        /// Description of the problem.
+        what: String,
+    },
+    /// The request referenced unknown operators or invalid rates/profiles.
+    InvalidRequest {
+        /// Description of the problem.
+        what: String,
+    },
+    /// No machine had room for one more executor of `op` — the demand does
+    /// not fit the pool.
+    Infeasible {
+        /// Operator index that could not be placed.
+        op: usize,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::InvalidPool { what } => write!(f, "invalid machine pool: {what}"),
+            PlacementError::InvalidRequest { what } => {
+                write!(f, "invalid placement request: {what}")
+            }
+            PlacementError::Infeasible { op } => {
+                write!(f, "no machine has capacity for operator {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+fn fits(remaining: &ResourceProfile, demand: &ResourceProfile) -> bool {
+    remaining.cpu + EPS >= demand.cpu
+        && remaining.mem + EPS >= demand.mem
+        && remaining.net + EPS >= demand.net
+}
+
+fn charge(remaining: &mut ResourceProfile, demand: &ResourceProfile) {
+    remaining.cpu -= demand.cpu;
+    remaining.mem -= demand.mem;
+    remaining.net -= demand.net;
+}
+
+fn refund(remaining: &mut ResourceProfile, demand: &ResourceProfile) {
+    remaining.cpu += demand.cpu;
+    remaining.mem += demand.mem;
+    remaining.net += demand.net;
+}
+
+/// R-Storm's resource distance: Euclidean distance between what the
+/// executor demands and what the machine still has. Smaller = tighter fit.
+fn resource_distance(remaining: &ResourceProfile, demand: &ResourceProfile) -> f64 {
+    let d = |r: f64, w: f64| (r - w) * (r - w);
+    (d(remaining.cpu, demand.cpu) + d(remaining.mem, demand.mem) + d(remaining.net, demand.net))
+        .sqrt()
+}
+
+/// Places one topology into the pool, minimising cross-machine traffic.
+///
+/// Dispatches to the exhaustive oracle when the instance is small (see
+/// [`EXACT_LIMIT`]) and to the greedy heuristic otherwise. Both respect
+/// per-machine capacity exactly; both are deterministic.
+///
+/// # Errors
+///
+/// [`PlacementError::Infeasible`] when the executors do not fit,
+/// [`PlacementError::InvalidRequest`]/[`PlacementError::InvalidPool`] for
+/// malformed inputs.
+pub fn solve(pool: &MachinePool, request: &PlacementRequest) -> Result<Placement, PlacementError> {
+    let mut remaining = pool.capacities();
+    solve_into(&mut remaining, request)
+}
+
+/// Like [`solve`], but draws from (and updates) externally tracked
+/// remaining capacities — the building block [`plan`] uses to share one
+/// pool across shards.
+fn solve_into(
+    remaining: &mut [ResourceProfile],
+    request: &PlacementRequest,
+) -> Result<Placement, PlacementError> {
+    request.validate(remaining.len())?;
+    if enumeration_size(request, remaining.len()) <= EXACT_LIMIT {
+        oracle_into(remaining, request)
+    } else {
+        greedy_into(remaining, request)
+    }
+}
+
+/// Estimated exhaustive-search size: `Π_i C(k_i+m−1, m−1)`, saturating.
+fn enumeration_size(request: &PlacementRequest, machines: usize) -> u64 {
+    let mut size: u64 = 1;
+    for op in &request.operators {
+        let comps = compositions_count(op.executors as u64, machines as u64);
+        size = size.saturating_mul(comps);
+        if size > EXACT_LIMIT {
+            return u64::MAX;
+        }
+    }
+    size
+}
+
+/// `C(k+m−1, m−1)`: number of ways to split `k` identical executors over
+/// `m` machines. Saturating.
+fn compositions_count(k: u64, m: u64) -> u64 {
+    let n = k + m - 1;
+    let r = (m - 1).min(k);
+    let mut acc: u64 = 1;
+    for i in 0..r {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+        if acc > EXACT_LIMIT {
+            return u64::MAX;
+        }
+    }
+    acc
+}
+
+/// Greedy solver: operators in descending adjacent-traffic order; each
+/// executor goes to the feasible machine with the best
+/// (affinity, −resource distance, −index) score.
+fn greedy_into(
+    remaining: &mut [ResourceProfile],
+    request: &PlacementRequest,
+) -> Result<Placement, PlacementError> {
+    let machines = remaining.len();
+    let n = request.operators.len();
+    let mut counts = vec![vec![0u32; machines]; n];
+
+    // Adjacent traffic per operator decides placement order: the heaviest
+    // communicators choose machines first, so their neighbours can follow.
+    let mut traffic = vec![0.0f64; n];
+    for e in &request.edges {
+        traffic[e.from] += e.rate;
+        traffic[e.to] += e.rate;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        traffic[b]
+            .partial_cmp(&traffic[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    for &op in &order {
+        let load = &request.operators[op];
+        for _ in 0..load.executors {
+            let mut best: Option<(f64, f64, usize)> = None; // (affinity, dist, machine)
+            for (m, rem) in remaining.iter().enumerate() {
+                if !fits(rem, &load.profile) {
+                    continue;
+                }
+                // Affinity: traffic to executors already sitting on m,
+                // normalised by the neighbour's executor count so one
+                // co-located neighbour executor is worth rate/k.
+                let mut affinity = 0.0;
+                for e in &request.edges {
+                    let other = if e.from == op {
+                        e.to
+                    } else if e.to == op {
+                        e.from
+                    } else {
+                        continue;
+                    };
+                    let k_other = request.operators[other].executors.max(1) as f64;
+                    affinity += e.rate * counts[other][m] as f64 / k_other;
+                }
+                let dist = resource_distance(rem, &load.profile);
+                let better = match &best {
+                    None => true,
+                    Some((ba, bd, _)) => {
+                        affinity > ba + EPS || ((affinity - ba).abs() <= EPS && dist < bd - EPS)
+                    }
+                };
+                if better {
+                    best = Some((affinity, dist, m));
+                }
+            }
+            let (_, _, m) = best.ok_or(PlacementError::Infeasible { op })?;
+            counts[op][m] += 1;
+            charge(&mut remaining[m], &load.profile);
+        }
+    }
+    Ok(Placement { counts })
+}
+
+/// Exhaustive oracle: pruned DFS over per-executor machine choices, exact
+/// on the objective, deterministic (lexicographically smallest optimum).
+fn oracle_into(
+    remaining: &mut [ResourceProfile],
+    request: &PlacementRequest,
+) -> Result<Placement, PlacementError> {
+    let machines = remaining.len();
+    let n = request.operators.len();
+    let mut counts = vec![vec![0u32; machines]; n];
+    let mut best: Option<(f64, Vec<Vec<u32>>)> = None;
+
+    // DFS over operators; within an operator, enumerate non-increasing-free
+    // compositions via per-executor choices m >= previous machine to avoid
+    // revisiting permutations of identical executors.
+    fn dfs(
+        op: usize,
+        exec: u32,
+        min_machine: usize,
+        request: &PlacementRequest,
+        remaining: &mut [ResourceProfile],
+        counts: &mut Vec<Vec<u32>>,
+        best: &mut Option<(f64, Vec<Vec<u32>>)>,
+    ) {
+        let n = request.operators.len();
+        if op == n {
+            let placement = Placement {
+                counts: counts.clone(),
+            };
+            let cost = placement.cross_rate(&request.edges);
+            let better = match best {
+                None => true,
+                Some((bc, bcounts)) => {
+                    cost < *bc - EPS || ((cost - *bc).abs() <= EPS && counts < bcounts)
+                }
+            };
+            if better {
+                *best = Some((cost, counts.clone()));
+            }
+            return;
+        }
+        let load = &request.operators[op];
+        if exec == load.executors {
+            // Prune: cost of edges fully placed so far already exceeds best.
+            if let Some((bc, _)) = best {
+                let placement = Placement {
+                    counts: counts.clone(),
+                };
+                let mut partial = 0.0;
+                for e in &request.edges {
+                    if e.from <= op && e.to <= op {
+                        partial += e.rate * placement.cross_probability(e.from, e.to);
+                    }
+                }
+                if partial > *bc + EPS {
+                    return;
+                }
+            }
+            dfs(op + 1, 0, 0, request, remaining, counts, best);
+            return;
+        }
+        for m in min_machine..remaining.len() {
+            if !fits(&remaining[m], &load.profile) {
+                continue;
+            }
+            charge(&mut remaining[m], &load.profile);
+            counts[op][m] += 1;
+            dfs(op, exec + 1, m, request, remaining, counts, best);
+            counts[op][m] -= 1;
+            refund(&mut remaining[m], &load.profile);
+        }
+    }
+
+    dfs(0, 0, 0, request, remaining, &mut counts, &mut best);
+    match best {
+        Some((_, counts)) => {
+            // Commit the winning placement's resource usage to `remaining`
+            // so fleet-shared solving stays consistent.
+            for (op, per_machine) in counts.iter().enumerate() {
+                let profile = request.operators[op].profile;
+                for (m, &c) in per_machine.iter().enumerate() {
+                    for _ in 0..c {
+                        charge(&mut remaining[m], &profile);
+                    }
+                }
+            }
+            Ok(Placement { counts })
+        }
+        None => {
+            // Report the first operator that cannot fit anywhere as the
+            // infeasible one (operator 0 if even it has no machine).
+            let op = request
+                .operators
+                .iter()
+                .position(|load| {
+                    load.executors > 0 && !remaining.iter().any(|r| fits(r, &load.profile))
+                })
+                .unwrap_or(0);
+            Err(PlacementError::Infeasible { op })
+        }
+    }
+}
+
+/// The greedy heuristic on its own, regardless of instance size. Mainly
+/// for tests and benchmarks comparing it against [`oracle`].
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn greedy(pool: &MachinePool, request: &PlacementRequest) -> Result<Placement, PlacementError> {
+    request.validate(pool.len())?;
+    let mut remaining = pool.capacities();
+    greedy_into(&mut remaining, request)
+}
+
+/// The exhaustive oracle on its own. Exponential — only call on small
+/// instances (guard with [`EXACT_LIMIT`]-sized problems).
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn oracle(pool: &MachinePool, request: &PlacementRequest) -> Result<Placement, PlacementError> {
+    request.validate(pool.len())?;
+    let mut remaining = pool.capacities();
+    oracle_into(&mut remaining, request)
+}
+
+/// Round-robin baseline: executors cycled over machines, skipping machines
+/// without capacity. Locality-blind by construction — the control the
+/// `repro place` bench compares [`solve`] against.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`].
+pub fn round_robin(
+    pool: &MachinePool,
+    request: &PlacementRequest,
+) -> Result<Placement, PlacementError> {
+    request.validate(pool.len())?;
+    let machines = pool.len();
+    let mut remaining = pool.capacities();
+    let mut counts = vec![vec![0u32; machines]; request.operators.len()];
+    let mut cursor = 0usize;
+    for (op, load) in request.operators.iter().enumerate() {
+        for _ in 0..load.executors {
+            let mut placed = false;
+            for probe in 0..machines {
+                let m = (cursor + probe) % machines;
+                if fits(&remaining[m], &load.profile) {
+                    counts[op][m] += 1;
+                    charge(&mut remaining[m], &load.profile);
+                    cursor = (m + 1) % machines;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(PlacementError::Infeasible { op });
+            }
+        }
+    }
+    Ok(Placement { counts })
+}
+
+/// Places several shards into one shared pool.
+///
+/// Shards are solved in sorted-`name` order (ties by argument index are
+/// impossible for unique names; duplicate names fall back to argument
+/// order), each drawing down the same remaining capacity, so the result is
+/// independent of the order shards advanced or reported. Returns
+/// placements aligned with the *argument* order.
+///
+/// # Errors
+///
+/// Fails with the first shard (in sorted order) whose executors do not
+/// fit in what the earlier shards left behind.
+pub fn plan(
+    pool: &MachinePool,
+    shards: &[(String, PlacementRequest)],
+) -> Result<Vec<Placement>, PlacementError> {
+    let mut order: Vec<usize> = (0..shards.len()).collect();
+    order.sort_by(|&a, &b| shards[a].0.cmp(&shards[b].0).then(a.cmp(&b)));
+    let mut remaining = pool.capacities();
+    let mut out: Vec<Option<Placement>> = vec![None; shards.len()];
+    for &i in &order {
+        out[i] = Some(solve_into(&mut remaining, &shards[i].1)?);
+    }
+    Ok(out
+        .into_iter()
+        .map(|p| p.expect("all shards solved"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_request(ks: &[u32]) -> PlacementRequest {
+        PlacementRequest {
+            operators: ks
+                .iter()
+                .map(|&k| OperatorLoad {
+                    executors: k,
+                    profile: ResourceProfile::default(),
+                })
+                .collect(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn chain_edges(rates: &[f64]) -> Vec<EdgeTraffic> {
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, &rate)| EdgeTraffic {
+                from: i,
+                to: i + 1,
+                rate,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_validation() {
+        assert!(matches!(
+            MachinePool::new(Vec::new()),
+            Err(PlacementError::InvalidPool { .. })
+        ));
+        assert!(matches!(
+            MachinePool::new(vec![MachineSpec {
+                name: "bad".into(),
+                capacity: ResourceProfile {
+                    cpu: -1.0,
+                    ..Default::default()
+                },
+            }]),
+            Err(PlacementError::InvalidPool { .. })
+        ));
+        let pool = MachinePool::uniform(3, ResourceProfile::uniform(4.0)).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.machines()[2].name, "m2");
+    }
+
+    #[test]
+    fn chain_colocates_on_one_machine_when_it_fits() {
+        let pool = MachinePool::uniform(4, ResourceProfile::uniform(10.0)).unwrap();
+        let mut request = uniform_request(&[2, 2, 2]);
+        request.edges = chain_edges(&[100.0, 100.0]);
+        let p = solve(&pool, &request).unwrap();
+        assert_eq!(p.allocation(), vec![2, 2, 2]);
+        assert!(
+            p.cross_fraction(&request.edges) < 1e-9,
+            "chain that fits one machine should be fully co-located: {:?}",
+            p.counts()
+        );
+    }
+
+    #[test]
+    fn capacity_forces_spread_but_is_respected() {
+        // 6 executors of unit demand, machines hold 2 each: must use 3.
+        let pool = MachinePool::uniform(4, ResourceProfile::uniform(2.0)).unwrap();
+        let mut request = uniform_request(&[3, 3]);
+        request.edges = chain_edges(&[50.0]);
+        let p = solve(&pool, &request).unwrap();
+        assert_eq!(p.allocation(), vec![3, 3]);
+        for usage in p.usage(
+            &request
+                .operators
+                .iter()
+                .map(|o| o.profile)
+                .collect::<Vec<_>>(),
+        ) {
+            assert!(usage.cpu <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_demand_reported() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(1.0)).unwrap();
+        let request = uniform_request(&[3]);
+        assert_eq!(
+            solve(&pool, &request),
+            Err(PlacementError::Infeasible { op: 0 })
+        );
+    }
+
+    #[test]
+    fn solver_beats_round_robin_on_a_hot_chain() {
+        let pool = MachinePool::uniform(8, ResourceProfile::uniform(16.0)).unwrap();
+        let mut request = uniform_request(&[1, 8, 8, 2]);
+        request.edges = chain_edges(&[13.0, 390.0, 195.0]);
+        let solved = solve(&pool, &request).unwrap();
+        let rr = round_robin(&pool, &request).unwrap();
+        assert_eq!(solved.allocation(), rr.allocation());
+        let sf = solved.cross_fraction(&request.edges);
+        let rf = rr.cross_fraction(&request.edges);
+        assert!(
+            sf < 0.7 * rf,
+            "solver cross fraction {sf:.3} should be well below round-robin {rf:.3}"
+        );
+    }
+
+    #[test]
+    fn greedy_large_instance_stays_within_capacity() {
+        // Force the greedy path: enumeration size far above EXACT_LIMIT.
+        let pool = MachinePool::uniform(8, ResourceProfile::uniform(40.0)).unwrap();
+        let mut request = uniform_request(&[1, 24, 24, 12, 8, 16]);
+        request.edges = chain_edges(&[10.0, 500.0, 250.0, 100.0, 50.0]);
+        assert!(enumeration_size(&request, pool.len()) > EXACT_LIMIT);
+        let p = solve(&pool, &request).unwrap();
+        assert_eq!(p.allocation(), vec![1, 24, 24, 12, 8, 16]);
+        let profiles: Vec<_> = request.operators.iter().map(|o| o.profile).collect();
+        for usage in p.usage(&profiles) {
+            assert!(usage.cpu <= 40.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn resource_profiles_steer_heavy_ops_apart() {
+        // Two CPU-hungry operators cannot share the small machine.
+        let pool = MachinePool::new(vec![
+            MachineSpec {
+                name: "big".into(),
+                capacity: ResourceProfile {
+                    cpu: 8.0,
+                    mem: 8.0,
+                    net: 8.0,
+                },
+            },
+            MachineSpec {
+                name: "small".into(),
+                capacity: ResourceProfile {
+                    cpu: 2.0,
+                    mem: 8.0,
+                    net: 8.0,
+                },
+            },
+        ])
+        .unwrap();
+        let request = PlacementRequest {
+            operators: vec![
+                OperatorLoad {
+                    executors: 2,
+                    profile: ResourceProfile {
+                        cpu: 4.0,
+                        mem: 1.0,
+                        net: 1.0,
+                    },
+                },
+                OperatorLoad {
+                    executors: 2,
+                    profile: ResourceProfile {
+                        cpu: 1.0,
+                        mem: 1.0,
+                        net: 1.0,
+                    },
+                },
+            ],
+            edges: vec![EdgeTraffic {
+                from: 0,
+                to: 1,
+                rate: 10.0,
+            }],
+        };
+        let p = solve(&pool, &request).unwrap();
+        // Both cpu-heavy executors must land on "big" (index 0).
+        assert_eq!(p.counts()[0][0], 2);
+        let profiles: Vec<_> = request.operators.iter().map(|o| o.profile).collect();
+        let usage = p.usage(&profiles);
+        assert!(usage[1].cpu <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn plan_is_order_independent_across_shards() {
+        let pool = MachinePool::uniform(4, ResourceProfile::uniform(8.0)).unwrap();
+        let mut ra = uniform_request(&[2, 3]);
+        ra.edges = chain_edges(&[40.0]);
+        let mut rb = uniform_request(&[3, 2]);
+        rb.edges = chain_edges(&[60.0]);
+        let fwd = plan(&pool, &[("a".into(), ra.clone()), ("b".into(), rb.clone())]).unwrap();
+        let rev = plan(&pool, &[("b".into(), rb), ("a".into(), ra)]).unwrap();
+        assert_eq!(fwd[0], rev[1], "shard a placement must not depend on order");
+        assert_eq!(fwd[1], rev[0], "shard b placement must not depend on order");
+    }
+
+    #[test]
+    fn round_robin_skips_full_machines() {
+        let pool = MachinePool::new(vec![
+            MachineSpec {
+                name: "tiny".into(),
+                capacity: ResourceProfile::uniform(1.0),
+            },
+            MachineSpec {
+                name: "roomy".into(),
+                capacity: ResourceProfile::uniform(10.0),
+            },
+        ])
+        .unwrap();
+        let request = uniform_request(&[4]);
+        let p = round_robin(&pool, &request).unwrap();
+        assert_eq!(p.counts()[0][0], 1);
+        assert_eq!(p.counts()[0][1], 3);
+    }
+
+    #[test]
+    fn cross_probability_math() {
+        // 2 executors each, perfectly split across 2 machines.
+        let p = Placement::from_counts(vec![vec![1, 1], vec![1, 1]]);
+        let prob = p.cross_probability(0, 1);
+        assert!((prob - 0.5).abs() < 1e-12);
+        // Fully co-located.
+        let p = Placement::from_counts(vec![vec![2, 0], vec![2, 0]]);
+        assert!(p.cross_probability(0, 1) < 1e-12);
+        // Fully separated.
+        let p = Placement::from_counts(vec![vec![2, 0], vec![0, 2]]);
+        assert!((p.cross_probability(0, 1) - 1.0).abs() < 1e-12);
+        // Zero-executor edge contributes nothing.
+        let p = Placement::from_counts(vec![vec![0, 0], vec![1, 0]]);
+        assert_eq!(p.cross_probability(0, 1), 0.0);
+        assert_eq!(p.cross_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!PlacementError::Infeasible { op: 3 }.to_string().is_empty());
+        assert!(!PlacementError::InvalidPool { what: "x".into() }
+            .to_string()
+            .is_empty());
+        assert!(!PlacementError::InvalidRequest { what: "x".into() }
+            .to_string()
+            .is_empty());
+    }
+
+    #[test]
+    fn invalid_request_rejected() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(4.0)).unwrap();
+        let mut request = uniform_request(&[1, 1]);
+        request.edges = vec![EdgeTraffic {
+            from: 0,
+            to: 5,
+            rate: 1.0,
+        }];
+        assert!(matches!(
+            solve(&pool, &request),
+            Err(PlacementError::InvalidRequest { .. })
+        ));
+        request.edges = vec![EdgeTraffic {
+            from: 0,
+            to: 1,
+            rate: f64::NAN,
+        }];
+        assert!(matches!(
+            solve(&pool, &request),
+            Err(PlacementError::InvalidRequest { .. })
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the machine-placement solver — for random pools and
+//! topologies, every executor is placed exactly once, no machine's
+//! capacity vector is ever exceeded, the dispatcher is exact on
+//! oracle-sized instances (and the oracle never loses to the greedy
+//! heuristic), and fleet planning is deterministic regardless of the order
+//! shards are presented in.
+
+use drs_core::placement::{
+    self, EdgeTraffic, MachinePool, OperatorLoad, Placement, PlacementRequest,
+};
+use drs_topology::ResourceProfile;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-9;
+
+/// Builds a request from raw draws: `ops` are (executors, profile-units)
+/// pairs, `raw_edges` are (from, to, rate) with indices folded into range.
+fn request(ops: &[(u32, f64)], raw_edges: &[(usize, usize, f64)]) -> PlacementRequest {
+    let n = ops.len();
+    let operators = ops
+        .iter()
+        .map(|&(executors, units)| OperatorLoad {
+            executors,
+            profile: ResourceProfile::uniform(units),
+        })
+        .collect();
+    let edges = raw_edges
+        .iter()
+        .filter_map(|&(from, to, rate)| {
+            let (from, to) = (from % n, to % n);
+            (from != to).then_some(EdgeTraffic { from, to, rate })
+        })
+        .collect();
+    PlacementRequest { operators, edges }
+}
+
+/// Per-machine resource usage must fit the pool's capacity vectors.
+fn assert_within_capacity(
+    placement: &Placement,
+    pool: &MachinePool,
+    req: &PlacementRequest,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    let profiles: Vec<ResourceProfile> = req.operators.iter().map(|o| o.profile).collect();
+    let usage = placement.usage(&profiles);
+    for (m, (used, spec)) in usage.iter().zip(pool.machines()).enumerate() {
+        prop_assert!(
+            used.cpu <= spec.capacity.cpu + EPS
+                && used.mem <= spec.capacity.mem + EPS
+                && used.net <= spec.capacity.net + EPS,
+            "{label}: machine {m} over capacity: used {used:?}, capacity {:?}",
+            spec.capacity
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every solver places each operator's executors exactly once and
+    /// never exceeds any machine's capacity vector.
+    #[test]
+    fn placements_are_exact_and_capacity_respecting(
+        machines in 1usize..=4,
+        cap in 2.0f64..8.0,
+        ops in vec((1u32..=4, 0.2f64..1.0), 1..=6),
+        raw_edges in vec((0usize..6, 0usize..6, 0.1f64..10.0), 0..=8),
+    ) {
+        let pool = MachinePool::uniform(machines, ResourceProfile::uniform(cap)).unwrap();
+        let req = request(&ops, &raw_edges);
+        let want: Vec<u32> = ops.iter().map(|&(k, _)| k).collect();
+        for (label, result) in [
+            ("solve", placement::solve(&pool, &req)),
+            ("greedy", placement::greedy(&pool, &req)),
+            ("round_robin", placement::round_robin(&pool, &req)),
+        ] {
+            let Ok(p) = result else {
+                // Infeasible draws are legitimate (demand can exceed the
+                // pool); nothing to check for this solver.
+                continue;
+            };
+            prop_assert_eq!(
+                p.allocation(), want.clone(),
+                "{} lost or duplicated executors", label
+            );
+            prop_assert_eq!(p.machines(), machines);
+            assert_within_capacity(&p, &pool, &req, label)?;
+        }
+    }
+
+    /// On oracle-sized instances the dispatcher IS the exhaustive oracle,
+    /// and the oracle's cross-machine traffic never exceeds the greedy
+    /// heuristic's (it enumerates every split the greedy could pick).
+    #[test]
+    fn solver_is_exact_on_small_instances(
+        machines in 2usize..=3,
+        cap in 2.0f64..8.0,
+        ops in vec((1u32..=3, 0.2f64..0.9), 1..=3),
+        raw_edges in vec((0usize..3, 0usize..3, 0.1f64..10.0), 0..=6),
+    ) {
+        let pool = MachinePool::uniform(machines, ResourceProfile::uniform(cap)).unwrap();
+        let req = request(&ops, &raw_edges);
+        let oracle = placement::oracle(&pool, &req);
+        let solved = placement::solve(&pool, &req);
+        match (&oracle, &solved) {
+            (Ok(o), Ok(s)) => {
+                prop_assert_eq!(
+                    o.counts(), s.counts(),
+                    "solve() must dispatch to the oracle on small instances"
+                );
+                if let Ok(g) = placement::greedy(&pool, &req) {
+                    prop_assert!(
+                        o.cross_rate(&req.edges) <= g.cross_rate(&req.edges) + EPS,
+                        "oracle ({}) lost to greedy ({})",
+                        o.cross_rate(&req.edges),
+                        g.cross_rate(&req.edges)
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(
+                false,
+                "oracle and solve disagree on feasibility: {oracle:?} vs {solved:?}"
+            ),
+        }
+    }
+
+    /// Fleet planning is order-independent: permuting the shard list
+    /// produces the identical placement for every shard name, and the
+    /// shards' combined usage still fits the shared pool.
+    #[test]
+    fn fleet_plan_is_deterministic_across_shard_orders(
+        machines in 2usize..=4,
+        cap in 4.0f64..12.0,
+        shards in vec((vec((1u32..=3, 0.2f64..0.8), 1..=3), vec((0usize..3, 0usize..3, 0.1f64..5.0), 0..=4)), 2..=4),
+        shuffle_seed in 0u64..u64::MAX,
+    ) {
+        let pool = MachinePool::uniform(machines, ResourceProfile::uniform(cap)).unwrap();
+        let named: Vec<(String, PlacementRequest)> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, (ops, edges))| (format!("shard-{i}"), request(ops, edges)))
+            .collect();
+
+        // Fisher–Yates with a deterministic xorshift: an arbitrary
+        // presentation order for the same fleet.
+        let mut permuted = named.clone();
+        let mut state = shuffle_seed | 1;
+        for i in (1..permuted.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            permuted.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+
+        match (placement::plan(&pool, &named), placement::plan(&pool, &permuted)) {
+            (Ok(a), Ok(b)) => {
+                for (i, (name, req)) in named.iter().enumerate() {
+                    let j = permuted.iter().position(|(n, _)| n == name).unwrap();
+                    prop_assert_eq!(
+                        a[i].counts(), b[j].counts(),
+                        "shard {} placed differently depending on order", name
+                    );
+                    let want: Vec<u32> =
+                        req.operators.iter().map(|o| o.executors).collect();
+                    prop_assert_eq!(a[i].allocation(), want);
+                }
+                // Combined usage across all shards fits every machine.
+                let mut used = vec![ResourceProfile::uniform(0.0); machines];
+                for (p, (_, req)) in a.iter().zip(&named) {
+                    let profiles: Vec<ResourceProfile> =
+                        req.operators.iter().map(|o| o.profile).collect();
+                    for (m, u) in p.usage(&profiles).into_iter().enumerate() {
+                        used[m].cpu += u.cpu;
+                        used[m].mem += u.mem;
+                        used[m].net += u.net;
+                    }
+                }
+                for (m, u) in used.iter().enumerate() {
+                    prop_assert!(
+                        u.cpu <= cap + EPS && u.mem <= cap + EPS && u.net <= cap + EPS,
+                        "machine {m} over shared capacity: {u:?}"
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "plan feasibility depends on shard order: {a:?} vs {b:?}"
+            ),
+        }
+    }
+}

@@ -13,6 +13,8 @@ use crate::engine::{RuntimeEngine, RuntimeError};
 use drs_core::driver::{
     AppliedRebalance, BackendError, CspBackend, OperatorSample, RebalancePlan, WindowSample,
 };
+use drs_core::placement::Placement;
+use drs_topology::OperatorKind;
 use std::time::Duration;
 
 impl CspBackend for RuntimeEngine {
@@ -73,14 +75,55 @@ impl CspBackend for RuntimeEngine {
             RuntimeError::AllocationLength { .. } | RuntimeError::ZeroAllocation { .. } => {
                 BackendError::InvalidAllocation(e.to_string())
             }
-            RuntimeError::MissingSpout { .. } | RuntimeError::MissingBolt { .. } => {
-                BackendError::Other(e.to_string())
-            }
+            RuntimeError::MissingSpout { .. }
+            | RuntimeError::MissingBolt { .. }
+            | RuntimeError::PlacementMismatch { .. } => BackendError::Other(e.to_string()),
         })?;
+        if let Some(placement) = &plan.placement {
+            self.apply_placement(placement)?;
+        }
         Ok(AppliedRebalance {
             allocation: plan.allocation.clone(),
             pause_secs: pause.as_secs_f64(),
         })
+    }
+
+    fn apply_placement(&mut self, placement: &Placement) -> Result<(), BackendError> {
+        // The placement indexes *model operators* (bolts in id order);
+        // expand it to a full-topology machine-count table, spouts pinned
+        // to machine 0.
+        let machines = self.machines();
+        if placement.machines() != machines {
+            return Err(BackendError::Other(format!(
+                "placement spans {} machines, engine has {machines}",
+                placement.machines()
+            )));
+        }
+        let counts = {
+            let topology = self.topology();
+            let allocation = self.allocation();
+            let bolts: Vec<usize> = topology.bolts().map(|op| op.id().index()).collect();
+            if placement.operators() != bolts.len() {
+                return Err(BackendError::InvalidAllocation(format!(
+                    "placement covers {} operators, topology has {} bolts",
+                    placement.operators(),
+                    bolts.len()
+                )));
+            }
+            let mut counts = vec![vec![0u32; machines]; topology.len()];
+            for op in topology.operators() {
+                if op.kind() == OperatorKind::Spout {
+                    counts[op.id().index()][0] = allocation[op.id().index()];
+                }
+            }
+            for (model, &i) in bolts.iter().enumerate() {
+                counts[i] = placement.counts()[model].clone();
+            }
+            counts
+        };
+        self.set_placement(counts)
+            .map(|_| ())
+            .map_err(|e| BackendError::Other(e.to_string()))
     }
 }
 
@@ -162,6 +205,7 @@ mod tests {
                 allocation: vec![4],
                 pause_secs: 99.0, // estimate ignored: the engine measures
                 epoch: 0,
+                placement: None,
             })
             .unwrap();
         assert_eq!(applied.allocation, vec![4]);
@@ -178,6 +222,7 @@ mod tests {
                 allocation: vec![1, 1],
                 pause_secs: 0.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap_err(),
             BackendError::InvalidAllocation(_)
@@ -187,6 +232,7 @@ mod tests {
                 allocation: vec![0],
                 pause_secs: 0.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap_err(),
             BackendError::InvalidAllocation(_)

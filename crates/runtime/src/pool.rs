@@ -3,25 +3,25 @@
 //! N OS threads ("workers", default: available parallelism floored at
 //! [`crate::engine::RuntimeBuilder::DEFAULT_MIN_WORKERS`]) each own a local
 //! task deque and steal from a shared injector and from each other. A
-//! *task* is simply an operator index: running it checks a pooled [`Bolt`]
-//! instance out of the operator's [`OpSlot`], pulls one batch of envelopes
-//! from the operator's input channel, executes them, and either continues
+//! *task* is simply a slot index: running it checks a pooled [`Bolt`]
+//! instance out of the slot's [`OpSlot`], pulls one batch of envelopes
+//! from the slot's input channel, executes them, and either continues
 //! (backlog remains) or retires (channel momentarily empty). The per-
-//! operator weight `k_i` bounds how many such tasks may be in flight at
+//! slot weight bounds how many such tasks may be in flight at
 //! once — that bound *is* the executor allocation, so `rebalance()` is a
 //! weight-table write, not a thread lifecycle operation.
 //!
 //! # Scheduling protocol
 //!
-//! `scheduled[op]` counts in-flight tasks. [`PoolShared::nudge`] spawns one
-//! task when `scheduled < weight` (CAS-guarded, so the bound is never
+//! `scheduled[slot]` counts in-flight tasks. [`PoolShared::nudge`] spawns
+//! one task when `scheduled < weight` (CAS-guarded, so the bound is never
 //! exceeded); producers nudge after every enqueue, and a task starting on a
 //! backlog larger than one slice nudges again ("cascade"), so wakeups cost
 //! O(1) per batch rather than per tuple. A retiring task re-checks the
 //! channel after decrementing `scheduled` and re-nudges if a producer raced
 //! it — the standard lost-wakeup guard.
 //!
-//! Continuations go through the shared injector rather than the local
+//! Continuations go through the machine's injector rather than the local
 //! deque: a LIFO self-push would let one hot operator monopolise its
 //! worker while sibling tasks starve in the same deque; routing the
 //! continuation through the FIFO injector interleaves operators even on a
@@ -38,18 +38,43 @@
 //! an unbounded park could occupy every worker and starve the very
 //! consumers that would free the space (classic pool deadlock). Spout
 //! threads are not workers and keep hard backpressure.
+//!
+//! # Machine partitioning
+//!
+//! The pool can be split into `machines` scheduling domains modelling a
+//! cluster of hosts (see `crate::engine::RuntimeBuilder::machines`). Every
+//! operator then owns one executor slot *per machine* (`slot = op ×
+//! machines + m`) with its own input channel and weight — the per-machine
+//! executor count of the installed placement. Workers are pinned to one
+//! machine: they steal only from their machine's injector and siblings, so
+//! an executor never migrates across the simulated machine boundary.
+//! Producers route each tuple through the target operator's [`Route`]
+//! table (round-robin over the placed executors, the runtime twin of
+//! shuffle grouping); a tuple landing on a different machine than its
+//! producer is counted at the boundary ([`PoolShared::cross_tuples`]).
+//! With `machines == 1` every slot index degenerates to the operator id
+//! and the batched single-channel fast path is used unchanged.
+//!
+//! Losslessness across placement changes: a slot whose executors all moved
+//! away (weight 0) may still hold envelopes enqueued before the route
+//! tables were swapped. Nudging such a slot forwards its backlog to the
+//! operator's currently placed machines instead of spawning a task, and
+//! the engine sweeps shrunk-to-zero slots right after every weight change,
+//! so no tuple is stranded behind a stale route.
 
 use crate::executor::{DataPath, Envelope, OpSlot};
 use crate::operator::{Bolt, VecCollector};
 use crate::tuple::Tuple;
 use crossbeam::channel::{Receiver, SendError};
 use crossbeam::deque::{Injector, Stealer, Worker};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A schedulable unit: the operator whose channel the task drains.
+/// A schedulable unit: the `(operator, machine)` slot whose channel the
+/// task drains (`slot = op * machines + m`).
 pub(crate) type Task = u32;
 
 /// Maximum envelopes one task pulls per slice (single channel-lock
@@ -73,116 +98,247 @@ struct WorkerScratch {
     inbox: Vec<Envelope>,
 }
 
+/// Per-operator routing table over the machine partition: one entry per
+/// placed executor (the machine id, repeated `counts[m]` times), walked by
+/// an atomic cursor so successive tuples spread over machines in proportion
+/// to the placement — shuffle grouping projected onto a machine assignment.
+pub(crate) struct Route {
+    expanded: RwLock<Vec<u32>>,
+    cursor: AtomicUsize,
+}
+
+impl Route {
+    pub(crate) fn new(counts: &[u32]) -> Self {
+        let route = Route {
+            expanded: RwLock::new(Vec::new()),
+            cursor: AtomicUsize::new(0),
+        };
+        route.set(counts);
+        route
+    }
+
+    /// Installs a new machine distribution (executor counts per machine).
+    /// An all-zero row (spouts, unplaced operators) routes to machine 0.
+    pub(crate) fn set(&self, counts: &[u32]) {
+        let mut expanded = Vec::new();
+        for (m, &c) in counts.iter().enumerate() {
+            expanded.extend(std::iter::repeat_n(m as u32, c as usize));
+        }
+        if expanded.is_empty() {
+            expanded.push(0);
+        }
+        *self.expanded.write() = expanded;
+    }
+
+    /// Picks the machine receiving the next tuple for this operator.
+    pub(crate) fn next(&self) -> usize {
+        let table = self.expanded.read();
+        table[self.cursor.fetch_add(1, Ordering::Relaxed) % table.len()] as usize
+    }
+}
+
+/// One machine's scheduling domain: idle-worker parking state.
+struct IdleGroup {
+    lock: Mutex<()>,
+    cv: Condvar,
+    waiting: AtomicUsize,
+}
+
 /// Pool state shared by workers, spout threads and the engine.
 pub(crate) struct PoolShared {
-    /// Per-operator executor state, indexed by operator id.
-    pub(crate) ops: Vec<OpSlot>,
-    /// Per-operator input channels (receiver side), indexed by operator id.
+    /// Per-(operator, machine) executor state: `slot = op * machines + m`.
+    pub(crate) slots: Vec<OpSlot>,
+    /// Per-slot input channels (receiver side), same indexing as `slots`.
     pub(crate) receivers: Vec<Receiver<Envelope>>,
     pub(crate) path: DataPath,
-    injector: Injector<Task>,
-    stealers: Vec<Stealer<Task>>,
-    idle_lock: Mutex<()>,
-    idle_cv: Condvar,
-    idle_waiting: AtomicUsize,
+    /// Number of scheduling domains partitioning the pool.
+    pub(crate) machines: usize,
+    /// Per-operator machine routing tables (indexed by operator id).
+    pub(crate) routes: Vec<Route>,
+    /// Tuples routed over edges while partitioned (`machines > 1`), and the
+    /// subset that landed on a different machine than their producer.
+    pub(crate) routed_tuples: AtomicU64,
+    pub(crate) cross_tuples: AtomicU64,
+    injectors: Vec<Injector<Task>>,
+    stealers: Vec<Vec<Stealer<Task>>>,
+    idle: Vec<IdleGroup>,
     shutdown: AtomicBool,
 }
 
 impl std::fmt::Debug for PoolShared {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PoolShared")
-            .field("workers", &self.stealers.len())
-            .field("ops", &self.ops)
+            .field("machines", &self.machines)
+            .field(
+                "workers",
+                &self.stealers.iter().map(Vec::len).sum::<usize>(),
+            )
+            .field("slots", &self.slots)
             .finish_non_exhaustive()
     }
 }
 
 impl PoolShared {
-    /// Spawns one executor task for `op` if its weight allows another; no-op
-    /// otherwise. Safe to call from any thread — pool workers pass their
-    /// local deque for a cheap push, spout threads and the control plane
-    /// pass `None` (injector).
-    pub(crate) fn nudge(&self, op: usize, local: Option<&Worker<Task>>) {
-        let slot = &self.ops[op];
-        if !slot.is_executable() {
+    fn machine_of(&self, slot: usize) -> usize {
+        slot % self.machines
+    }
+
+    fn op_of(&self, slot: usize) -> usize {
+        slot / self.machines
+    }
+
+    /// Spawns one executor task for `slot` if its weight allows another;
+    /// no-op otherwise. Safe to call from any thread — pool workers pass
+    /// their local deque for a cheap push (only valid when the slot lives
+    /// on the caller's machine), spout threads and the control plane pass
+    /// `None` (machine injector).
+    pub(crate) fn nudge(&self, slot: usize, local: Option<&Worker<Task>>) {
+        let state = &self.slots[slot];
+        if !state.is_executable() {
+            return;
+        }
+        if self.machines > 1 && state.weight.load(Ordering::Acquire) == 0 {
+            // An executor-less slot can still hold envelopes (a placement
+            // moved its executors away, or a producer raced the route
+            // swap): forward them to the operator's placed machines
+            // instead of stranding them.
+            self.forward_orphans(slot);
             return;
         }
         loop {
-            let w = slot.weight.load(Ordering::Acquire);
-            let s = slot.scheduled.load(Ordering::Acquire);
+            let w = state.weight.load(Ordering::Acquire);
+            let s = state.scheduled.load(Ordering::Acquire);
             if s >= w {
                 return;
             }
-            if slot
+            if state
                 .scheduled
                 .compare_exchange(s, s + 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 match local {
-                    Some(deque) => deque.push(op as Task),
-                    None => self.injector.push(op as Task),
+                    Some(deque) => deque.push(slot as Task),
+                    None => self.injectors[self.machine_of(slot)].push(slot as Task),
                 }
-                self.wake_one();
+                self.wake_one(self.machine_of(slot));
                 return;
             }
         }
     }
 
-    fn wake_one(&self) {
-        if self.idle_waiting.load(Ordering::Acquire) > 0 {
-            let _guard = self
-                .idle_lock
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            self.idle_cv.notify_one();
+    /// Drains a weight-0 slot's backlog, re-routing every envelope through
+    /// the operator's current route table. Cold path: runs only around
+    /// placement changes, so it allocates its own buffer.
+    fn forward_orphans(&self, slot: usize) {
+        let op = self.op_of(slot);
+        let mut buf = Vec::new();
+        while let Ok((pulled, _remaining)) =
+            self.receivers[slot].try_recv_batch(&mut buf, RECV_BATCH)
+        {
+            if pulled == 0 {
+                break;
+            }
+            let mut stale = false;
+            for env in buf.drain(..) {
+                let target = if stale {
+                    slot
+                } else {
+                    let m = self.routes[op].next();
+                    let t = op * self.machines + m;
+                    if t == slot {
+                        // The route table still points here (it has not
+                        // been swapped yet): requeue everything and stop —
+                        // the post-swap sweep will retry.
+                        stale = true;
+                        slot
+                    } else {
+                        t
+                    }
+                };
+                match self.path.senders[target].send_bounded(env, &self.shutdown, Duration::ZERO) {
+                    Ok(_) => {
+                        if target != slot {
+                            self.nudge(target, None);
+                        }
+                    }
+                    Err(SendError(env)) => {
+                        self.path.acks.cancel(
+                            &env.ack,
+                            1,
+                            &self.path.metrics,
+                            &self.path.open_trees,
+                        );
+                    }
+                }
+            }
+            if stale {
+                return;
+            }
         }
     }
 
-    fn park(&self) {
-        self.idle_waiting.fetch_add(1, Ordering::AcqRel);
-        let guard = self
-            .idle_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        if !self.shutdown.load(Ordering::Acquire) && self.injector.is_empty() {
-            let _ = self
-                .idle_cv
+    fn wake_one(&self, machine: usize) {
+        let idle = &self.idle[machine];
+        if idle.waiting.load(Ordering::Acquire) > 0 {
+            let _guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            idle.cv.notify_one();
+        }
+    }
+
+    fn park(&self, machine: usize) {
+        let idle = &self.idle[machine];
+        idle.waiting.fetch_add(1, Ordering::AcqRel);
+        let guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
+        if !self.shutdown.load(Ordering::Acquire) && self.injectors[machine].is_empty() {
+            let _ = idle
+                .cv
                 .wait_timeout(guard, PARK_TIMEOUT)
                 .unwrap_or_else(PoisonError::into_inner);
         }
-        self.idle_waiting.fetch_sub(1, Ordering::AcqRel);
+        idle.waiting.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Executes one task: retire if the weight shrank, otherwise run one
     /// batch slice and decide between continuation and retirement.
-    fn run_task(&self, op: usize, local: &Worker<Task>, scratch: &mut WorkerScratch) {
-        let slot = &self.ops[op];
+    fn run_task(
+        &self,
+        slot: usize,
+        machine: usize,
+        local: &Worker<Task>,
+        scratch: &mut WorkerScratch,
+    ) {
+        let state = &self.slots[slot];
         // Shrink quiesce: excess tasks retire before touching any envelope.
         loop {
-            let w = slot.weight.load(Ordering::Acquire);
-            let s = slot.scheduled.load(Ordering::Acquire);
+            let w = state.weight.load(Ordering::Acquire);
+            let s = state.scheduled.load(Ordering::Acquire);
             if s <= w {
                 break;
             }
-            if slot
+            if state
                 .scheduled
                 .compare_exchange(s, s - 1, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                slot.trim_idle();
+                state.trim_idle();
+                if w == 0 && !self.receivers[slot].is_empty() {
+                    // The slot lost its last executor mid-backlog: hand the
+                    // leftovers to the placed machines.
+                    self.nudge(slot, None);
+                }
                 return;
             }
         }
-        let Some(mut bolt) = slot.checkout() else {
+        let Some(mut bolt) = state.checkout() else {
             // A concurrent shrink drained the instance pool under us:
             // retire, but do not forget pending envelopes.
-            slot.scheduled.fetch_sub(1, Ordering::AcqRel);
-            if !self.receivers[op].is_empty() {
-                self.nudge(op, Some(local));
+            state.scheduled.fetch_sub(1, Ordering::AcqRel);
+            if !self.receivers[slot].is_empty() {
+                self.nudge(slot, Some(local));
             }
             return;
         };
-        let (pulled, remaining) = self.receivers[op]
+        let (pulled, remaining) = self.receivers[slot]
             .try_recv_batch(&mut scratch.inbox, RECV_BATCH)
             .unwrap_or((0, 0));
         if remaining > 0 {
@@ -190,50 +346,52 @@ impl PoolShared {
             // to the weight) before spending time processing. `remaining`
             // comes from the recv's own lock hold, so the hot path pays no
             // extra channel-lock acquisition for this decision.
-            self.nudge(op, Some(local));
+            self.nudge(slot, Some(local));
         }
-        let interrupted = self.run_slice(op, bolt.as_mut(), scratch, local);
-        slot.checkin(bolt);
+        let interrupted = self.run_slice(slot, machine, bolt.as_mut(), scratch, local);
+        state.checkin(bolt);
         if !interrupted
             && pulled > 0
             && remaining > 0
-            && slot.scheduled.load(Ordering::Acquire) <= slot.weight.load(Ordering::Acquire)
+            && state.scheduled.load(Ordering::Acquire) <= state.weight.load(Ordering::Acquire)
         {
             // Continue through the injector for cross-operator fairness
             // (see the module docs); `scheduled` stays claimed. `remaining`
             // is a pre-slice snapshot: if the backlog was drained by
             // siblings meanwhile, the continuation task simply finds an
             // empty channel and retires.
-            self.injector.push(op as Task);
+            self.injectors[machine].push(slot as Task);
             return;
         }
-        slot.scheduled.fetch_sub(1, Ordering::AcqRel);
-        if !self.receivers[op].is_empty() {
+        state.scheduled.fetch_sub(1, Ordering::AcqRel);
+        if !self.receivers[slot].is_empty() {
             // Lost-wakeup guard: a producer may have enqueued between our
             // empty observation and the decrement above.
-            self.nudge(op, Some(local));
+            self.nudge(slot, Some(local));
         }
     }
 
     /// Runs the envelopes pulled into the inbox; re-checks shutdown and the
-    /// operator weight between envelopes, so a rebalance shrink is observed
+    /// slot weight between envelopes, so a rebalance shrink is observed
     /// within one service time rather than one slice. Unprocessed leftovers
-    /// go back to the operator's channel (zero-wait overrun: the requeue
+    /// go back to the slot's channel (zero-wait overrun: the requeue
     /// must never park) for the next executor task. Returns whether the
     /// slice was interrupted.
     fn run_slice(
         &self,
-        op: usize,
+        slot: usize,
+        machine: usize,
         bolt: &mut dyn Bolt,
         scratch: &mut WorkerScratch,
         local: &Worker<Task>,
     ) -> bool {
-        let slot = &self.ops[op];
+        let state = &self.slots[slot];
         let mut interrupted = false;
         let mut drained = scratch.inbox.drain(..);
         for env in &mut drained {
             self.execute_one(
-                op,
+                slot,
+                machine,
                 env,
                 bolt,
                 &mut scratch.collector,
@@ -241,7 +399,7 @@ impl PoolShared {
                 local,
             );
             if self.shutdown.load(Ordering::Acquire)
-                || slot.scheduled.load(Ordering::Acquire) > slot.weight.load(Ordering::Acquire)
+                || state.scheduled.load(Ordering::Acquire) > state.weight.load(Ordering::Acquire)
             {
                 interrupted = true;
                 break;
@@ -249,7 +407,7 @@ impl PoolShared {
         }
         for env in drained {
             if let Err(SendError(env)) =
-                self.path.senders[op].send_bounded(env, &self.shutdown, Duration::ZERO)
+                self.path.senders[slot].send_bounded(env, &self.shutdown, Duration::ZERO)
             {
                 // Receivers gone (engine tearing down): reconcile so the
                 // tree still completes.
@@ -262,11 +420,14 @@ impl PoolShared {
     }
 
     /// Processes one envelope: run the bolt, fan the emissions out (one
-    /// `Arc` per emitted tuple, one batched bounded send per downstream
-    /// channel), nudge the consumers, settle the ack.
+    /// `Arc` per emitted tuple; on a single machine one batched bounded
+    /// send per downstream channel, on a partitioned pool one routed send
+    /// per tuple), nudge the consumers, settle the ack.
+    #[allow(clippy::too_many_arguments)]
     fn execute_one(
         &self,
-        op: usize,
+        slot: usize,
+        machine: usize,
         env: Envelope,
         bolt: &mut dyn Bolt,
         collector: &mut VecCollector,
@@ -274,6 +435,7 @@ impl PoolShared {
         local: &Worker<Task>,
     ) {
         let path = &self.path;
+        let op = self.op_of(slot);
         let started = Instant::now();
         bolt.execute(&env.tuple, collector);
         let busy = started.elapsed();
@@ -284,29 +446,65 @@ impl PoolShared {
             path.acks
                 .add(&env.ack, (arc_buf.len() * targets.len()) as u64);
             for &t in targets {
-                path.metrics
-                    .record_arrivals(t as usize, arc_buf.len() as u64);
-                let batch = arc_buf.iter().map(|tuple| Envelope {
-                    tuple: Arc::clone(tuple),
-                    ack: env.ack.clone(),
-                });
-                match path.senders[t as usize].send_batch_bounded(
-                    batch,
-                    &self.shutdown,
-                    BACKPRESSURE_WAIT,
-                ) {
-                    Ok(overrun) => {
-                        if overrun > 0 {
-                            path.metrics
-                                .record_soft_overruns(t as usize, overrun as u64);
+                let t = t as usize;
+                path.metrics.record_arrivals(t, arc_buf.len() as u64);
+                if self.machines == 1 {
+                    let batch = arc_buf.iter().map(|tuple| Envelope {
+                        tuple: Arc::clone(tuple),
+                        ack: env.ack.clone(),
+                    });
+                    match path.senders[t].send_batch_bounded(
+                        batch,
+                        &self.shutdown,
+                        BACKPRESSURE_WAIT,
+                    ) {
+                        Ok(overrun) => {
+                            if overrun > 0 {
+                                path.metrics.record_soft_overruns(t, overrun as u64);
+                            }
+                        }
+                        Err(SendError(unsent)) => {
+                            path.acks.cancel(
+                                &env.ack,
+                                unsent as u64,
+                                &path.metrics,
+                                &path.open_trees,
+                            );
                         }
                     }
-                    Err(SendError(unsent)) => {
-                        path.acks
-                            .cancel(&env.ack, unsent as u64, &path.metrics, &path.open_trees);
+                    self.nudge(t, Some(local));
+                } else {
+                    for tuple in arc_buf.iter() {
+                        let m = self.routes[t].next();
+                        let target = t * self.machines + m;
+                        self.routed_tuples.fetch_add(1, Ordering::Relaxed);
+                        if m != machine {
+                            self.cross_tuples.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let out = Envelope {
+                            tuple: Arc::clone(tuple),
+                            ack: env.ack.clone(),
+                        };
+                        match path.senders[target].send_bounded(
+                            out,
+                            &self.shutdown,
+                            BACKPRESSURE_WAIT,
+                        ) {
+                            Ok(overrun) => {
+                                if overrun > 0 {
+                                    path.metrics.record_soft_overruns(t, overrun as u64);
+                                }
+                                // Local deques are machine-pinned: only pass
+                                // ours when the tuple stayed on this machine.
+                                self.nudge(target, (m == machine).then_some(local));
+                            }
+                            Err(SendError(out)) => {
+                                path.acks
+                                    .cancel(&out.ack, 1, &path.metrics, &path.open_trees);
+                            }
+                        }
                     }
                 }
-                self.nudge(t as usize, Some(local));
             }
             arc_buf.clear();
         } else {
@@ -316,7 +514,7 @@ impl PoolShared {
     }
 }
 
-fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, index: usize) {
+fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, machine: usize, index: usize) {
     let mut scratch = WorkerScratch {
         collector: VecCollector::new(),
         arc_buf: Vec::new(),
@@ -328,14 +526,17 @@ fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, index: usize) {
         }
         let task = local
             .pop()
-            .or_else(|| shared.injector.steal().success())
+            .or_else(|| shared.injectors[machine].steal().success())
             .or_else(|| {
-                let n = shared.stealers.len();
-                (1..n).find_map(|i| shared.stealers[(index + i) % n].steal().success())
+                // Steal only from this machine's siblings: executors are
+                // pinned to their machine's worker group.
+                let peers = &shared.stealers[machine];
+                let n = peers.len();
+                (1..n).find_map(|i| peers[(index + i) % n].steal().success())
             });
         match task {
-            Some(op) => shared.run_task(op as usize, &local, &mut scratch),
-            None => shared.park(),
+            Some(slot) => shared.run_task(slot as usize, machine, &local, &mut scratch),
+            None => shared.park(machine),
         }
     }
 }
@@ -348,37 +549,59 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Builds the shared state and launches `workers` worker threads.
+    /// Builds the shared state and launches `workers_per_machine` worker
+    /// threads for each of `machines` scheduling domains.
     pub(crate) fn start(
-        ops: Vec<OpSlot>,
+        slots: Vec<OpSlot>,
         receivers: Vec<Receiver<Envelope>>,
+        routes: Vec<Route>,
         path: DataPath,
-        workers: usize,
+        machines: usize,
+        workers_per_machine: usize,
     ) -> Self {
-        assert!(workers > 0, "a pool needs at least one worker");
-        let locals: Vec<Worker<Task>> = (0..workers).map(|_| Worker::new_lifo()).collect();
-        let shared = Arc::new(PoolShared {
-            ops,
-            receivers,
-            path,
-            injector: Injector::new(),
-            stealers: locals.iter().map(Worker::stealer).collect(),
-            idle_lock: Mutex::new(()),
-            idle_cv: Condvar::new(),
-            idle_waiting: AtomicUsize::new(0),
-            shutdown: AtomicBool::new(false),
-        });
-        let handles = locals
-            .into_iter()
-            .enumerate()
-            .map(|(index, local)| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("drs-worker-{index}"))
-                    .spawn(move || worker_loop(shared, local, index))
-                    .expect("spawn pool worker")
+        assert!(machines > 0, "a pool needs at least one machine");
+        assert!(workers_per_machine > 0, "a pool needs at least one worker");
+        let locals: Vec<Vec<Worker<Task>>> = (0..machines)
+            .map(|_| {
+                (0..workers_per_machine)
+                    .map(|_| Worker::new_lifo())
+                    .collect()
             })
             .collect();
+        let shared = Arc::new(PoolShared {
+            slots,
+            receivers,
+            path,
+            machines,
+            routes,
+            routed_tuples: AtomicU64::new(0),
+            cross_tuples: AtomicU64::new(0),
+            injectors: (0..machines).map(|_| Injector::new()).collect(),
+            stealers: locals
+                .iter()
+                .map(|group| group.iter().map(Worker::stealer).collect())
+                .collect(),
+            idle: (0..machines)
+                .map(|_| IdleGroup {
+                    lock: Mutex::new(()),
+                    cv: Condvar::new(),
+                    waiting: AtomicUsize::new(0),
+                })
+                .collect(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut handles = Vec::with_capacity(machines * workers_per_machine);
+        for (machine, group) in locals.into_iter().enumerate() {
+            for (index, local) in group.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("drs-worker-{machine}-{index}"))
+                        .spawn(move || worker_loop(shared, local, machine, index))
+                        .expect("spawn pool worker"),
+                );
+            }
+        }
         WorkerPool { shared, handles }
     }
 
@@ -387,21 +610,17 @@ impl WorkerPool {
         &self.shared
     }
 
-    /// Number of worker threads.
+    /// Total number of worker threads across all machines.
     pub(crate) fn workers(&self) -> usize {
-        self.shared.stealers.len()
+        self.shared.stealers.iter().map(Vec::len).sum()
     }
 
     /// Stops and joins every worker. Idempotent.
     pub(crate) fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        {
-            let _guard = self
-                .shared
-                .idle_lock
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            self.shared.idle_cv.notify_all();
+        for idle in &self.shared.idle {
+            let _guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
+            idle.cv.notify_all();
         }
         for handle in self.handles.drain(..) {
             let _ = handle.join();

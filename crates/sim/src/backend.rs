@@ -12,6 +12,8 @@ use crate::time::SimDuration;
 use drs_core::driver::{
     AppliedRebalance, BackendError, CspBackend, OperatorSample, RebalancePlan, WindowSample,
 };
+use drs_core::placement::Placement;
+use drs_topology::OperatorKind;
 
 impl CspBackend for Simulator {
     fn backend_name(&self) -> &'static str {
@@ -72,12 +74,64 @@ impl CspBackend for Simulator {
                 SimError::AllocationLength { .. } | SimError::ZeroAllocation { .. } => {
                     BackendError::InvalidAllocation(e.to_string())
                 }
-                SimError::BehaviorMismatch { .. } => BackendError::Other(e.to_string()),
+                SimError::BehaviorMismatch { .. } | SimError::PlacementMismatch { .. } => {
+                    BackendError::Other(e.to_string())
+                }
             })?;
+        if let Some(placement) = &plan.placement {
+            self.apply_placement(placement)?;
+        }
         Ok(AppliedRebalance {
             allocation: plan.allocation.clone(),
             pause_secs: plan.pause_secs,
         })
+    }
+
+    fn apply_placement(&mut self, placement: &Placement) -> Result<(), BackendError> {
+        // The placement indexes *model operators* (bolts in id order); map
+        // every topology operator to its model index, spouts to `None`.
+        let topology = self.topology();
+        let mut model_idx = vec![None; topology.len()];
+        let mut bolts = 0;
+        for op in topology.operators() {
+            if op.kind() == OperatorKind::Bolt {
+                model_idx[op.id().index()] = Some(bolts);
+                bolts += 1;
+            }
+        }
+        if placement.operators() != bolts {
+            return Err(BackendError::InvalidAllocation(format!(
+                "placement covers {} operators, topology has {bolts} bolts",
+                placement.operators()
+            )));
+        }
+        // Under shuffle grouping a tuple on edge u→v crosses machines with
+        // probability 1 − Σ_m share_u[m]·share_v[m]. Spouts are not placed
+        // by the solver; they are pinned to machine 0, so a spout→bolt edge
+        // crosses whenever the chosen target executor is off machine 0.
+        let probs: Vec<f64> = topology
+            .edges()
+            .iter()
+            .map(|edge| {
+                let to = match model_idx[edge.to().index()] {
+                    Some(v) => v,
+                    None => return 0.0, // edges into spouts cannot exist
+                };
+                match model_idx[edge.from().index()] {
+                    Some(u) => placement.cross_probability(u, to),
+                    None => {
+                        let k = placement.executors_of(to);
+                        if k == 0 {
+                            0.0
+                        } else {
+                            1.0 - placement.counts()[to][0] as f64 / k as f64
+                        }
+                    }
+                }
+            })
+            .collect();
+        self.set_edge_cross_probabilities(probs)
+            .map_err(|e| BackendError::Other(e.to_string()))
     }
 }
 
@@ -140,6 +194,7 @@ mod tests {
                 allocation: vec![5],
                 pause_secs: 0.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap();
         assert_eq!(applied.allocation, vec![5]);
@@ -154,6 +209,7 @@ mod tests {
             allocation: vec![4],
             pause_secs: 30.0,
             epoch: 0,
+            placement: None,
         })
         .unwrap();
         // The pause outlasts the next window: a second apply must fail
@@ -164,9 +220,71 @@ mod tests {
                 allocation: vec![6],
                 pause_secs: 1.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::RebalanceUnavailable(_)));
+    }
+
+    #[test]
+    fn apply_placement_translates_counts_to_crossing_probabilities() {
+        // spout → a → b, with a and b split evenly over two machines. Under
+        // shuffle grouping the a→b edge stays local with probability
+        // 0.5·0.5 + 0.5·0.5 = 0.5; the spout (pinned to machine 0) reaches
+        // a's off-machine executor half the time too.
+        let mut t = TopologyBuilder::new();
+        let spout = t.spout("src");
+        let a = t.bolt("a");
+        let b = t.bolt("b");
+        t.edge(spout, a).unwrap();
+        t.edge(a, b).unwrap();
+        let mut sim = SimulationBuilder::new(t.build().unwrap())
+            .behavior(
+                spout,
+                OperatorBehavior::Spout {
+                    interarrival: Distribution::exponential(50.0).unwrap(),
+                },
+            )
+            .behavior(
+                a,
+                OperatorBehavior::Bolt {
+                    service: Distribution::exponential(60.0).unwrap(),
+                },
+            )
+            .behavior(
+                b,
+                OperatorBehavior::Bolt {
+                    service: Distribution::exponential(60.0).unwrap(),
+                },
+            )
+            .allocation(vec![1, 2, 2])
+            .seed(3)
+            .build()
+            .unwrap();
+        sim.apply(&RebalancePlan {
+            allocation: vec![2, 2],
+            pause_secs: 0.0,
+            epoch: 0,
+            placement: Some(Placement::from_counts(vec![vec![1, 1], vec![1, 1]])),
+        })
+        .unwrap();
+        assert_eq!(sim.edge_cross_probabilities(), &[0.5, 0.5]);
+
+        // Packing everything back onto machine 0 makes every edge local.
+        sim.apply_placement(&Placement::from_counts(vec![vec![2, 0], vec![2, 0]]))
+            .unwrap();
+        assert_eq!(sim.edge_cross_probabilities(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn apply_placement_rejects_wrong_operator_count() {
+        let mut sim = chain_sim(50.0, 30.0, 2);
+        let err = sim
+            .apply_placement(&Placement::from_counts(vec![vec![1, 1], vec![1, 1]]))
+            .unwrap_err();
+        assert!(matches!(err, BackendError::InvalidAllocation(_)));
+        // Nothing installed: the single edge still never crosses.
+        assert_eq!(sim.edge_cross_probabilities(), &[0.0]);
     }
 
     #[test]
@@ -177,6 +295,7 @@ mod tests {
                 allocation: vec![2, 2],
                 pause_secs: 0.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::InvalidAllocation(_)));
@@ -185,6 +304,7 @@ mod tests {
                 allocation: vec![0],
                 pause_secs: 0.0,
                 epoch: 0,
+                placement: None,
             })
             .unwrap_err();
         assert!(matches!(err, BackendError::InvalidAllocation(_)));

@@ -639,6 +639,7 @@ mod tests {
             allocation: vec![k],
             pause_secs: 0.1,
             epoch,
+            placement: None,
         }
     }
 

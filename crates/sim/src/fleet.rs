@@ -388,6 +388,43 @@ mod tests {
     }
 
     #[test]
+    fn machine_placement_reaches_the_shard_simulators() {
+        use drs_core::fleet::ShardPlacementInfo;
+        use drs_core::placement::MachinePool as PlacementPool;
+        use drs_topology::ResourceProfile;
+
+        // One stable shard (λ=25, μ=10, k=4 meets a 0.3 s target) on a
+        // 2-machine pool whose per-machine capacity only fits two of its
+        // four executors: the solver must split 2/2, and the placement-only
+        // actuation path must install the resulting 0.5 crossing
+        // probability on the spout→bolt edge of the live simulator.
+        let mut config = FleetDriverConfig::new(8);
+        config.window_secs = 30.0;
+        config.warmup_windows = 1;
+        let spec = FleetShardSpec::new("a", 0.3, chain_sim(25.0, 10.0, 4, 9)).with_placement(
+            ShardPlacementInfo {
+                profiles: vec![ResourceProfile::uniform(1.0)],
+                edges: vec![],
+            },
+        );
+        let mut fleet = FleetCoordinator::new(config, vec![spec]).unwrap();
+        fleet
+            .driver_mut()
+            .set_machine_pool(PlacementPool::uniform(2, ResourceProfile::uniform(2.0)).unwrap());
+        fleet.run_windows(4);
+
+        let placement = fleet
+            .driver()
+            .shard_placement(0)
+            .expect("placement must be in force");
+        assert_eq!(placement.allocation(), vec![4]);
+        assert_eq!(placement.counts()[0], vec![2, 2]);
+        assert_eq!(fleet.shard(0).edge_cross_probabilities(), &[0.5]);
+        let last = fleet.timeline().last().unwrap();
+        assert!(last.shards[0].error.is_none(), "no errors: {last:?}");
+    }
+
+    #[test]
     fn drift_injection_redistributes_capacity() {
         let mut fleet = coordinator(
             9,

@@ -26,7 +26,7 @@ use crate::workload::{CountDistribution, EdgeBehavior, OperatorBehavior};
 use drs_queueing::distribution::Distribution;
 use drs_topology::{CsrOutEdges, OperatorId, OperatorKind, Topology};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -54,6 +54,11 @@ pub enum SimError {
     },
     /// A control action was issued while a rebalance pause is in progress.
     RebalanceInProgress,
+    /// A machine-placement input did not fit the topology.
+    PlacementMismatch {
+        /// What was wrong.
+        problem: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -70,6 +75,9 @@ impl fmt::Display for SimError {
             }
             SimError::RebalanceInProgress => {
                 write!(f, "a rebalance pause is already in progress")
+            }
+            SimError::PlacementMismatch { problem } => {
+                write!(f, "placement mismatch: {problem}")
             }
         }
     }
@@ -118,6 +126,7 @@ pub struct SimulationBuilder {
     edge_behaviors: Vec<Option<EdgeBehavior>>,
     allocation: Option<Vec<u32>>,
     seed: u64,
+    cross_delay: SimDuration,
 }
 
 impl SimulationBuilder {
@@ -131,6 +140,7 @@ impl SimulationBuilder {
             edge_behaviors: vec![None; n_edges],
             allocation: None,
             seed: 0,
+            cross_delay: SimDuration::ZERO,
         }
     }
 
@@ -178,6 +188,16 @@ impl SimulationBuilder {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the extra network delay charged to every tuple that travels
+    /// between two different (simulated) machines. Defaults to zero. Edges
+    /// only start crossing machines once a machine placement is installed
+    /// via [`Simulator::set_edge_cross_probabilities`].
+    #[must_use]
+    pub fn cross_machine_delay(mut self, delay: SimDuration) -> Self {
+        self.cross_delay = delay;
         self
     }
 
@@ -229,6 +249,7 @@ impl SimulationBuilder {
             })
             .collect();
 
+        let n_edges = edge_behaviors.len();
         let allocation = self.allocation.unwrap_or_else(|| vec![1; n]);
         validate_allocation(&self.topology, &allocation)?;
 
@@ -258,6 +279,10 @@ impl SimulationBuilder {
             open: 0,
             paused_until: None,
             pending_allocation: None,
+            edge_cross_prob: vec![0.0; n_edges],
+            cross_delay: self.cross_delay,
+            cross_tuples: 0,
+            edge_tuples: 0,
             window_start: SimTime::ZERO,
             window_external: 0,
             window_sojourn: RunningStats::new(),
@@ -332,6 +357,14 @@ pub struct Simulator {
     open: usize,
     paused_until: Option<SimTime>,
     pending_allocation: Option<Vec<u32>>,
+    // Machine-placement state: per-edge probability that a tuple crosses a
+    // machine boundary (indexed by edge id, all zero until a placement is
+    // installed), the extra delay charged per crossing, and cumulative
+    // crossing counters.
+    edge_cross_prob: Vec<f64>,
+    cross_delay: SimDuration,
+    cross_tuples: u64,
+    edge_tuples: u64,
     // Measurement-window accumulators.
     window_start: SimTime,
     window_ops: Vec<OperatorWindow>,
@@ -515,6 +548,68 @@ impl Simulator {
         }
     }
 
+    /// Installs per-edge machine-crossing probabilities (indexed by edge id,
+    /// each in `[0, 1]`). A tuple emitted over edge `e` then crosses a
+    /// machine boundary with probability `probs[e]`, picking up the
+    /// configured cross-machine delay. This is how a
+    /// [`drs_core::placement::Placement`](../../drs_core/placement) reaches
+    /// the simulator: the `CspBackend` impl translates executor counts into
+    /// shuffle-grouping crossing probabilities and calls this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PlacementMismatch`] if `probs` has the wrong
+    /// length or contains a value outside `[0, 1]`.
+    pub fn set_edge_cross_probabilities(&mut self, probs: Vec<f64>) -> Result<(), SimError> {
+        if probs.len() != self.edge_cross_prob.len() {
+            return Err(SimError::PlacementMismatch {
+                problem: format!(
+                    "{} edge probabilities, topology has {} edges",
+                    probs.len(),
+                    self.edge_cross_prob.len()
+                ),
+            });
+        }
+        if let Some(p) = probs.iter().find(|p| !(0.0..=1.0).contains(*p)) {
+            return Err(SimError::PlacementMismatch {
+                problem: format!("crossing probability {p} outside [0, 1]"),
+            });
+        }
+        self.edge_cross_prob = probs;
+        Ok(())
+    }
+
+    /// Sets the extra delay charged to tuples that cross machines.
+    pub fn set_cross_machine_delay(&mut self, delay: SimDuration) {
+        self.cross_delay = delay;
+    }
+
+    /// Tuples so far that crossed a machine boundary in transit.
+    pub fn cross_machine_tuples(&self) -> u64 {
+        self.cross_tuples
+    }
+
+    /// Total tuples sent over edges so far (crossing or not).
+    pub fn edge_tuples(&self) -> u64 {
+        self.edge_tuples
+    }
+
+    /// Fraction of edge tuples that crossed machines (0 when nothing has
+    /// been sent yet).
+    pub fn cross_machine_fraction(&self) -> f64 {
+        if self.edge_tuples == 0 {
+            0.0
+        } else {
+            self.cross_tuples as f64 / self.edge_tuples as f64
+        }
+    }
+
+    /// The installed per-edge machine-crossing probabilities (indexed by
+    /// edge id; all zero until a placement is installed).
+    pub fn edge_cross_probabilities(&self) -> &[f64] {
+        &self.edge_cross_prob
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -604,10 +699,21 @@ impl Simulator {
             let edge_idx = self.csr.edges_of(op)[slot] as usize;
             let target = self.csr.targets_of(op)[slot] as usize;
             let n = self.edge_behaviors[edge_idx].count.sample(&mut self.rng);
+            let cross_prob = self.edge_cross_prob[edge_idx];
             for _ in 0..n {
-                let delay = SimDuration::from_secs_f64(
+                let mut delay = SimDuration::from_secs_f64(
                     self.edge_behaviors[edge_idx].delay.sample(&mut self.rng),
                 );
+                // With a placement installed, the tuple may land on an
+                // executor of `target` that lives on another machine; it
+                // then pays the cross-machine network delay. Edges with
+                // probability zero draw nothing, so runs without a
+                // placement keep their exact event stream per seed.
+                self.edge_tuples += 1;
+                if cross_prob > 0.0 && self.rng.gen_bool(cross_prob) {
+                    self.cross_tuples += 1;
+                    delay += self.cross_delay;
+                }
                 self.events
                     .schedule(self.now + delay, Event::TupleArrival { op: target, tree });
             }
@@ -741,6 +847,69 @@ mod tests {
             .seed(seed)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn cross_probability_counts_and_charges_delay() {
+        // Identical seeds; one sim routes half its edge tuples across
+        // machines with a hefty 50 ms hop.
+        let mut local = chain_sim(80.0, 30.0, 4, 11);
+        let mut split = chain_sim(80.0, 30.0, 4, 11);
+        split.set_edge_cross_probabilities(vec![0.5]).unwrap();
+        split.set_cross_machine_delay(SimDuration::from_secs_f64(0.05));
+        local.run_for(SimDuration::from_secs(200));
+        split.run_for(SimDuration::from_secs(200));
+
+        assert_eq!(local.cross_machine_tuples(), 0);
+        assert_eq!(local.cross_machine_fraction(), 0.0);
+        assert!(local.edge_tuples() > 10_000);
+
+        let fraction = split.cross_machine_fraction();
+        assert!(
+            (fraction - 0.5).abs() < 0.02,
+            "cross fraction {fraction}, expected ~0.5"
+        );
+        let local_sojourn = local.total_sojourn_stats().mean().unwrap();
+        let split_sojourn = split.total_sojourn_stats().mean().unwrap();
+        assert!(
+            split_sojourn > local_sojourn + 0.02,
+            "cross-machine hops must inflate sojourn: {split_sojourn} vs {local_sojourn}"
+        );
+    }
+
+    #[test]
+    fn zero_cross_probability_keeps_the_event_stream_bit_identical() {
+        let mut plain = chain_sim(60.0, 25.0, 3, 5);
+        let mut placed = chain_sim(60.0, 25.0, 3, 5);
+        // Probability zero everywhere: no extra RNG draws, so the run is
+        // exactly the run an un-placed simulator produces.
+        placed.set_edge_cross_probabilities(vec![0.0]).unwrap();
+        placed.set_cross_machine_delay(SimDuration::from_secs_f64(0.25));
+        plain.run_for(SimDuration::from_secs(100));
+        placed.run_for(SimDuration::from_secs(100));
+        assert_eq!(
+            plain.total_external_arrivals(),
+            placed.total_external_arrivals()
+        );
+        assert_eq!(
+            plain.total_sojourn_stats().mean(),
+            placed.total_sojourn_stats().mean()
+        );
+        assert_eq!(placed.cross_machine_tuples(), 0);
+    }
+
+    #[test]
+    fn cross_probabilities_are_validated() {
+        let mut sim = chain_sim(50.0, 30.0, 2, 1);
+        let err = sim
+            .set_edge_cross_probabilities(vec![0.5, 0.5])
+            .unwrap_err();
+        assert!(matches!(err, SimError::PlacementMismatch { .. }));
+        let err = sim.set_edge_cross_probabilities(vec![1.5]).unwrap_err();
+        assert!(matches!(err, SimError::PlacementMismatch { .. }));
+        assert_eq!(sim.edge_cross_probabilities(), &[0.0]);
+        sim.set_edge_cross_probabilities(vec![1.0]).unwrap();
+        assert_eq!(sim.edge_cross_probabilities(), &[1.0]);
     }
 
     #[test]

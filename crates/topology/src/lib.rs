@@ -47,5 +47,5 @@ mod topology;
 
 pub use build::{EdgeOptions, TopologyBuilder, TopologyError};
 pub use csr::CsrOutEdges;
-pub use spec::{EdgeSpec, Grouping, OperatorId, OperatorKind, OperatorSpec};
+pub use spec::{EdgeSpec, Grouping, OperatorId, OperatorKind, OperatorSpec, ResourceProfile};
 pub use topology::Topology;

@@ -6,7 +6,7 @@
 //! these shapes.
 
 use crate::build::{EdgeOptions, TopologyBuilder};
-use crate::spec::Grouping;
+use crate::spec::{Grouping, ResourceProfile};
 use crate::topology::Topology;
 
 /// A linear chain: one spout followed by `bolts` bolts with unit gains.
@@ -37,12 +37,43 @@ pub fn chain(bolts: usize) -> Topology {
 /// Default gains: `feature_gain` SIFT features per frame on the
 /// extractor→matcher edge; `match_gain` match notifications per feature on
 /// the matcher→aggregator edge.
+///
+/// Resource profiles mirror the workload: the SIFT feature kernel is
+/// CPU-bound, the matcher is CPU/memory-balanced, and the aggregator is a
+/// network-heavy sink that writes results out.
 pub fn vld(feature_gain: f64, match_gain: f64) -> Topology {
     let mut b = TopologyBuilder::new();
     let spout = b.spout("video-spout");
     let sift = b.bolt("sift-extractor");
     let matcher = b.bolt("feature-matcher");
     let aggregator = b.bolt("matching-aggregator");
+    b.profile(
+        sift,
+        ResourceProfile {
+            cpu: 4.0,
+            mem: 1.0,
+            net: 1.0,
+        },
+    )
+    .expect("valid profile");
+    b.profile(
+        matcher,
+        ResourceProfile {
+            cpu: 2.0,
+            mem: 2.0,
+            net: 1.0,
+        },
+    )
+    .expect("valid profile");
+    b.profile(
+        aggregator,
+        ResourceProfile {
+            cpu: 0.5,
+            mem: 1.0,
+            net: 3.0,
+        },
+    )
+    .expect("valid profile");
     b.edge(spout, sift).expect("valid edge");
     b.edge_with(
         sift,
@@ -75,6 +106,9 @@ pub fn vld(feature_gain: f64, match_gain: f64) -> Topology {
 ///   the detector, fed back to the detector itself (must stay `< 1` for the
 ///   traffic equations to converge).
 /// * `report_gain` — reported MFP updates per detector input.
+///
+/// Resource profiles: the detector keeps per-pattern state (memory-heavy);
+/// the reporter is a blocking I/O bolt (network-heavy).
 pub fn fpd(candidate_gain: f64, notify_gain: f64, report_gain: f64) -> Topology {
     let mut b = TopologyBuilder::new();
     let plus = b.spout("window-enter");
@@ -82,6 +116,33 @@ pub fn fpd(candidate_gain: f64, notify_gain: f64, report_gain: f64) -> Topology 
     let generator = b.bolt("pattern-generator");
     let detector = b.bolt("detector");
     let reporter = b.bolt("reporter");
+    b.profile(
+        generator,
+        ResourceProfile {
+            cpu: 2.0,
+            mem: 1.0,
+            net: 1.0,
+        },
+    )
+    .expect("valid profile");
+    b.profile(
+        detector,
+        ResourceProfile {
+            cpu: 1.0,
+            mem: 3.0,
+            net: 1.0,
+        },
+    )
+    .expect("valid profile");
+    b.profile(
+        reporter,
+        ResourceProfile {
+            cpu: 0.5,
+            mem: 0.5,
+            net: 3.0,
+        },
+    )
+    .expect("valid profile");
     b.edge(plus, generator).expect("valid edge");
     b.edge(minus, generator).expect("valid edge");
     b.edge_with(
@@ -190,6 +251,10 @@ mod tests {
         let sift = t.operator_by_name("sift-extractor").unwrap().id();
         let edge = t.downstream(sift).next().unwrap();
         assert_eq!(edge.gain(), 30.0);
+        // Feature kernel is CPU-bound; the aggregator is network-heavy.
+        assert!(t.operator(sift).profile().cpu > 1.0);
+        let agg = t.operator_by_name("matching-aggregator").unwrap();
+        assert!(agg.profile().net > agg.profile().cpu);
     }
 
     #[test]

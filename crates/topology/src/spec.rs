@@ -75,12 +75,70 @@ impl fmt::Display for Grouping {
     }
 }
 
+/// Per-executor resource demand vector, R-Storm style (PAPERS.md).
+///
+/// Each executor of an operator consumes this much of a machine's CPU,
+/// memory and network budget while scheduled there. Units are abstract;
+/// only the ratios against [machine capacities] matter. The default is one
+/// unit of each, which reduces placement to a pure slot-count problem.
+///
+/// [machine capacities]: https://dl.acm.org/doi/10.14778/2831360.2831367
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// CPU demand per executor (abstract units).
+    pub cpu: f64,
+    /// Memory demand per executor (abstract units).
+    pub mem: f64,
+    /// Network-bandwidth demand per executor (abstract units).
+    pub net: f64,
+}
+
+impl Default for ResourceProfile {
+    fn default() -> Self {
+        ResourceProfile {
+            cpu: 1.0,
+            mem: 1.0,
+            net: 1.0,
+        }
+    }
+}
+
+impl ResourceProfile {
+    /// A uniform profile demanding `units` of every resource.
+    pub fn uniform(units: f64) -> Self {
+        ResourceProfile {
+            cpu: units,
+            mem: units,
+            net: units,
+        }
+    }
+
+    /// Whether every component is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        [self.cpu, self.mem, self.net]
+            .iter()
+            .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+impl fmt::Display for ResourceProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cpu={:.2} mem={:.2} net={:.2}",
+            self.cpu, self.mem, self.net
+        )
+    }
+}
+
 /// Static description of one operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatorSpec {
     pub(crate) id: OperatorId,
     pub(crate) name: String,
     pub(crate) kind: OperatorKind,
+    #[serde(default)]
+    pub(crate) profile: ResourceProfile,
 }
 
 impl OperatorSpec {
@@ -102,6 +160,11 @@ impl OperatorSpec {
     /// Convenience: `kind() == OperatorKind::Spout`.
     pub fn is_spout(&self) -> bool {
         self.kind == OperatorKind::Spout
+    }
+
+    /// Per-executor resource demand of this operator.
+    pub fn profile(&self) -> ResourceProfile {
+        self.profile
     }
 }
 
@@ -178,10 +241,34 @@ mod tests {
             id: OperatorId(0),
             name: "frames".into(),
             kind: OperatorKind::Spout,
+            profile: ResourceProfile::default(),
         };
         assert_eq!(spec.name(), "frames");
         assert!(spec.is_spout());
         assert_eq!(spec.id().index(), 0);
+        assert_eq!(spec.profile(), ResourceProfile::uniform(1.0));
+    }
+
+    #[test]
+    fn resource_profile_validation_and_display() {
+        assert!(ResourceProfile::default().is_valid());
+        assert!(ResourceProfile::uniform(0.0).is_valid());
+        assert!(!ResourceProfile {
+            cpu: f64::NAN,
+            ..Default::default()
+        }
+        .is_valid());
+        assert!(!ResourceProfile {
+            mem: -1.0,
+            ..Default::default()
+        }
+        .is_valid());
+        let p = ResourceProfile {
+            cpu: 4.0,
+            mem: 1.0,
+            net: 0.5,
+        };
+        assert!(p.to_string().contains("cpu=4.00"));
     }
 
     #[test]

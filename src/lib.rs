@@ -112,6 +112,57 @@
 //! cargo run --release --example fleet                             # walkthrough
 //! ```
 //!
+//! # Placement: which machine runs which executor
+//!
+//! Program 6 decides *how many* executors each operator gets; the
+//! [`core::placement`] layer decides *where they run*. A
+//! [`core::placement::MachinePool`] describes per-machine capacity as a
+//! cpu/mem/net [`core::placement::ResourceProfile`]; the R-Storm-style
+//! greedy solver packs executors so heavily-trafficked edges stay on one
+//! machine without any machine exceeding capacity. Shuffle grouping sends
+//! each tuple to a uniformly random downstream executor, so the expected
+//! cross-machine fraction of an edge falls out of the per-machine counts
+//! alone:
+//!
+//! ```
+//! use drs::core::placement::{self, EdgeTraffic, MachinePool, OperatorLoad, PlacementRequest};
+//! use drs::topology::ResourceProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let pool = MachinePool::uniform(4, ResourceProfile::uniform(4.0))?;
+//! let unit = |executors| OperatorLoad { executors, profile: ResourceProfile::uniform(1.0) };
+//! let request = PlacementRequest {
+//!     operators: vec![unit(4), unit(6), unit(2)],
+//!     // sift → matcher carries 30 features/frame; matcher → aggregator
+//!     // only the 5% that matched. The solver co-locates the hot edge.
+//!     edges: vec![
+//!         EdgeTraffic { from: 0, to: 1, rate: 30.0 },
+//!         EdgeTraffic { from: 1, to: 2, rate: 1.5 },
+//!     ],
+//! };
+//! let placed = placement::solve(&pool, &request)?;
+//! let dealt = placement::round_robin(&pool, &request)?;
+//! assert!(placed.cross_fraction(&request.edges) < dealt.cross_fraction(&request.edges));
+//! // Capacity is honoured: no machine holds more than 4 unit executors.
+//! let profiles: Vec<_> = request.operators.iter().map(|o| o.profile).collect();
+//! assert!(placed.usage(&profiles).iter().all(|u| u.cpu <= 4.0));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The placement flows end to end: hand the fleet driver a pool via
+//! `FleetDriver::set_machine_pool` and each shard's `RebalancePlan` carries
+//! a `Placement` that backends actuate through `CspBackend::apply_placement`
+//! — the simulator charges a configurable network delay on cross-machine
+//! hops, and the live runtime pins executors to per-machine worker pools.
+//! `repro place` benchmarks the solver against a round-robin deal on the
+//! contended 8-machine fleet:
+//!
+//! ```text
+//! cargo run --release -p drs-bench --bin repro -- place           # full run
+//! cargo run --release -p drs-bench --bin repro -- place --smoke   # CI smoke
+//! ```
+//!
 //! The pure model/scheduler layer remains available for one-shot
 //! questions:
 //!
