@@ -7,6 +7,7 @@
 //! repro drive [--backend sim|runtime|both] [--quick]
 //! repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]
 //! repro place [--smoke] [--seed N]
+//! repro soak [--smoke] [--seed N]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
 //! ```
 //!
@@ -15,7 +16,7 @@
 
 use drs_bench::sweep::{run_sweep, App};
 use drs_bench::{
-    ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, place, surge, table2,
+    ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, place, soak, surge, table2,
 };
 use std::env;
 use std::process::ExitCode;
@@ -87,6 +88,7 @@ fn main() -> ExitCode {
                     "       repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]"
                 );
                 println!("       repro place [--smoke] [--seed N]");
+                println!("       repro soak [--smoke] [--seed N]");
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
                 println!(
                     "  perf also writes machine-readable BENCH_PERF.json to the current directory"
@@ -121,6 +123,7 @@ fn main() -> ExitCode {
         "drive" => return run_drive(&options),
         "fleet" => return run_fleet(&options),
         "place" => run_place(&options),
+        "soak" => run_soak(&options),
         "perfdiff" => return run_perfdiff(&options),
         "all" => {
             fig6_and_7(&options, true, true);
@@ -131,6 +134,7 @@ fn main() -> ExitCode {
             run_ablation(&options);
             run_surge(&options);
             run_place(&options);
+            run_soak(&options);
             run_perf(&options);
         }
         other => {
@@ -305,6 +309,19 @@ fn run_place(options: &Options) {
     };
     let run = place::run_place(&config);
     print!("{}", place::render_place(&config, &run));
+}
+
+fn run_soak(options: &Options) {
+    let config = if options.smoke || options.quick {
+        soak::SoakConfig::smoke(options.seed)
+    } else {
+        soak::SoakConfig {
+            seed: options.seed,
+            ..Default::default()
+        }
+    };
+    let run = soak::run_soak(&config);
+    print!("{}", soak::render_soak(&config, &run));
 }
 
 fn run_perf(options: &Options) {

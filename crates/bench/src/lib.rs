@@ -27,6 +27,10 @@
 //! * [`place`] — machine-granular placement on the same fleet sharing an
 //!   8-machine pool: the resource-aware solver vs a round-robin deal,
 //!   compared on cross-machine tuple fraction and end-to-end sojourn;
+//! * [`soak`] — saturation soak of the live runtime under continuous
+//!   rebalances: ingress→ack latency percentiles (p50/p95/p99), peak
+//!   bounded-queue depth and task suspensions, the smoke shape of which
+//!   is gated via the `BENCH_PERF.json` `soak` section;
 //! * [`surge`] — elasticity under a mid-run arrival-rate surge (the §I
 //!   motivation, beyond the paper's fixed-rate evaluation);
 //! * [`report`] — table rendering and rank-correlation helpers.
@@ -52,6 +56,7 @@ pub mod perf;
 pub mod perfdiff;
 pub mod place;
 pub mod report;
+pub mod soak;
 pub mod surge;
 pub mod sweep;
 pub mod table2;

@@ -1,8 +1,9 @@
 //! Perf trajectory: heap+incremental scheduling vs the retained reference
 //! implementation, the calendar event queue vs a binary-heap reference,
-//! end-to-end simulator throughput, live-runtime throughput, and the
+//! end-to-end simulator throughput, live-runtime throughput, the
 //! machine-placement comparison (solver vs round-robin on the contended
-//! fleet) — rendered as tables and exported as machine-readable
+//! fleet), and the saturation soak's latency percentiles under
+//! continuous rebalances — rendered as tables and exported as machine-readable
 //! `BENCH_PERF.json` so successive PRs can compare like for like
 //! (`repro perfdiff` gates the trajectory in CI).
 
@@ -134,6 +135,30 @@ pub struct PlacementPoint {
     pub cross_cut: f64,
 }
 
+/// The saturation-soak outcome embedded in the snapshot: the smoke shape
+/// of `repro soak` (flood + continuous rebalances through deliberately
+/// small bounded channels), reduced to the gated numbers. Latency
+/// percentiles are the headline — throughput under churn is table stakes,
+/// the tail is what production feels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakPoint {
+    /// Scenario name (`vld_churn`).
+    pub scenario: &'static str,
+    /// Median ingress→ack latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile ingress→ack latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile ingress→ack latency, milliseconds.
+    pub p99_ms: f64,
+    /// Peak input-queue depth on any slot (≤ the channel capacity — the
+    /// hard bound).
+    pub max_queue_depth: u64,
+    /// Executor-task suspensions taken on full downstream channels.
+    pub suspensions: u64,
+    /// Tuples executed per wall-clock second over the soak.
+    pub tuples_per_sec: f64,
+}
+
 /// The whole perf snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
@@ -151,6 +176,8 @@ pub struct PerfReport {
     pub rebalance: RebalancePoint,
     /// Machine placement on the contended fleet: solver vs round-robin.
     pub placement: Vec<PlacementPoint>,
+    /// Saturation soak under continuous rebalances (smoke shape).
+    pub soak: SoakPoint,
 }
 
 /// Pending-population sizes of the event-queue sweep.
@@ -274,7 +301,8 @@ pub fn run_event_queue(ops: u64, seed: u64) -> Vec<EventQueuePoint> {
 /// A spout adapter stripping inter-emission waits, so the pipeline runs
 /// throughput-bound rather than arrival-paced; overrides the batch hook so
 /// the engine ships full spout batches through one channel send per edge.
-struct Unthrottled<S>(S);
+/// Shared with the saturation soak (`crate::soak`).
+pub(crate) struct Unthrottled<S>(pub(crate) S);
 
 impl<S: Spout> Spout for Unthrottled<S> {
     fn next(&mut self) -> Option<SpoutEmission> {
@@ -568,6 +596,20 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         },
     ];
 
+    // The soak, like placement, always runs its smoke shape: same flood,
+    // same churn cadence, same channel capacity as CI, so the committed
+    // latency percentiles compare like for like.
+    let soak_run = crate::soak::run_soak(&crate::soak::SoakConfig::smoke(seed));
+    let soak = SoakPoint {
+        scenario: crate::soak::SOAK_SCENARIO,
+        p50_ms: soak_run.p50_ms,
+        p95_ms: soak_run.p95_ms,
+        p99_ms: soak_run.p99_ms,
+        max_queue_depth: soak_run.max_queue_depth,
+        suspensions: soak_run.suspensions,
+        tuples_per_sec: soak_run.tuples_per_sec(),
+    };
+
     PerfReport {
         scheduling,
         event_queue,
@@ -576,6 +618,7 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         worker_pool,
         rebalance,
         placement,
+        soak,
     }
 }
 
@@ -691,6 +734,27 @@ pub fn render_perf(report: &PerfReport) -> String {
         &["policy", "cross fraction", "sojourn (ms)", "cut"],
         &place_rows,
     ));
+    out.push_str(&render_table(
+        "Soak: saturation latency under continuous rebalances",
+        &[
+            "scenario",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+            "max depth",
+            "suspensions",
+            "tuples/sec",
+        ],
+        &[vec![
+            report.soak.scenario.to_owned(),
+            format!("{:.3}", report.soak.p50_ms),
+            format!("{:.3}", report.soak.p95_ms),
+            format!("{:.3}", report.soak.p99_ms),
+            report.soak.max_queue_depth.to_string(),
+            report.soak.suspensions.to_string(),
+            format!("{:.0}", report.soak.tuples_per_sec),
+        ]],
+    ));
     out
 }
 
@@ -783,6 +847,20 @@ pub fn perf_json(report: &PerfReport) -> String {
             if i + 1 < report.placement.len() { "," } else { "" },
         ));
     }
+    // The soak line's keys are disjoint from every other section's
+    // (no `workers`/`tuples_per_wall_sec`/`pipeline` here), so the
+    // line-keyed perfdiff parser can never mistake it for another row.
+    s.push_str("  ],\n  \"soak\": [\n");
+    s.push_str(&format!(
+        "    {{\"scenario\": \"{}\", \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_queue_depth\": {}, \"suspensions\": {}, \"soak_tuples_per_sec\": {:.1}}}\n",
+        report.soak.scenario,
+        report.soak.p50_ms,
+        report.soak.p95_ms,
+        report.soak.p99_ms,
+        report.soak.max_queue_depth,
+        report.soak.suspensions,
+        report.soak.tuples_per_sec,
+    ));
     s.push_str("  ]\n}\n");
     s
 }
@@ -889,6 +967,15 @@ mod tests {
                     cross_cut: 0.0,
                 },
             ],
+            soak: SoakPoint {
+                scenario: "vld_churn",
+                p50_ms: 1.5,
+                p95_ms: 4.0,
+                p99_ms: 9.0,
+                max_queue_depth: 128,
+                suspensions: 5_000,
+                tuples_per_sec: 0.5e6,
+            },
         }
     }
 
@@ -912,6 +999,12 @@ mod tests {
         assert!(json.contains("\"policy\": \"round_robin\""));
         // The baseline row carries no cut: it IS the reference.
         assert_eq!(json.matches("cross_cut").count(), 1);
+        assert!(json.contains("\"scenario\": \"vld_churn\""));
+        assert!(json.contains("\"p50_ms\": 1.500"));
+        assert!(json.contains("\"p99_ms\": 9.000"));
+        assert!(json.contains("\"max_queue_depth\": 128"));
+        assert!(json.contains("\"suspensions\": 5000"));
+        assert!(json.contains("\"soak_tuples_per_sec\": 500000.0"));
         assert!(!json.contains("},\n  ]"), "no trailing commas:\n{json}");
     }
 
@@ -926,6 +1019,8 @@ mod tests {
         assert!(s.contains("thread-join (µs)"));
         assert!(s.contains("Placement: solver vs round-robin"));
         assert!(s.contains("cross fraction"));
+        assert!(s.contains("Soak: saturation latency"));
+        assert!(s.contains("p99 (ms)"));
     }
 
     #[test]

@@ -29,7 +29,14 @@
 //!   `placement[solver].cross_cut` (higher is better) — the machine
 //!   placement solver against the round-robin deal on the contended fleet
 //!   scenario. These come from a seeded virtual-clock simulation, so they
-//!   are deterministic: any drift is a code change, not runner noise.
+//!   are deterministic: any drift is a code change, not runner noise;
+//! * `soak[vld_churn].p50_ms` / `.p95_ms` / `.p99_ms` and
+//!   `.max_queue_depth` (all lower is better) and
+//!   `.soak_tuples_per_sec` (higher is better) — ingress→ack latency
+//!   percentiles, peak bounded-queue depth and throughput of the
+//!   saturation soak under continuous rebalances (`crate::soak`). The
+//!   `suspensions` count on the same row is scheduling-dependent noise
+//!   and deliberately not gated.
 //!
 //! The `reference_us`/`heap_ns`/`thread_join` columns and the
 //! `round_robin` placement row alone are the deliberately naive oracles
@@ -226,6 +233,24 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                 });
             }
         }
+        if let Some(scenario) = field_str(line, "scenario") {
+            for (key, higher) in [
+                ("p50_ms", false),
+                ("p95_ms", false),
+                ("p99_ms", false),
+                ("max_queue_depth", false),
+                ("soak_tuples_per_sec", true),
+            ] {
+                if let Some(value) = field_f64(line, key) {
+                    metrics.push(MetricDelta {
+                        name: format!("soak[{scenario}].{key}"),
+                        baseline: value,
+                        current: f64::NAN,
+                        higher_is_better: higher,
+                    });
+                }
+            }
+        }
     }
     if metrics.is_empty() {
         return Err(PerfDiffError(
@@ -321,8 +346,22 @@ mod tests {
     use super::*;
     use crate::perf::{
         perf_json, EventQueuePoint, PerfReport, PlacementPoint, RebalancePoint, RuntimePoint,
-        SchedPoint, SimPoint, WorkerPoolPoint,
+        SchedPoint, SimPoint, SoakPoint, WorkerPoolPoint,
     };
+
+    /// The soak row shared by the fixtures; varied only by the
+    /// soak-specific test.
+    fn soak_point() -> SoakPoint {
+        SoakPoint {
+            scenario: "vld_churn",
+            p50_ms: 1.5,
+            p95_ms: 4.0,
+            p99_ms: 9.0,
+            max_queue_depth: 128,
+            suspensions: 5_000,
+            tuples_per_sec: 0.5e6,
+        }
+    }
 
     /// The placement rows shared by the fixtures; varied only by the
     /// placement-specific tests.
@@ -357,6 +396,7 @@ mod tests {
         pool_pause_us: f64,
         thread_join_pause_us: f64,
         placement: Vec<PlacementPoint>,
+        soak: SoakPoint,
     ) -> String {
         perf_json(&PerfReport {
             scheduling: vec![SchedPoint {
@@ -391,6 +431,7 @@ mod tests {
                 thread_join_pause_us,
             },
             placement,
+            soak,
         })
     }
 
@@ -404,6 +445,7 @@ mod tests {
             200.0,
             6_000.0,
             placement_rows(0.37, 180.0, 0.5),
+            soak_point(),
         )
     }
 
@@ -422,11 +464,13 @@ mod tests {
                     && !l.contains("workers")
                     && !l.contains("\"path\"")
                     && !l.contains("\"policy\"")
+                    && !l.contains("\"scenario\"")
                     && !l.contains("\"event_queue\"")
                     && !l.contains("\"runtime\"")
                     && !l.contains("\"worker_pool\"")
                     && !l.contains("\"rebalance\"")
                     && !l.contains("\"placement\"")
+                    && !l.contains("\"soak\"")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -451,10 +495,16 @@ mod tests {
                 "placement[solver].cross_fraction",
                 "placement[solver].mean_sojourn_ms",
                 "placement[solver].cross_cut",
+                "soak[vld_churn].p50_ms",
+                "soak[vld_churn].p95_ms",
+                "soak[vld_churn].p99_ms",
+                "soak[vld_churn].max_queue_depth",
+                "soak[vld_churn].soak_tuples_per_sec",
             ]
         );
         let expect_higher = [
-            false, true, false, true, true, true, true, false, true, false, false, true,
+            false, true, false, true, true, true, true, false, true, false, false, true, false,
+            false, false, false, true,
         ];
         for (m, &higher) in metrics.iter().zip(&expect_higher) {
             assert_eq!(m.higher_is_better, higher, "{}", m.name);
@@ -467,8 +517,28 @@ mod tests {
         // pause_us offends, the hardware-immune speedup ratio does not.
         let rows = || placement_rows(0.37, 180.0, 0.5);
         let deltas = diff(
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows()),
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 400.0, 12_000.0, rows()),
+            &snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.8e6,
+                200.0,
+                6_000.0,
+                rows(),
+                soak_point(),
+            ),
+            &snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.8e6,
+                400.0,
+                12_000.0,
+                rows(),
+                soak_point(),
+            ),
         )
         .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -483,8 +553,28 @@ mod tests {
         // Pause doubles against the *same* reference: the ratio regresses
         // too, and a worker-pool throughput drop is flagged independently.
         let deltas = diff(
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows()),
-            &snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.4e6, 400.0, 6_000.0, rows()),
+            &snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.8e6,
+                200.0,
+                6_000.0,
+                rows(),
+                soak_point(),
+            ),
+            &snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.4e6,
+                400.0,
+                6_000.0,
+                rows(),
+                soak_point(),
+            ),
         )
         .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -502,8 +592,19 @@ mod tests {
 
     #[test]
     fn placement_solver_metrics_are_gated_direction_aware() {
-        let with_placement =
-            |rows| snapshot_with(2.0, 50.0, 1000.0, 1.0e6, 0.8e6, 200.0, 6_000.0, rows);
+        let with_placement = |rows| {
+            snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.8e6,
+                200.0,
+                6_000.0,
+                rows,
+                soak_point(),
+            )
+        };
         // The solver losing ground offends on both the (lower-is-better)
         // cross fraction and the (higher-is-better) cut; sojourn, held
         // steady, stays clean. The round_robin oracle row is never gated.
@@ -535,6 +636,65 @@ mod tests {
         let (rendered, offenders) = report(&deltas, 0.15);
         assert!(
             !offenders.iter().any(|m| m.name.starts_with("placement")),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn soak_latency_is_gated_direction_aware() {
+        let with_soak = |soak| {
+            snapshot_with(
+                2.0,
+                50.0,
+                1000.0,
+                1.0e6,
+                0.8e6,
+                200.0,
+                6_000.0,
+                placement_rows(0.37, 180.0, 0.5),
+                soak,
+            )
+        };
+        // The tail blowing up and the soak throughput collapsing both
+        // offend; p50, held steady, stays clean — and the suspensions
+        // count (scheduling noise) is never a gated metric at all.
+        let base = with_soak(soak_point());
+        let worse = with_soak(SoakPoint {
+            p99_ms: 25.0,
+            suspensions: 80_000,
+            tuples_per_sec: 0.2e6,
+            ..soak_point()
+        });
+        let deltas = diff(&base, &worse).unwrap();
+        assert!(!deltas.iter().any(|d| d.name.contains("suspensions")));
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders.iter().any(|m| m.name == "soak[vld_churn].p99_ms"),
+            "{rendered}"
+        );
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "soak[vld_churn].soak_tuples_per_sec"),
+            "{rendered}"
+        );
+        assert!(
+            !offenders.iter().any(|m| m.name.contains("p50_ms")),
+            "{rendered}"
+        );
+
+        // Improvement in the same metrics is never an offence.
+        let better = with_soak(SoakPoint {
+            p50_ms: 0.8,
+            p95_ms: 2.0,
+            p99_ms: 4.0,
+            tuples_per_sec: 0.9e6,
+            ..soak_point()
+        });
+        let deltas = diff(&base, &better).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            !offenders.iter().any(|m| m.name.starts_with("soak")),
             "{rendered}"
         );
     }
@@ -586,6 +746,7 @@ mod tests {
                 thread_join_pause_us: 6_000.0,
             },
             placement: placement_rows(0.37, 180.0, 0.5),
+            soak: soak_point(),
         });
         let deltas = diff(&snapshot(2.0, 1000.0), &slower).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -657,6 +818,7 @@ mod tests {
                 thread_join_pause_us: 6_000.0,
             },
             placement: placement_rows(0.37, 180.0, 0.5),
+            soak: soak_point(),
         });
         let deltas = diff(&full_snapshot(2.0, 50.0, 1000.0, 1.0e6), &current).unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -675,9 +837,10 @@ mod tests {
         let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
         assert_eq!(
             news.len(),
-            9,
+            14,
             "calendar_ns, eq_speedup, runtime tps, worker_pool tps, pause_us, \
-             pause_speedup, cross_fraction, mean_sojourn_ms, cross_cut"
+             pause_speedup, cross_fraction, mean_sojourn_ms, cross_cut, and \
+             the five soak metrics"
         );
         assert!(news.iter().all(|d| d.regression() == 0.0));
         let (rendered, offenders) = report(&deltas, 0.15);

@@ -3,15 +3,22 @@
 //! Implements the subset the runtime crate needs:
 //!
 //! * MPMC [`channel`]s — [`channel::unbounded`] and capacity-limited
-//!   [`channel::bounded`] (send blocks while full, giving natural
-//!   backpressure) — with cloneable senders *and* receivers, `send` and
-//!   `recv_timeout`. Backed by `Mutex<VecDeque>` + `Condvar`s; the queue's
-//!   ring buffer is reused across messages, so a steady-state send performs
-//!   no allocation. Wakeups are counted: `send`/`recv` only touch a
-//!   `Condvar` when the other side is actually parked, keeping the
-//!   uncontended hot path to one mutex lock/unlock. Adequate for the
-//!   executor fan-out sizes exercised here (tens of threads), though still
-//!   short of crossbeam's lock-free throughput.
+//!   [`channel::bounded`] — with cloneable senders *and* receivers, `send`
+//!   and `recv_timeout`. The capacity of a bounded channel is a **hard
+//!   invariant**: no send shape ever enqueues past it. Thread-owning
+//!   producers use the parking sends ([`channel::Sender::send`],
+//!   [`channel::Sender::send_abortable`]); executor-pool tasks, which must
+//!   never park an OS thread, use the non-blocking
+//!   [`channel::Sender::try_send`] / [`channel::Sender::try_send_batch`]
+//!   and *suspend themselves* when the channel is full (the pool parks the
+//!   task state in a wait list and the consumer's drain wakes it). Backed
+//!   by `Mutex<VecDeque>` + `Condvar`s; the queue's ring buffer is reused
+//!   across messages, so a steady-state send performs no allocation.
+//!   Wakeups are counted: `send`/`recv` only touch a `Condvar` when the
+//!   other side is actually parked, keeping the uncontended hot path to
+//!   one mutex lock/unlock. Adequate for the executor fan-out sizes
+//!   exercised here (tens of threads), though still short of crossbeam's
+//!   lock-free throughput.
 //! * work-stealing [`deque`]s — [`deque::Worker`], [`deque::Stealer`] and
 //!   the shared [`deque::Injector`], the API slice `drs-runtime`'s executor
 //!   pool schedules tasks through. Backed by `Mutex<VecDeque>` rather than
@@ -53,6 +60,25 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error from [`Sender::try_send`]: the value is always handed back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the caller must suspend (or retry
+        /// later) — the bound is hard, nothing was enqueued.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
         }
     }
 
@@ -121,19 +147,10 @@ pub mod channel {
     type Guard<'a, T> = std::sync::MutexGuard<'a, VecDeque<T>>;
 
     impl<T> Shared<T> {
-        /// Parks the sender once — for at most 5 ms (so a receiver dying or
-        /// an abort flag flipping mid-park is observed promptly), clipped
-        /// to the caller's send deadline so a bounded-wait send never
-        /// overshoots its contract by a park quantum.
-        fn park_for_space<'a>(
-            &'a self,
-            queue: Guard<'a, T>,
-            deadline: Option<Instant>,
-        ) -> Guard<'a, T> {
-            let mut wait = Duration::from_millis(5);
-            if let Some(deadline) = deadline {
-                wait = wait.min(deadline.saturating_duration_since(Instant::now()));
-            }
+        /// Parks the sender once — for at most 5 ms, so a receiver dying or
+        /// an abort flag flipping mid-park is observed promptly.
+        fn park_for_space<'a>(&'a self, queue: Guard<'a, T>) -> Guard<'a, T> {
+            let wait = Duration::from_millis(5);
             self.waiting_senders.fetch_add(1, Ordering::AcqRel);
             let (guard, _) = match self.space.wait_timeout(queue, wait) {
                 Ok(pair) => pair,
@@ -185,74 +202,101 @@ pub mod channel {
         ///
         /// Returns [`SendError`] carrying the value when no receiver exists.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.send_inner(value, None, None).map(|_| ())
+            self.send_inner(value, None)
         }
 
-        /// Stop-aware [`Sender::send`]: while waiting for space, if `abort`
-        /// becomes true the message is enqueued *immediately* (the capacity
-        /// becomes a soft bound) so the caller can observe its stop flag and
-        /// terminate without losing the message. This is what keeps engine
-        /// teardown deadlock-free: a producer parked on a full channel whose
-        /// consumers have already been stopped would otherwise never return.
+        /// Stop-aware [`Sender::send`]: while parked waiting for space, if
+        /// `abort` becomes true the send gives up and returns the value to
+        /// the caller as an error — the capacity stays a hard bound. This
+        /// is what keeps engine teardown deadlock-free: a producer parked
+        /// on a full channel whose consumers have already been stopped
+        /// returns promptly, and the caller reconciles its in-flight
+        /// accounting for the rejected message.
         ///
         /// # Errors
         ///
-        /// As for [`Sender::send`].
+        /// Returns [`SendError`] carrying the value when no receiver
+        /// exists *or* the abort flag was observed while the channel was
+        /// full.
         pub fn send_abortable(&self, value: T, abort: &AtomicBool) -> Result<(), SendError<T>> {
-            self.send_inner(value, Some(abort), None).map(|_| ())
+            self.send_inner(value, Some(abort))
         }
 
-        /// Bounded-backpressure [`Sender::send`]: blocks at capacity for at
-        /// most `max_wait`, then enqueues past the capacity (soft bound);
-        /// the `abort` flag short-circuits the wait as in
-        /// [`Sender::send_abortable`]. This is the only send shape a
-        /// work-stealing pool may use from a worker thread — an unbounded
-        /// park would let N blocked producers starve the very consumers
-        /// that must drain the channel (the pool has no thread per
-        /// executor to fall back on).
+        /// Enqueues `value` only if the channel is below capacity — never
+        /// parks, never overruns. The send shape a work-stealing pool task
+        /// uses: on [`TrySendError::Full`] the task suspends itself in the
+        /// pool's wait list instead of parking the worker thread.
         ///
         /// # Errors
         ///
-        /// As for [`Sender::send`].
-        /// On success returns the number of items (0 or 1) enqueued *past*
-        /// the capacity — a soft-overrun count callers can surface in
-        /// metrics, since every overrun is unaccounted memory growth.
-        pub fn send_bounded(
-            &self,
-            value: T,
-            abort: &AtomicBool,
-            max_wait: Duration,
-        ) -> Result<usize, SendError<T>> {
-            self.send_inner(value, Some(abort), Some(Instant::now() + max_wait))
+        /// [`TrySendError::Full`] at capacity, [`TrySendError::Disconnected`]
+        /// when every receiver is gone; the value is returned either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            let mut queue = lock(&self.shared);
+            if queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.wake_receivers(1);
+            Ok(())
         }
 
-        /// Returns the number of items (0 or 1) enqueued past the capacity.
-        fn send_inner(
-            &self,
-            value: T,
-            abort: Option<&AtomicBool>,
-            deadline: Option<Instant>,
-        ) -> Result<usize, SendError<T>> {
+        /// Enqueues items from `batch` while the channel is below capacity,
+        /// under a single lock acquisition — never parks, never overruns.
+        /// **Lazy**: items are pulled from the iterator only while space
+        /// remains, so everything unsent stays with the caller (nothing is
+        /// consumed and dropped). Returns the number of items enqueued;
+        /// fewer than the batch length means the channel filled up and the
+        /// caller should suspend with the remainder.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SendError`] carrying `0` when every receiver is gone
+        /// (no item was consumed from the iterator).
+        pub fn try_send_batch<I>(&self, batch: &mut I) -> Result<usize, SendError<usize>>
+        where
+            I: Iterator<Item = T>,
+        {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(0));
+            }
+            let mut pushed = 0usize;
+            let mut queue = lock(&self.shared);
+            while queue.len() < self.shared.capacity {
+                match batch.next() {
+                    Some(value) => {
+                        queue.push_back(value);
+                        pushed += 1;
+                    }
+                    None => break,
+                }
+            }
+            drop(queue);
+            self.shared.wake_receivers(pushed);
+            Ok(pushed)
+        }
+
+        fn send_inner(&self, value: T, abort: Option<&AtomicBool>) -> Result<(), SendError<T>> {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut queue = lock(&self.shared);
             while queue.len() >= self.shared.capacity {
-                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                if self.shared.receivers.load(Ordering::Acquire) == 0
+                    || abort.is_some_and(|a| a.load(Ordering::Acquire))
+                {
                     return Err(SendError(value));
                 }
-                if abort.is_some_and(|a| a.load(Ordering::Acquire))
-                    || deadline.is_some_and(|d| Instant::now() >= d)
-                {
-                    break; // soft-bound overrun: enqueue and let the caller proceed
-                }
-                queue = self.shared.park_for_space(queue, deadline);
+                queue = self.shared.park_for_space(queue);
             }
-            let overrun = usize::from(queue.len() >= self.shared.capacity);
             queue.push_back(value);
             drop(queue);
             self.shared.wake_receivers(1);
-            Ok(overrun)
+            Ok(())
         }
 
         /// Enqueues every item of `batch` under a single lock acquisition —
@@ -269,84 +313,60 @@ pub mod channel {
             &self,
             batch: impl IntoIterator<Item = T>,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, None, None).map(|_| ())
+            self.send_batch_inner(batch, None)
         }
 
         /// Stop-aware [`Sender::send_batch`]; see [`Sender::send_abortable`]
-        /// for the abort semantics (remaining items are enqueued past the
-        /// capacity rather than lost).
+        /// for the abort semantics — once the abort flag is observed on a
+        /// full channel the remaining items are dropped and their count is
+        /// returned as the error, never enqueued past the capacity.
         ///
         /// # Errors
         ///
-        /// As for [`Sender::send_batch`].
+        /// As for [`Sender::send_batch`], and additionally when aborted
+        /// mid-batch (the error carries the number of items *not*
+        /// enqueued so callers can reconcile in-flight accounting).
         pub fn send_batch_abortable(
             &self,
             batch: impl IntoIterator<Item = T>,
             abort: &AtomicBool,
         ) -> Result<(), SendError<usize>> {
-            self.send_batch_inner(batch, Some(abort), None).map(|_| ())
-        }
-
-        /// Bounded-backpressure [`Sender::send_batch`]: blocks at capacity
-        /// for at most `max_wait` in total, then enqueues the rest of the
-        /// batch past the capacity; see [`Sender::send_bounded`] for why
-        /// pool workers need this shape. `Duration::ZERO` never parks —
-        /// the requeue path of a stopping executor uses it to hand
-        /// unprocessed envelopes back without risking a park.
-        ///
-        /// On success returns the number of items enqueued *past* the
-        /// capacity — a soft-overrun count callers can surface in metrics.
-        ///
-        /// # Errors
-        ///
-        /// As for [`Sender::send_batch`].
-        pub fn send_batch_bounded(
-            &self,
-            batch: impl IntoIterator<Item = T>,
-            abort: &AtomicBool,
-            max_wait: Duration,
-        ) -> Result<usize, SendError<usize>> {
-            self.send_batch_inner(batch, Some(abort), Some(Instant::now() + max_wait))
+            self.send_batch_inner(batch, Some(abort))
         }
 
         fn send_batch_inner(
             &self,
             batch: impl IntoIterator<Item = T>,
             abort: Option<&AtomicBool>,
-            deadline: Option<Instant>,
-        ) -> Result<usize, SendError<usize>> {
+        ) -> Result<(), SendError<usize>> {
             let mut iter = batch.into_iter();
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(iter.count()));
             }
             let mut pushed = 0usize;
-            let mut overruns = 0usize;
             let mut queue = lock(&self.shared);
             while let Some(value) = iter.next() {
                 while queue.len() >= self.shared.capacity {
-                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    if self.shared.receivers.load(Ordering::Acquire) == 0
+                        || abort.is_some_and(|a| a.load(Ordering::Acquire))
+                    {
                         drop(queue);
+                        drop(value);
                         self.shared.wake_receivers(pushed);
                         return Err(SendError(1 + iter.count()));
-                    }
-                    if abort.is_some_and(|a| a.load(Ordering::Acquire))
-                        || deadline.is_some_and(|d| Instant::now() >= d)
-                    {
-                        break; // soft-bound overrun; see send_abortable
                     }
                     // Let receivers observe what is already enqueued.
                     if pushed > 0 && self.shared.waiting_receivers.load(Ordering::Acquire) > 0 {
                         self.shared.ready.notify_all();
                     }
-                    queue = self.shared.park_for_space(queue, deadline);
+                    queue = self.shared.park_for_space(queue);
                 }
-                overruns += usize::from(queue.len() >= self.shared.capacity);
                 queue.push_back(value);
                 pushed += 1;
             }
             drop(queue);
             self.shared.wake_receivers(pushed);
-            Ok(overruns)
+            Ok(())
         }
     }
 
@@ -826,25 +846,26 @@ mod tests {
     }
 
     #[test]
-    fn abortable_send_overruns_instead_of_blocking() {
-        use std::sync::atomic::{AtomicBool, Ordering};
-        use std::sync::Arc;
+    fn abortable_send_errors_instead_of_overrunning() {
+        use super::channel::SendError;
+        use std::sync::atomic::AtomicBool;
         let (tx, rx) = bounded(1);
         tx.send(1).unwrap();
-        let abort = Arc::new(AtomicBool::new(true));
+        let abort = AtomicBool::new(true);
         // Channel is full and the abort flag is set: the sends must return
-        // promptly with the messages enqueued past the capacity.
-        tx.send_abortable(2, &abort).unwrap();
-        tx.send_batch_abortable([3, 4], &abort).unwrap();
+        // promptly with an error — nothing may be enqueued past capacity.
+        assert_eq!(tx.send_abortable(2, &abort), Err(SendError(2)));
+        assert_eq!(tx.send_batch_abortable([3, 4], &abort), Err(SendError(2)));
+        assert_eq!(rx.len(), 1, "the hard bound must hold");
         drop(tx);
         let drained: Vec<u32> =
             std::iter::from_fn(|| rx.recv_timeout(Duration::from_millis(50)).ok()).collect();
-        assert_eq!(drained, vec![1, 2, 3, 4]);
-        assert!(abort.load(Ordering::Relaxed));
+        assert_eq!(drained, vec![1]);
     }
 
     #[test]
     fn abort_flag_unblocks_a_parked_sender() {
+        use super::channel::SendError;
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
         let (tx, _rx) = bounded(1);
@@ -859,7 +880,11 @@ mod tests {
         );
         abort.store(true, Ordering::Release);
         let start = std::time::Instant::now();
-        t.join().unwrap().unwrap();
+        assert_eq!(
+            t.join().unwrap(),
+            Err(SendError(3)),
+            "every unsent item must be reported so the caller can reconcile"
+        );
         assert!(
             start.elapsed() < Duration::from_millis(500),
             "abort must unblock the sender promptly"
@@ -867,48 +892,30 @@ mod tests {
     }
 
     #[test]
-    fn bounded_wait_send_overruns_after_the_deadline() {
-        use std::sync::atomic::AtomicBool;
-        let abort = AtomicBool::new(false);
-        let (tx, rx) = bounded(1);
-        tx.send(0).unwrap();
-        // Full channel, nobody draining: both bounded sends must return
-        // within their deadline with the messages enqueued past capacity.
-        let start = std::time::Instant::now();
-        let single = tx
-            .send_bounded(1, &abort, Duration::from_millis(20))
-            .unwrap();
-        let batch = tx
-            .send_batch_bounded([2, 3], &abort, Duration::from_millis(20))
-            .unwrap();
-        assert_eq!(
-            (single, batch),
-            (1, 2),
-            "every item enqueued past capacity must be counted as an overrun"
-        );
-        assert!(
-            start.elapsed() < Duration::from_millis(500),
-            "bounded sends must not park past their deadline"
-        );
-        assert_eq!(rx.len(), 4);
-        let drained: Vec<u32> =
-            std::iter::from_fn(|| rx.recv_timeout(Duration::from_millis(20)).ok()).collect();
-        assert_eq!(drained, vec![0, 1, 2, 3]);
+    fn try_send_observes_the_hard_bound() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
     }
 
     #[test]
-    fn zero_wait_batch_send_never_parks() {
-        use std::sync::atomic::AtomicBool;
-        let abort = AtomicBool::new(false);
-        let (tx, rx) = bounded(1);
-        tx.send(9).unwrap();
-        let start = std::time::Instant::now();
-        let overruns = tx
-            .send_batch_bounded([8, 7], &abort, Duration::ZERO)
-            .unwrap();
-        assert!(start.elapsed() < Duration::from_millis(100));
-        assert_eq!(overruns, 2);
-        assert_eq!(rx.len(), 3);
+    fn try_send_batch_is_lazy_past_capacity() {
+        let (tx, rx) = bounded(2);
+        let mut items = [1, 2, 3, 4].into_iter();
+        assert_eq!(tx.try_send_batch(&mut items), Ok(2));
+        // Unsent items stay with the caller — nothing consumed and dropped.
+        assert_eq!(items.clone().collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        assert_eq!(tx.try_send_batch(&mut items), Ok(1));
+        assert_eq!(rx.len(), 2, "the hard bound must hold after a refill");
     }
 
     #[test]

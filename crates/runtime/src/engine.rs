@@ -36,10 +36,11 @@
 //!   one atomic decrement;
 //! * **channels are bounded rings**: envelopes travel through
 //!   capacity-limited MPMC channels whose ring buffers are reused across
-//!   messages, giving natural backpressure instead of unbounded queue
-//!   growth ([`RuntimeBuilder::channel_capacity`]). Pool workers bound
-//!   their backpressure waits (see `crate::pool`) so a finite worker set
-//!   can never deadlock on its own downstream channels;
+//!   messages. The capacity is a *hard* invariant (`len ≤ cap`, always):
+//!   an executor task hitting a full downstream channel suspends itself
+//!   into the channel's wait list and is woken by the consumer's drain
+//!   (see `crate::pool`), so a finite worker set never parks an OS thread
+//!   on — nor overruns — its own downstream channels;
 //! * **out-edges are compiled CSR**: downstream targets come from the same
 //!   [`drs_topology::CsrOutEdges`] layout the simulator's emit path walks;
 //! * **buffers are reused**: each worker keeps one emission collector, one
@@ -177,13 +178,15 @@ impl RuntimeBuilder {
     /// Default per-operator channel capacity (envelopes).
     pub const DEFAULT_CHANNEL_CAPACITY: usize = 64 * 1024;
 
-    /// Floor on the default worker count. Bolts are allowed to block
+    /// Floor on the default worker *cap*. Bolts are allowed to block
     /// (sleep-paced service is how the integration tests model real work),
-    /// and a pool sized purely to the CPU count would serialise blocking
+    /// and a pool capped purely at the CPU count would serialise blocking
     /// executors that the thread-per-executor engine ran concurrently; a
     /// modest oversubscription floor preserves that behaviour on small
-    /// hosts while still decoupling `k_i` from the thread count.
-    pub const DEFAULT_MIN_WORKERS: usize = 8;
+    /// hosts while still decoupling `k_i` from the thread count. The
+    /// adaptive pool only grows to the cap while runnable tasks outnumber
+    /// its live workers.
+    pub const DEFAULT_WORKER_CAP: usize = 8;
 
     /// Starts a builder for the given topology.
     pub fn new(topology: Topology) -> Self {
@@ -226,11 +229,14 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Sets the number of pool worker threads *per machine*. Defaults to
-    /// the host's available parallelism floored at
-    /// [`Self::DEFAULT_MIN_WORKERS`] (see there for why the floor exists),
-    /// divided evenly over the machines. Executor weights may exceed the
-    /// worker count freely — that is the point of the pool.
+    /// Pins the number of pool worker threads *per machine* to exactly
+    /// `workers`. By default the pool is **adaptive** instead: each
+    /// machine starts one worker and grows on demand — a task wakeup that
+    /// finds every live worker busy spawns another — up to the host's
+    /// available parallelism floored at [`Self::DEFAULT_WORKER_CAP`] (see
+    /// there for why the floor exists), divided evenly over the machines;
+    /// persistently idle workers retire back down to one. Executor weights
+    /// may exceed the worker count freely — that is the point of the pool.
     ///
     /// # Panics
     ///
@@ -258,11 +264,11 @@ impl RuntimeBuilder {
         self
     }
 
-    /// Sets the per-operator input channel capacity (envelopes). A full
-    /// channel blocks spout producers — backpressure instead of unbounded
-    /// memory growth. Pool workers bound their waits on full channels, so
-    /// small capacities degrade to soft bounds under fan-out bursts rather
-    /// than deadlocking.
+    /// Sets the per-operator input channel capacity (envelopes). The
+    /// capacity is a hard bound: a full channel blocks spout producers and
+    /// suspends executor tasks (woken by the consumer's drain), so queues
+    /// never grow past it — backpressure instead of unbounded memory
+    /// growth, even under extreme fan-out.
     ///
     /// # Panics
     ///
@@ -324,7 +330,7 @@ impl RuntimeBuilder {
             senders: Arc::new(senders),
             csr: Arc::new(CsrOutEdges::compile(&self.topology)),
             acks: Arc::new(crate::executor::AckTable::new()),
-            metrics: Arc::new(MetricsRegistry::new(n)),
+            metrics: Arc::new(MetricsRegistry::with_machines(n, machines)),
             open_trees: Arc::new(std::sync::atomic::AtomicU64::new(0)),
             channel_capacity: self.channel_capacity,
         };
@@ -358,14 +364,28 @@ impl RuntimeBuilder {
             .map(|row| crate::pool::Route::new(row))
             .collect();
 
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(usize::from)
-                .unwrap_or(1)
-                .max(Self::DEFAULT_MIN_WORKERS)
-                .div_ceil(machines)
-        });
-        let pool = WorkerPool::start(slots, receivers, routes, path.clone(), machines, workers);
+        // Fixed pool when `.workers(n)` was set (min == max == n);
+        // adaptive band otherwise.
+        let (min_workers, max_workers) = match self.workers {
+            Some(n) => (n, n),
+            None => {
+                let cap = std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+                    .max(Self::DEFAULT_WORKER_CAP)
+                    .div_ceil(machines);
+                (1, cap)
+            }
+        };
+        let pool = WorkerPool::start(
+            slots,
+            receivers,
+            routes,
+            path.clone(),
+            machines,
+            min_workers,
+            max_workers,
+        );
 
         let mut engine = RuntimeEngine {
             topology: self.topology,
@@ -486,14 +506,46 @@ impl RuntimeEngine {
         self.path.metrics.take_snapshot()
     }
 
-    /// Cumulative per-operator counts of envelopes pushed past the soft
-    /// bound of the operator's input channel (fan-out senders that
-    /// exhausted the bounded backpressure wait). Indexed by operator id;
-    /// never reset by [`RuntimeEngine::metrics_snapshot`]. A healthy
-    /// deployment keeps every entry at zero — non-zero values mean the
-    /// configured channel capacity is too small for the offered load.
-    pub fn soft_overruns(&self) -> Vec<u64> {
-        self.path.metrics.soft_overruns()
+    /// Cumulative task-suspension counts per `(operator, machine)`:
+    /// `suspensions()[op][m]` is how many times an executor task parked on
+    /// that slot's full input channel. Never reset by
+    /// [`RuntimeEngine::metrics_snapshot`]. Suspensions are the healthy
+    /// backpressure signal replacing the old soft-overrun counter —
+    /// capacity is a hard invariant now, so queues saturate and senders
+    /// yield instead of overrunning.
+    pub fn suspensions(&self) -> Vec<Vec<u64>> {
+        self.path.metrics.suspensions()
+    }
+
+    /// Peak observed input-queue depth per `(operator, machine)`. Sampled
+    /// on every batch pull and on every suspension, so a saturated channel
+    /// reports its full capacity. Bounded by
+    /// [`RuntimeEngine::channel_capacity`] — the hard invariant.
+    pub fn peak_queue_depths(&self) -> Vec<Vec<u64>> {
+        self.path.metrics.peak_queue_depths()
+    }
+
+    /// Live input-queue depth per `(operator, machine)` slot, indexed
+    /// `op * machines + m`. Every entry is ≤
+    /// [`RuntimeEngine::channel_capacity`] at any instant.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.pool
+            .shared()
+            .receivers
+            .iter()
+            .map(crossbeam::channel::Receiver::len)
+            .collect()
+    }
+
+    /// The per-channel capacity (the hard queue bound).
+    pub fn channel_capacity(&self) -> usize {
+        self.path.channel_capacity
+    }
+
+    /// A quantile (`0.0 ..= 1.0`) of the cumulative end-to-end sojourn
+    /// distribution, in seconds; `None` before the first completed tree.
+    pub fn sojourn_quantile(&self, q: f64) -> Option<f64> {
+        self.path.metrics.sojourn_quantile(q)
     }
 
     /// Re-balances to a new allocation: each operator's executor weight is
@@ -739,8 +791,10 @@ impl RuntimeEngine {
 /// slot each), but the batch travels through batched sends per downstream
 /// edge — one channel lock and at most one consumer wakeup per edge per
 /// chunk, instead of per root. Sends are stop-aware so shutdown cannot
-/// park the spout on a full channel forever; outright failures reconcile
-/// the pending counts so the trees still complete.
+/// park the spout on a full channel forever; a send aborted mid-chunk (or
+/// with the receivers gone) errors with its unsent count, and the
+/// corresponding pending counts are reconciled so the trees still
+/// complete.
 ///
 /// Chunks are capped at the channel capacity, with a consumer nudge after
 /// every chunk. This is a liveness requirement, not a tuning knob: a
@@ -800,9 +854,9 @@ fn emit_roots(
             if let Err(SendError(unsent)) =
                 path.senders[t as usize].send_batch_abortable(batch, stop)
             {
-                // Receivers gone (engine tearing down): the unsent tail of
-                // this chunk maps 1:1 onto its last `unsent` roots, and no
-                // later chunk will fare better.
+                // Receivers gone or stop raised while full (engine tearing
+                // down): the unsent tail of this chunk maps 1:1 onto its
+                // last `unsent` roots.
                 for ack in ack_refs[end - unsent..].iter() {
                     path.acks.cancel(ack, 1, &path.metrics, &path.open_trees);
                 }

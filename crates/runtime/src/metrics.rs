@@ -18,9 +18,17 @@ pub(crate) struct OperatorCounters {
     pub completions: AtomicU64,
     /// Nanoseconds executors spent inside `execute`.
     pub busy_nanos: AtomicU64,
-    /// Envelopes enqueued past the soft capacity of the operator's input
-    /// channel after the bounded backpressure wait expired.
-    pub soft_overruns: AtomicU64,
+}
+
+/// Per-`(operator, machine)` channel counters: one entry per executor slot
+/// (`index = op * machines + machine`), so placement debugging sees *which
+/// machine's* queue is hot rather than one collapsed per-operator number.
+#[derive(Debug, Default)]
+struct SlotCounters {
+    /// Executor tasks that suspended on this slot's full input channel.
+    suspensions: AtomicU64,
+    /// Highest queue depth observed on this slot's input channel.
+    peak_depth: AtomicU64,
 }
 
 /// A point-in-time copy of all metrics, with rates derived over the window
@@ -47,11 +55,6 @@ pub struct OperatorMetrics {
     pub completions: u64,
     /// Executor-seconds spent executing.
     pub busy_secs: f64,
-    /// Envelopes pushed past the operator's soft channel bound during the
-    /// window (senders that exhausted the bounded backpressure wait).
-    /// Non-zero values mean the configured channel capacity was too small
-    /// for the offered load.
-    pub soft_overruns: u64,
 }
 
 impl OperatorMetrics {
@@ -67,13 +70,91 @@ impl OperatorMetrics {
     }
 }
 
+/// HDR-style end-to-end latency histogram: power-of-two exponent buckets
+/// each split into [`SUBBUCKETS`] linear sub-buckets, covering 1 ns up to
+/// 2⁶³ ns with a bounded (≈ 1/16) relative error per bucket. Recording is
+/// one atomic add; percentile queries walk the bucket array.
+#[derive(Debug)]
+pub(crate) struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+/// Linear sub-buckets per power-of-two range (16 → ~6% worst-case bucket
+/// width).
+const SUBBUCKETS: usize = 16;
+const SUB_BITS: u32 = 4; // log2(SUBBUCKETS)
+const HIST_BUCKETS: usize = (64 - SUB_BITS as usize) * SUBBUCKETS + SUBBUCKETS;
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    fn index_of(nanos: u64) -> usize {
+        let n = nanos.max(1);
+        if n < SUBBUCKETS as u64 {
+            return n as usize;
+        }
+        let exp = 63 - n.leading_zeros();
+        let sub = ((n >> (exp - SUB_BITS)) & (SUBBUCKETS as u64 - 1)) as usize;
+        (exp - SUB_BITS + 1) as usize * SUBBUCKETS + sub
+    }
+
+    /// Lower bound (nanoseconds) of the values mapping to bucket `idx` —
+    /// the value a percentile query reports.
+    fn value_of(idx: usize) -> u64 {
+        if idx < SUBBUCKETS {
+            return idx as u64;
+        }
+        let exp = (idx / SUBBUCKETS) as u32 + SUB_BITS - 1;
+        let sub = (idx % SUBBUCKETS) as u64;
+        (SUBBUCKETS as u64 + sub) << (exp - SUB_BITS)
+    }
+
+    fn record(&self, nanos: u64) {
+        self.buckets[Self::index_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// The value (nanoseconds) at quantile `q` (0..=1), or `None` while
+    /// empty. Reports the lower bound of the matching bucket, clipped to
+    /// the exact observed maximum for the tail.
+    fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let max = self.max_nanos.load(Ordering::Relaxed);
+                return Some(Self::value_of(idx).min(max));
+            }
+        }
+        Some(self.max_nanos.load(Ordering::Relaxed))
+    }
+}
+
 /// The shared registry. Cheap to clone behind an `Arc`; executors touch only
 /// atomics on the hot path.
 #[derive(Debug)]
 pub struct MetricsRegistry {
     operators: Vec<OperatorCounters>,
+    /// One entry per `(operator, machine)` slot.
+    slots: Vec<SlotCounters>,
+    machines: usize,
     external: AtomicU64,
     sojourn: Mutex<RunningStats>,
+    latency: LatencyHistogram,
     window_started: Mutex<Instant>,
     // Snapshot baselines (counters are cumulative; windows are deltas).
     baseline: Mutex<Baseline>,
@@ -84,25 +165,36 @@ struct Baseline {
     arrivals: Vec<u64>,
     completions: Vec<u64>,
     busy_nanos: Vec<u64>,
-    soft_overruns: Vec<u64>,
     external: u64,
 }
 
 impl MetricsRegistry {
-    /// Creates a registry for `n_operators` operators.
+    /// Creates a registry for `n_operators` operators on a single machine.
     pub fn new(n_operators: usize) -> Self {
+        Self::with_machines(n_operators, 1)
+    }
+
+    /// Creates a registry for `n_operators` operators partitioned over
+    /// `machines` scheduling domains — suspension and queue-depth counters
+    /// get one entry per `(operator, machine)` slot.
+    pub fn with_machines(n_operators: usize, machines: usize) -> Self {
+        let machines = machines.max(1);
         MetricsRegistry {
             operators: (0..n_operators)
                 .map(|_| OperatorCounters::default())
                 .collect(),
+            slots: (0..n_operators * machines)
+                .map(|_| SlotCounters::default())
+                .collect(),
+            machines,
             external: AtomicU64::new(0),
             sojourn: Mutex::new(RunningStats::new()),
+            latency: LatencyHistogram::new(),
             window_started: Mutex::new(Instant::now()),
             baseline: Mutex::new(Baseline {
                 arrivals: vec![0; n_operators],
                 completions: vec![0; n_operators],
                 busy_nanos: vec![0; n_operators],
-                soft_overruns: vec![0; n_operators],
                 external: 0,
             }),
         }
@@ -140,24 +232,51 @@ impl MetricsRegistry {
 
     pub(crate) fn record_sojourn(&self, secs: f64) {
         self.sojourn.lock().record(secs);
+        self.latency.record((secs * 1e9) as u64);
     }
 
-    /// Records `n` envelopes pushed past `op`'s soft channel bound (the
-    /// fan-out path exhausted its bounded backpressure wait).
-    pub(crate) fn record_soft_overruns(&self, op: usize, n: u64) {
-        self.operators[op]
-            .soft_overruns
-            .fetch_add(n, Ordering::Relaxed);
+    /// Records one executor-task suspension on the full input channel of
+    /// operator `op`'s slot on `machine`.
+    pub(crate) fn record_suspension(&self, op: usize, machine: usize) {
+        self.slots[op * self.machines + machine]
+            .suspensions
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cumulative soft-overrun counts per operator since the registry was
-    /// created (never reset by [`MetricsRegistry::take_snapshot`] — the
-    /// windowed delta lives in [`OperatorMetrics::soft_overruns`]).
-    pub fn soft_overruns(&self) -> Vec<u64> {
-        self.operators
-            .iter()
-            .map(|c| c.soft_overruns.load(Ordering::Relaxed))
+    /// Folds an observed queue depth of operator `op`'s input channel on
+    /// `machine` into the per-slot running maximum.
+    pub(crate) fn record_queue_depth(&self, op: usize, machine: usize, depth: u64) {
+        self.slots[op * self.machines + machine]
+            .peak_depth
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Cumulative suspension counts, indexed `[operator][machine]` — a
+    /// suspension is an executor task parking itself on a full downstream
+    /// channel (backpressure working as designed; sustained growth on one
+    /// slot flags a hot machine).
+    pub fn suspensions(&self) -> Vec<Vec<u64>> {
+        self.per_slot(|s| s.suspensions.load(Ordering::Relaxed))
+    }
+
+    /// Peak observed input-queue depths, indexed `[operator][machine]`.
+    /// Never exceeds the configured channel capacity — the bound is hard.
+    pub fn peak_queue_depths(&self) -> Vec<Vec<u64>> {
+        self.per_slot(|s| s.peak_depth.load(Ordering::Relaxed))
+    }
+
+    fn per_slot(&self, read: impl Fn(&SlotCounters) -> u64) -> Vec<Vec<u64>> {
+        self.slots
+            .chunks(self.machines)
+            .map(|row| row.iter().map(&read).collect())
             .collect()
+    }
+
+    /// The end-to-end (root emission → tree fully acked) latency at
+    /// quantile `q`, in seconds, over every tuple tree completed since the
+    /// registry was created. `None` until the first tree completes.
+    pub fn sojourn_quantile(&self, q: f64) -> Option<f64> {
+        self.latency.quantile(q).map(|nanos| nanos as f64 / 1e9)
     }
 
     /// Takes a windowed snapshot: rates cover the interval since the last
@@ -174,17 +293,14 @@ impl MetricsRegistry {
             let arrivals = c.arrivals.load(Ordering::Relaxed);
             let completions = c.completions.load(Ordering::Relaxed);
             let busy = c.busy_nanos.load(Ordering::Relaxed);
-            let soft_overruns = c.soft_overruns.load(Ordering::Relaxed);
             operators.push(OperatorMetrics {
                 arrivals: arrivals - baseline.arrivals[i],
                 completions: completions - baseline.completions[i],
                 busy_secs: (busy - baseline.busy_nanos[i]) as f64 / 1e9,
-                soft_overruns: soft_overruns - baseline.soft_overruns[i],
             });
             baseline.arrivals[i] = arrivals;
             baseline.completions[i] = completions;
             baseline.busy_nanos[i] = busy;
-            baseline.soft_overruns[i] = soft_overruns;
         }
         let external_total = self.external.load(Ordering::Relaxed);
         let external_arrivals = external_total - baseline.external;
@@ -215,26 +331,20 @@ mod tests {
         m.record_completion(0, 1_000_000); // 1 ms
         m.record_externals(1);
         m.record_sojourn(0.25);
-        m.record_soft_overruns(1, 3);
 
         let snap = m.take_snapshot();
         assert_eq!(snap.operators[0].arrivals, 2);
         assert_eq!(snap.operators[1].arrivals, 1);
         assert_eq!(snap.operators[0].completions, 1);
         assert!((snap.operators[0].busy_secs - 0.001).abs() < 1e-9);
-        assert_eq!(snap.operators[0].soft_overruns, 0);
-        assert_eq!(snap.operators[1].soft_overruns, 3);
         assert_eq!(snap.external_arrivals, 1);
         assert_eq!(snap.sojourn.count(), 1);
 
-        // The next window starts empty, but the cumulative overrun count
-        // survives snapshots.
+        // The next window starts empty.
         let snap2 = m.take_snapshot();
         assert_eq!(snap2.operators[0].arrivals, 0);
-        assert_eq!(snap2.operators[1].soft_overruns, 0);
         assert_eq!(snap2.external_arrivals, 0);
         assert_eq!(snap2.sojourn.count(), 0);
-        assert_eq!(m.soft_overruns(), vec![0, 3]);
     }
 
     #[test]
@@ -243,7 +353,6 @@ mod tests {
             arrivals: 100,
             completions: 80,
             busy_secs: 4.0,
-            soft_overruns: 0,
         };
         assert_eq!(om.arrival_rate(10.0), Some(10.0));
         assert_eq!(om.service_rate(), Some(20.0));
@@ -252,9 +361,54 @@ mod tests {
             arrivals: 0,
             completions: 0,
             busy_secs: 0.0,
-            soft_overruns: 0,
         };
         assert_eq!(idle.service_rate(), None);
+    }
+
+    #[test]
+    fn slot_counters_are_keyed_by_operator_and_machine() {
+        let m = MetricsRegistry::with_machines(2, 3);
+        m.record_suspension(1, 2);
+        m.record_suspension(1, 2);
+        m.record_suspension(0, 1);
+        m.record_queue_depth(1, 0, 7);
+        m.record_queue_depth(1, 0, 4); // lower sample must not regress the peak
+        assert_eq!(m.suspensions(), vec![vec![0, 1, 0], vec![0, 0, 2]]);
+        assert_eq!(m.peak_queue_depths(), vec![vec![0, 0, 0], vec![7, 0, 0]]);
+    }
+
+    #[test]
+    fn latency_histogram_brackets_quantiles() {
+        let m = MetricsRegistry::new(1);
+        assert_eq!(m.sojourn_quantile(0.5), None);
+        for _ in 0..98 {
+            m.record_sojourn(0.001); // 1 ms
+        }
+        m.record_sojourn(0.100); // two slow outliers
+        m.record_sojourn(0.100);
+        let p50 = m.sojourn_quantile(0.50).unwrap();
+        let p99 = m.sojourn_quantile(0.99).unwrap();
+        let p100 = m.sojourn_quantile(1.0).unwrap();
+        // Bucketed values are lower bounds with ≤ 1/16 relative error.
+        assert!((0.0009..=0.001).contains(&p50), "p50 = {p50}");
+        assert!((0.09..=0.1).contains(&p99), "p99 = {p99}");
+        assert!((0.09..=0.1).contains(&p100), "p100 = {p100}");
+        assert!(p50 < p99);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_are_monotone() {
+        use super::LatencyHistogram;
+        let mut last = 0;
+        for n in [1u64, 15, 16, 17, 255, 256, 1 << 20, (1 << 40) + 12345] {
+            let idx = LatencyHistogram::index_of(n);
+            assert!(idx >= last, "indices must be monotone in the value");
+            last = idx;
+            let lower = LatencyHistogram::value_of(idx);
+            assert!(lower <= n, "bucket lower bound must not exceed the value");
+            // Relative bucket error is bounded by one sub-bucket width.
+            assert!((n - lower) as f64 <= (n as f64 / 16.0).max(1.0));
+        }
     }
 
     #[test]

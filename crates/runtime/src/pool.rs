@@ -1,15 +1,14 @@
 //! The work-stealing worker pool running every logical executor.
 //!
-//! N OS threads ("workers", default: available parallelism floored at
-//! [`crate::engine::RuntimeBuilder::DEFAULT_MIN_WORKERS`]) each own a local
-//! task deque and steal from a shared injector and from each other. A
-//! *task* is simply a slot index: running it checks a pooled [`Bolt`]
-//! instance out of the slot's [`OpSlot`], pulls one batch of envelopes
-//! from the slot's input channel, executes them, and either continues
-//! (backlog remains) or retires (channel momentarily empty). The per-
-//! slot weight bounds how many such tasks may be in flight at
-//! once — that bound *is* the executor allocation, so `rebalance()` is a
-//! weight-table write, not a thread lifecycle operation.
+//! OS threads ("workers") each own a local task deque and steal from a
+//! shared injector and from each other. A *task* is either a slot drain
+//! ([`Task::Drain`]: check a pooled [`Bolt`] instance out of the slot's
+//! [`OpSlot`], pull one batch of envelopes from the slot's input channel,
+//! execute them) or the resumption of a suspended send
+//! ([`Task::Resume`]). The per-slot weight bounds how many drain tasks may
+//! be in flight at once — that bound *is* the executor allocation, so
+//! `rebalance()` is a weight-table write, not a thread lifecycle
+//! operation.
 //!
 //! # Scheduling protocol
 //!
@@ -29,15 +28,44 @@
 //! local deque for locality — idle workers steal them when the pool is
 //! unbalanced.
 //!
-//! # Blocking discipline
+//! # Backpressure discipline: task suspension
 //!
-//! Workers never park indefinitely inside user-visible operations: sends
-//! into full downstream channels wait at most [`BACKPRESSURE_WAIT`] before
-//! soft-overrunning the bounded channel. With one thread per executor a
-//! blocked producer always coexisted with live consumers; on a finite pool
-//! an unbounded park could occupy every worker and starve the very
-//! consumers that would free the space (classic pool deadlock). Spout
-//! threads are not workers and keep hard backpressure.
+//! Channel capacity is a **hard invariant** (`len ≤ cap`, always). Workers
+//! never park an OS thread on a full downstream channel, and they never
+//! enqueue past the capacity either. Instead, a task whose send comes back
+//! [`TrySendError::Full`] *suspends itself*: the undelivered envelopes
+//! (plus any not-yet-processed inbox leftovers) move into a [`Suspended`]
+//! record parked in the blocked channel's wait list, and the worker goes
+//! on to run other tasks. The consumer side wakes it — every batch pull
+//! that takes at least one envelope out of a channel pops one waiter and
+//! re-injects it as a [`Task::Resume`] on the suspended slot's machine.
+//! Parking is race-free: the would-be waiter retries its send *under the
+//! wait-list lock*, and the consumer acquires the same lock to pop, so a
+//! drain can never slip between the failed send and the park (the channel
+//! mutex orders the waiter-count publication before the drain that would
+//! miss it).
+//!
+//! A suspended drain task keeps its `scheduled` claim while its downstream
+//! sends are pending — bounding the suspended state per slot to `weight`
+//! tasks of at most one slice each. Once the sends are delivered, inbox
+//! leftovers are handed back to the slot's own channel; if *that* is full
+//! the task first releases its claim (so other executor tasks can drain
+//! the channel it is about to queue behind — holding it with `weight == 1`
+//! would be a self-deadlock) and parks as a plain claim-less requeue
+//! waiter. Cyclic topologies whose loops run at full channel capacity can
+//! still deadlock under any lossless bounded scheme — see
+//! `loop_topology_completes_via_bounded_recursion` for the recursion-depth
+//! contract that keeps loops below capacity. Spout threads are not workers
+//! and keep hard blocking backpressure ([`Sender::send_abortable`]).
+//!
+//! # Adaptive workers
+//!
+//! The worker count per machine floats between a configured minimum and
+//! maximum. A nudge that finds no parked worker spawns one (runnable tasks
+//! outnumber the live workers) until the cap; a worker that pulls nothing
+//! for [`IDLE_STRIKES`] consecutive park quanta deregisters its deque and
+//! exits (down to the minimum). `RuntimeBuilder::workers(n)` pins
+//! `min == max == n`, restoring a fixed-size pool.
 //!
 //! # Machine partitioning
 //!
@@ -50,10 +78,12 @@
 //! an executor never migrates across the simulated machine boundary.
 //! Producers route each tuple through the target operator's [`Route`]
 //! table (round-robin over the placed executors, the runtime twin of
-//! shuffle grouping); a tuple landing on a different machine than its
-//! producer is counted at the boundary ([`PoolShared::cross_tuples`]).
-//! With `machines == 1` every slot index degenerates to the operator id
-//! and the batched single-channel fast path is used unchanged.
+//! shuffle grouping), then send one *batched* channel push per
+//! `(operator, machine)` group; a tuple landing on a different machine
+//! than its producer is counted at the boundary
+//! ([`PoolShared::cross_tuples`]). With `machines == 1` every slot index
+//! degenerates to the operator id and the batched single-channel fast path
+//! is used unchanged.
 //!
 //! Losslessness across placement changes: a slot whose executors all moved
 //! away (weight 0) may still hold envelopes enqueued before the route
@@ -65,37 +95,85 @@
 use crate::executor::{DataPath, Envelope, OpSlot};
 use crate::operator::{Bolt, VecCollector};
 use crate::tuple::Tuple;
-use crossbeam::channel::{Receiver, SendError};
+use crossbeam::channel::{Receiver, SendError, TrySendError};
 use crossbeam::deque::{Injector, Stealer, Worker};
-use parking_lot::RwLock;
+use parking_lot::{Mutex as PlMutex, RwLock};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// A schedulable unit: the `(operator, machine)` slot whose channel the
-/// task drains (`slot = op * machines + m`).
-pub(crate) type Task = u32;
+/// A schedulable unit.
+pub(crate) enum Task {
+    /// Drain the `(operator, machine)` slot's input channel
+    /// (`slot = op * machines + m`).
+    Drain(u32),
+    /// Finish a suspended task's pending sends (and requeue its inbox).
+    Resume(Box<Suspended>),
+}
+
+/// The parked state of a task that hit a full downstream channel: the
+/// undelivered sends plus the unprocessed remainder of its input slice.
+/// Lives in the blocked channel's wait list until the consumer's drain
+/// re-injects it as [`Task::Resume`].
+pub(crate) struct Suspended {
+    /// The slot the task was draining (also the machine it resumes on).
+    slot: usize,
+    /// Whether this record still holds one `scheduled` claim on `slot`.
+    holds_claim: bool,
+    /// Undelivered `(target slot, envelope)` sends, in order. Their ack
+    /// pending counts are already added.
+    outgoing: VecDeque<(u32, Envelope)>,
+    /// Input envelopes pulled but not yet executed.
+    inbox: Vec<Envelope>,
+}
+
+/// One machine's registry of live workers' stealers, keyed by worker id.
+type StealerRegistry = RwLock<Vec<(u64, Stealer<Task>)>>;
+
+/// One channel's wait list of suspended senders. `count` mirrors the list
+/// length but is published *before* the waiter's final full-check under
+/// the list lock, so a consumer that drained after that check always
+/// observes it (see the module docs).
+struct WaitList {
+    list: PlMutex<VecDeque<Box<Suspended>>>,
+    count: AtomicUsize,
+}
 
 /// Maximum envelopes one task pulls per slice (single channel-lock
 /// acquisition); also the granularity at which weight changes are observed.
 pub(crate) const RECV_BATCH: usize = 128;
 
-/// Longest a worker blocks on a full downstream channel before
-/// soft-overrunning it (see the module docs on the blocking discipline).
-const BACKPRESSURE_WAIT: Duration = Duration::from_millis(1);
-
 /// Idle-worker park quantum: parked workers also wake on every nudge, so
 /// this only bounds the latency of rare lost wakeups.
 const PARK_TIMEOUT: Duration = Duration::from_millis(5);
 
+/// Consecutive empty park quanta after which a worker above the per-machine
+/// minimum retires (~40 ms of observed idleness).
+const IDLE_STRIKES: u32 = 8;
+
 /// Per-worker scratch buffers, reused across slices so the steady state
-/// allocates nothing: the emission collector, the `Arc`'d outbox and the
-/// batched inbox all keep their capacity.
+/// allocates nothing: the emission collector, the `Arc`'d outbox, the
+/// batched inbox and the per-machine routing buckets all keep their
+/// capacity.
 struct WorkerScratch {
     collector: VecCollector,
     arc_buf: Vec<Arc<Tuple>>,
     inbox: Vec<Envelope>,
+    /// Routed-path grouping: indices into `arc_buf` per target machine.
+    route_buckets: Vec<Vec<u32>>,
+}
+
+impl WorkerScratch {
+    fn new(machines: usize) -> Self {
+        WorkerScratch {
+            collector: VecCollector::new(),
+            arc_buf: Vec::new(),
+            inbox: Vec::new(),
+            route_buckets: (0..machines).map(|_| Vec::new()).collect(),
+        }
+    }
 }
 
 /// Per-operator routing table over the machine partition: one entry per
@@ -159,8 +237,20 @@ pub(crate) struct PoolShared {
     /// subset that landed on a different machine than their producer.
     pub(crate) routed_tuples: AtomicU64,
     pub(crate) cross_tuples: AtomicU64,
+    /// Per-slot wait lists of suspended senders, same indexing as `slots`.
+    waiters: Vec<WaitList>,
     injectors: Vec<Injector<Task>>,
-    stealers: Vec<Vec<Stealer<Task>>>,
+    /// Per-machine dynamic stealer registry: `(worker id, stealer)`.
+    stealers: Vec<StealerRegistry>,
+    /// Per-machine live worker counts.
+    live: Vec<AtomicUsize>,
+    /// Worker-count band per machine (`min == max` pins a fixed pool).
+    min_workers: usize,
+    max_workers: usize,
+    next_worker: AtomicU64,
+    handles: PlMutex<Vec<JoinHandle<()>>>,
+    /// Back-reference for spawning workers from `&self` (nudge paths).
+    me: Weak<PoolShared>,
     idle: Vec<IdleGroup>,
     shutdown: AtomicBool,
 }
@@ -171,7 +261,11 @@ impl std::fmt::Debug for PoolShared {
             .field("machines", &self.machines)
             .field(
                 "workers",
-                &self.stealers.iter().map(Vec::len).sum::<usize>(),
+                &self
+                    .live
+                    .iter()
+                    .map(|l| l.load(Ordering::Relaxed))
+                    .sum::<usize>(),
             )
             .field("slots", &self.slots)
             .finish_non_exhaustive()
@@ -217,12 +311,153 @@ impl PoolShared {
                 .is_ok()
             {
                 match local {
-                    Some(deque) => deque.push(slot as Task),
-                    None => self.injectors[self.machine_of(slot)].push(slot as Task),
+                    Some(deque) => deque.push(Task::Drain(slot as u32)),
+                    None => self.injectors[self.machine_of(slot)].push(Task::Drain(slot as u32)),
                 }
                 self.wake_one(self.machine_of(slot));
                 return;
             }
+        }
+    }
+
+    /// Pulls a batch from `slot`'s channel, waking one suspended sender
+    /// when space was freed and folding the observed depth into the
+    /// per-slot peak. All steady-state channel drains go through here so
+    /// no wait-listed task can miss its wakeup.
+    fn pull_batch(&self, slot: usize, buf: &mut Vec<Envelope>, max: usize) -> (usize, usize) {
+        let (pulled, remaining) = self.receivers[slot]
+            .try_recv_batch(buf, max)
+            .unwrap_or((0, 0));
+        if pulled > 0 {
+            self.path.metrics.record_queue_depth(
+                self.op_of(slot),
+                self.machine_of(slot),
+                (pulled + remaining) as u64,
+            );
+            self.wake_waiter(slot);
+        }
+        (pulled, remaining)
+    }
+
+    /// Pops one suspended sender off `slot`'s wait list (if any) and
+    /// re-injects it on its own machine. Called after every pull that
+    /// freed channel space.
+    fn wake_waiter(&self, slot: usize) {
+        let wait = &self.waiters[slot];
+        if wait.count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let sus = { wait.list.lock().pop_front() };
+        if let Some(sus) = sus {
+            wait.count.fetch_sub(1, Ordering::AcqRel);
+            let machine = self.machine_of(sus.slot);
+            self.injectors[machine].push(Task::Resume(sus));
+            self.wake_one(machine);
+        }
+    }
+
+    /// Atomically parks `sus` on `target`'s wait list — unless space (or a
+    /// disconnect) appeared meanwhile, in which case the front send is
+    /// completed under the lock and the task is handed back (`Some`).
+    /// Returns `None` when parked.
+    fn park_on(&self, target: usize, mut sus: Box<Suspended>) -> Option<Box<Suspended>> {
+        let wait = &self.waiters[target];
+        let mut list = wait.list.lock();
+        // Publish the waiter count *before* the final full-check: the
+        // channel mutex inside try_send orders this store before any
+        // subsequent drain, so the consumer cannot miss us (see module
+        // docs).
+        wait.count.fetch_add(1, Ordering::AcqRel);
+        let (t, env) = sus
+            .outgoing
+            .pop_front()
+            .expect("parking task has a pending send");
+        debug_assert_eq!(t as usize, target);
+        match self.path.senders[target].try_send(env) {
+            Ok(()) => {
+                wait.count.fetch_sub(1, Ordering::AcqRel);
+                drop(list);
+                self.nudge(target, None);
+                Some(sus)
+            }
+            Err(TrySendError::Disconnected(env)) => {
+                wait.count.fetch_sub(1, Ordering::AcqRel);
+                drop(list);
+                self.path
+                    .acks
+                    .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+                Some(sus)
+            }
+            Err(TrySendError::Full(env)) => {
+                sus.outgoing.push_front((t, env));
+                list.push_back(sus);
+                drop(list);
+                let (op, m) = (self.op_of(target), self.machine_of(target));
+                self.path.metrics.record_suspension(op, m);
+                self.path
+                    .metrics
+                    .record_queue_depth(op, m, self.path.channel_capacity as u64);
+                None
+            }
+        }
+    }
+
+    /// Drives a suspended task to completion: delivers its outgoing sends
+    /// (re-parking on whichever channel is full), then hands its inbox
+    /// leftovers back to the slot's own channel — releasing the task's
+    /// `scheduled` claim first, so the drain tasks that must free that
+    /// channel can spawn — and finally retires the claim if still held.
+    fn advance(&self, mut sus: Box<Suspended>, machine: usize, local: Option<&Worker<Task>>) {
+        loop {
+            while let Some((target, env)) = sus.outgoing.pop_front() {
+                let t = target as usize;
+                match self.path.senders[t].try_send(env) {
+                    Ok(()) => {
+                        let same = self.machine_of(t) == machine;
+                        self.nudge(t, local.filter(|_| same));
+                    }
+                    Err(TrySendError::Disconnected(env)) => {
+                        self.path.acks.cancel(
+                            &env.ack,
+                            1,
+                            &self.path.metrics,
+                            &self.path.open_trees,
+                        );
+                    }
+                    Err(TrySendError::Full(env)) => {
+                        sus.outgoing.push_front((target, env));
+                        match self.park_on(t, sus) {
+                            None => return,
+                            Some(retry) => sus = retry,
+                        }
+                    }
+                }
+            }
+            if sus.inbox.is_empty() {
+                if sus.holds_claim {
+                    self.retire(sus.slot, local);
+                }
+                return;
+            }
+            // Inbox leftovers go back to the slot's own channel. Release
+            // the claim before queuing behind it: with `weight == 1` a
+            // claim-holding waiter would be the only task allowed to drain
+            // the very channel it waits on.
+            if sus.holds_claim {
+                sus.holds_claim = false;
+                self.retire(sus.slot, local);
+            }
+            let slot = sus.slot as u32;
+            sus.outgoing = sus.inbox.drain(..).map(|env| (slot, env)).collect();
+        }
+    }
+
+    /// Decrements `slot`'s scheduled count and re-nudges if a producer
+    /// raced the retirement (the lost-wakeup guard).
+    fn retire(&self, slot: usize, local: Option<&Worker<Task>>) {
+        self.slots[slot].scheduled.fetch_sub(1, Ordering::AcqRel);
+        if !self.receivers[slot].is_empty() {
+            self.nudge(slot, local);
         }
     }
 
@@ -232,13 +467,13 @@ impl PoolShared {
     fn forward_orphans(&self, slot: usize) {
         let op = self.op_of(slot);
         let mut buf = Vec::new();
-        while let Ok((pulled, _remaining)) =
-            self.receivers[slot].try_recv_batch(&mut buf, RECV_BATCH)
-        {
+        loop {
+            let (pulled, _remaining) = self.pull_batch(slot, &mut buf, RECV_BATCH);
             if pulled == 0 {
-                break;
+                return;
             }
             let mut stale = false;
+            let mut blocked: Option<Box<Suspended>> = None;
             for env in buf.drain(..) {
                 let target = if stale {
                     slot
@@ -255,13 +490,19 @@ impl PoolShared {
                         t
                     }
                 };
-                match self.path.senders[target].send_bounded(env, &self.shutdown, Duration::ZERO) {
-                    Ok(_) => {
+                if let Some(sus) = blocked.as_mut() {
+                    // Already blocked once: queue the rest behind the same
+                    // suspended record rather than scrambling the order.
+                    sus.outgoing.push_back((target as u32, env));
+                    continue;
+                }
+                match self.path.senders[target].try_send(env) {
+                    Ok(()) => {
                         if target != slot {
                             self.nudge(target, None);
                         }
                     }
-                    Err(SendError(env)) => {
+                    Err(TrySendError::Disconnected(env)) => {
                         self.path.acks.cancel(
                             &env.ack,
                             1,
@@ -269,7 +510,19 @@ impl PoolShared {
                             &self.path.open_trees,
                         );
                     }
+                    Err(TrySendError::Full(env)) => {
+                        blocked = Some(Box::new(Suspended {
+                            slot,
+                            holds_claim: false,
+                            outgoing: VecDeque::from([(target as u32, env)]),
+                            inbox: Vec::new(),
+                        }));
+                    }
                 }
+            }
+            if let Some(sus) = blocked {
+                self.advance(sus, self.machine_of(slot), None);
+                return;
             }
             if stale {
                 return;
@@ -282,7 +535,44 @@ impl PoolShared {
         if idle.waiting.load(Ordering::Acquire) > 0 {
             let _guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
             idle.cv.notify_one();
+            return;
         }
+        // No worker is parked: every live one is busy, so runnable tasks
+        // outnumber them — grow the pool (up to the cap).
+        if self.live[machine].load(Ordering::Acquire) < self.max_workers {
+            self.spawn_worker(machine);
+        }
+    }
+
+    /// Spawns one worker thread on `machine`, registering its deque's
+    /// stealer; no-op at the cap or during shutdown.
+    fn spawn_worker(&self, machine: usize) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(shared) = self.me.upgrade() else {
+            return;
+        };
+        loop {
+            let n = self.live[machine].load(Ordering::Acquire);
+            if n >= self.max_workers {
+                return;
+            }
+            if self.live[machine]
+                .compare_exchange(n, n + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        let id = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let local = Worker::new_lifo();
+        self.stealers[machine].write().push((id, local.stealer()));
+        let handle = std::thread::Builder::new()
+            .name(format!("drs-worker-{machine}-{id}"))
+            .spawn(move || worker_loop(shared, local, machine, id))
+            .expect("spawn pool worker");
+        self.handles.lock().push(handle);
     }
 
     fn park(&self, machine: usize) {
@@ -298,15 +588,23 @@ impl PoolShared {
         idle.waiting.fetch_sub(1, Ordering::AcqRel);
     }
 
-    /// Executes one task: retire if the weight shrank, otherwise run one
-    /// batch slice and decide between continuation and retirement.
+    /// Executes one task. Drain tasks retire if the weight shrank,
+    /// otherwise run one batch slice and decide between continuation,
+    /// suspension and retirement; resume tasks continue a suspended send.
     fn run_task(
         &self,
-        slot: usize,
+        task: Task,
         machine: usize,
         local: &Worker<Task>,
         scratch: &mut WorkerScratch,
     ) {
+        let slot = match task {
+            Task::Resume(sus) => {
+                self.advance(sus, machine, Some(local));
+                return;
+            }
+            Task::Drain(slot) => slot as usize,
+        };
         let state = &self.slots[slot];
         // Shrink quiesce: excess tasks retire before touching any envelope.
         loop {
@@ -332,15 +630,10 @@ impl PoolShared {
         let Some(mut bolt) = state.checkout() else {
             // A concurrent shrink drained the instance pool under us:
             // retire, but do not forget pending envelopes.
-            state.scheduled.fetch_sub(1, Ordering::AcqRel);
-            if !self.receivers[slot].is_empty() {
-                self.nudge(slot, Some(local));
-            }
+            self.retire(slot, Some(local));
             return;
         };
-        let (pulled, remaining) = self.receivers[slot]
-            .try_recv_batch(&mut scratch.inbox, RECV_BATCH)
-            .unwrap_or((0, 0));
+        let (pulled, remaining) = self.pull_batch(slot, &mut scratch.inbox, RECV_BATCH);
         if remaining > 0 {
             // Backlog beyond this slice: cascade another executor task (up
             // to the weight) before spending time processing. `remaining`
@@ -348,35 +641,45 @@ impl PoolShared {
             // extra channel-lock acquisition for this decision.
             self.nudge(slot, Some(local));
         }
-        let interrupted = self.run_slice(slot, machine, bolt.as_mut(), scratch, local);
+        let end = self.run_slice(slot, machine, bolt.as_mut(), scratch, local);
         state.checkin(bolt);
-        if !interrupted
-            && pulled > 0
-            && remaining > 0
-            && state.scheduled.load(Ordering::Acquire) <= state.weight.load(Ordering::Acquire)
-        {
-            // Continue through the injector for cross-operator fairness
-            // (see the module docs); `scheduled` stays claimed. `remaining`
-            // is a pre-slice snapshot: if the backlog was drained by
-            // siblings meanwhile, the continuation task simply finds an
-            // empty channel and retires.
-            self.injectors[machine].push(slot as Task);
-            return;
-        }
-        state.scheduled.fetch_sub(1, Ordering::AcqRel);
-        if !self.receivers[slot].is_empty() {
-            // Lost-wakeup guard: a producer may have enqueued between our
-            // empty observation and the decrement above.
-            self.nudge(slot, Some(local));
+        match end {
+            SliceEnd::Suspended(sus) => {
+                // The slice blocked on a full downstream channel, or a
+                // shrink interrupted it with leftovers to requeue. The
+                // suspended record keeps the `scheduled` claim; `advance`
+                // either parks it or completes it (releasing the claim).
+                self.advance(sus, machine, Some(local));
+            }
+            SliceEnd::Ran { interrupted: false }
+                if pulled > 0
+                    && remaining > 0
+                    && state.scheduled.load(Ordering::Acquire)
+                        <= state.weight.load(Ordering::Acquire) =>
+            {
+                // Continue through the injector for cross-operator fairness
+                // (see the module docs); `scheduled` stays claimed.
+                // `remaining` is a pre-slice snapshot: if the backlog was
+                // drained by siblings meanwhile, the continuation task
+                // simply finds an empty channel and retires.
+                self.injectors[machine].push(Task::Drain(slot as u32));
+            }
+            SliceEnd::Ran { .. } => {
+                self.retire(slot, Some(local));
+            }
         }
     }
 
     /// Runs the envelopes pulled into the inbox; re-checks shutdown and the
     /// slot weight between envelopes, so a rebalance shrink is observed
-    /// within one service time rather than one slice. Unprocessed leftovers
-    /// go back to the slot's channel (zero-wait overrun: the requeue
-    /// must never park) for the next executor task. Returns whether the
-    /// slice was interrupted.
+    /// within one service time rather than one slice. On a full downstream
+    /// channel the slice suspends (leftovers travel with the suspended
+    /// record); on a shrink interrupt unprocessed leftovers suspend the
+    /// same way with no pending sends — `advance` releases the task's
+    /// claim first and requeues them to the slot's own hard-bounded
+    /// channel (parking claim-free in its wait list when full), so the
+    /// quiesce pause stays one service time even when the channel is
+    /// saturated.
     fn run_slice(
         &self,
         slot: usize,
@@ -384,45 +687,69 @@ impl PoolShared {
         bolt: &mut dyn Bolt,
         scratch: &mut WorkerScratch,
         local: &Worker<Task>,
-    ) -> bool {
+    ) -> SliceEnd {
         let state = &self.slots[slot];
-        let mut interrupted = false;
         let mut drained = scratch.inbox.drain(..);
-        for env in &mut drained {
-            self.execute_one(
+        let mut interrupted = false;
+        while let Some(env) = drained.next() {
+            if let Some(outgoing) = self.execute_one(
                 slot,
                 machine,
                 env,
                 bolt,
                 &mut scratch.collector,
                 &mut scratch.arc_buf,
+                &mut scratch.route_buckets,
                 local,
-            );
-            if self.shutdown.load(Ordering::Acquire)
-                || state.scheduled.load(Ordering::Acquire) > state.weight.load(Ordering::Acquire)
-            {
+            ) {
+                return SliceEnd::Suspended(Box::new(Suspended {
+                    slot,
+                    holds_claim: true,
+                    outgoing,
+                    inbox: drained.collect(),
+                }));
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                // Teardown: reconcile every unprocessed leftover so the
+                // tuple-tree ledger still balances.
+                for env in drained.by_ref() {
+                    self.path
+                        .acks
+                        .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+                }
+                return SliceEnd::Ran { interrupted: true };
+            }
+            if state.scheduled.load(Ordering::Acquire) > state.weight.load(Ordering::Acquire) {
                 interrupted = true;
                 break;
             }
         }
-        for env in drained {
-            if let Err(SendError(env)) =
-                self.path.senders[slot].send_bounded(env, &self.shutdown, Duration::ZERO)
-            {
-                // Receivers gone (engine tearing down): reconcile so the
-                // tree still completes.
-                self.path
-                    .acks
-                    .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+        if interrupted {
+            // Shrink quiesce: the excess claim must release now, not after
+            // a slice of in-place processing. A claim-free requeue through
+            // `advance` does it — leftovers flow back into the slot's own
+            // channel as it drains.
+            let inbox: Vec<Envelope> = drained.collect();
+            if !inbox.is_empty() {
+                return SliceEnd::Suspended(Box::new(Suspended {
+                    slot,
+                    holds_claim: true,
+                    outgoing: VecDeque::new(),
+                    inbox,
+                }));
             }
         }
-        interrupted
+        SliceEnd::Ran { interrupted }
     }
 
     /// Processes one envelope: run the bolt, fan the emissions out (one
-    /// `Arc` per emitted tuple; on a single machine one batched bounded
-    /// send per downstream channel, on a partitioned pool one routed send
-    /// per tuple), nudge the consumers, settle the ack.
+    /// `Arc` per emitted tuple; one batched hard-bounded send per
+    /// downstream channel — per `(operator, machine)` group on a
+    /// partitioned pool), nudge the consumers, settle the ack. Returns the
+    /// undelivered sends when a downstream channel was full — the caller
+    /// suspends with them. Ack accounting: the *full* fan-out is added to
+    /// the tree before any send, and only envelopes that will provably
+    /// never be delivered (receivers gone) are cancelled.
     #[allow(clippy::too_many_arguments)]
     fn execute_one(
         &self,
@@ -432,8 +759,9 @@ impl PoolShared {
         bolt: &mut dyn Bolt,
         collector: &mut VecCollector,
         arc_buf: &mut Vec<Arc<Tuple>>,
+        route_buckets: &mut [Vec<u32>],
         local: &Worker<Task>,
-    ) {
+    ) -> Option<VecDeque<(u32, Envelope)>> {
         let path = &self.path;
         let op = self.op_of(slot);
         let started = Instant::now();
@@ -441,6 +769,7 @@ impl PoolShared {
         let busy = started.elapsed();
         path.metrics.record_completion(op, busy.as_nanos() as u64);
         let targets = path.csr.targets_of(op);
+        let mut blocked: Option<VecDeque<(u32, Envelope)>> = None;
         if !collector.is_empty() && !targets.is_empty() {
             arc_buf.extend(collector.drain_tuples().map(Arc::new));
             path.acks
@@ -449,60 +778,92 @@ impl PoolShared {
                 let t = t as usize;
                 path.metrics.record_arrivals(t, arc_buf.len() as u64);
                 if self.machines == 1 {
-                    let batch = arc_buf.iter().map(|tuple| Envelope {
+                    let mut batch = arc_buf.iter().map(|tuple| Envelope {
                         tuple: Arc::clone(tuple),
                         ack: env.ack.clone(),
                     });
-                    match path.senders[t].send_batch_bounded(
-                        batch,
-                        &self.shutdown,
-                        BACKPRESSURE_WAIT,
-                    ) {
-                        Ok(overrun) => {
-                            if overrun > 0 {
-                                path.metrics.record_soft_overruns(t, overrun as u64);
+                    match path.senders[t].try_send_batch(&mut batch) {
+                        Ok(pushed) => {
+                            if pushed > 0 {
+                                self.nudge(t, Some(local));
+                            }
+                            if pushed < arc_buf.len() {
+                                let rest = blocked.get_or_insert_with(VecDeque::new);
+                                for tuple in &arc_buf[pushed..] {
+                                    rest.push_back((
+                                        t as u32,
+                                        Envelope {
+                                            tuple: Arc::clone(tuple),
+                                            ack: env.ack.clone(),
+                                        },
+                                    ));
+                                }
                             }
                         }
-                        Err(SendError(unsent)) => {
+                        Err(SendError(_)) => {
+                            // Receivers gone (engine tearing down); nothing
+                            // was consumed from the lazy batch.
                             path.acks.cancel(
                                 &env.ack,
-                                unsent as u64,
+                                arc_buf.len() as u64,
                                 &path.metrics,
                                 &path.open_trees,
                             );
                         }
                     }
-                    self.nudge(t, Some(local));
                 } else {
-                    for tuple in arc_buf.iter() {
-                        let m = self.routes[t].next();
-                        let target = t * self.machines + m;
-                        self.routed_tuples.fetch_add(1, Ordering::Relaxed);
+                    // Walk the route per tuple (preserving the round-robin
+                    // proportions), but send one batched push per target
+                    // machine instead of one channel lock per tuple.
+                    for (i, _) in arc_buf.iter().enumerate() {
+                        route_buckets[self.routes[t].next()].push(i as u32);
+                    }
+                    self.routed_tuples
+                        .fetch_add(arc_buf.len() as u64, Ordering::Relaxed);
+                    for (m, bucket) in route_buckets.iter_mut().enumerate() {
+                        if bucket.is_empty() {
+                            continue;
+                        }
                         if m != machine {
-                            self.cross_tuples.fetch_add(1, Ordering::Relaxed);
+                            self.cross_tuples
+                                .fetch_add(bucket.len() as u64, Ordering::Relaxed);
                         }
-                        let out = Envelope {
-                            tuple: Arc::clone(tuple),
+                        let target = t * self.machines + m;
+                        let mut batch = bucket.iter().map(|&i| Envelope {
+                            tuple: Arc::clone(&arc_buf[i as usize]),
                             ack: env.ack.clone(),
-                        };
-                        match path.senders[target].send_bounded(
-                            out,
-                            &self.shutdown,
-                            BACKPRESSURE_WAIT,
-                        ) {
-                            Ok(overrun) => {
-                                if overrun > 0 {
-                                    path.metrics.record_soft_overruns(t, overrun as u64);
+                        });
+                        match path.senders[target].try_send_batch(&mut batch) {
+                            Ok(pushed) => {
+                                if pushed > 0 {
+                                    // Local deques are machine-pinned: only
+                                    // pass ours when the tuples stayed on
+                                    // this machine.
+                                    self.nudge(target, (m == machine).then_some(local));
                                 }
-                                // Local deques are machine-pinned: only pass
-                                // ours when the tuple stayed on this machine.
-                                self.nudge(target, (m == machine).then_some(local));
+                                if pushed < bucket.len() {
+                                    let rest = blocked.get_or_insert_with(VecDeque::new);
+                                    for &i in &bucket[pushed..] {
+                                        rest.push_back((
+                                            target as u32,
+                                            Envelope {
+                                                tuple: Arc::clone(&arc_buf[i as usize]),
+                                                ack: env.ack.clone(),
+                                            },
+                                        ));
+                                    }
+                                }
                             }
-                            Err(SendError(out)) => {
-                                path.acks
-                                    .cancel(&out.ack, 1, &path.metrics, &path.open_trees);
+                            Err(SendError(_)) => {
+                                path.acks.cancel(
+                                    &env.ack,
+                                    bucket.len() as u64,
+                                    &path.metrics,
+                                    &path.open_trees,
+                                );
                             }
                         }
+                        bucket.clear();
                     }
                 }
             }
@@ -511,17 +872,50 @@ impl PoolShared {
             collector.drain_tuples();
         }
         path.acks.done(env.ack, &path.metrics, &path.open_trees);
+        blocked
+    }
+
+    /// Reconciles the envelopes of a task that will never run (teardown).
+    fn cancel_task(&self, task: Task) {
+        let Task::Resume(sus) = task else { return };
+        self.cancel_suspended(*sus);
+    }
+
+    fn cancel_suspended(&self, sus: Suspended) {
+        if sus.holds_claim {
+            self.slots[sus.slot]
+                .scheduled
+                .fetch_sub(1, Ordering::AcqRel);
+        }
+        for (_t, env) in sus.outgoing {
+            self.path
+                .acks
+                .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+        }
+        for env in sus.inbox {
+            self.path
+                .acks
+                .cancel(&env.ack, 1, &self.path.metrics, &self.path.open_trees);
+        }
     }
 }
 
-fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, machine: usize, index: usize) {
-    let mut scratch = WorkerScratch {
-        collector: VecCollector::new(),
-        arc_buf: Vec::new(),
-        inbox: Vec::new(),
-    };
+/// The result of one batch slice.
+enum SliceEnd {
+    Ran { interrupted: bool },
+    Suspended(Box<Suspended>),
+}
+
+fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, machine: usize, id: u64) {
+    let mut scratch = WorkerScratch::new(shared.machines);
+    let mut strikes = 0u32;
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
+            // Reconcile queued resume tasks so the tuple-tree ledger
+            // balances (the deque dies with this thread).
+            while let Some(task) = local.pop() {
+                shared.cancel_task(task);
+            }
             break;
         }
         let task = local
@@ -530,13 +924,55 @@ fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, machine: usize, ind
             .or_else(|| {
                 // Steal only from this machine's siblings: executors are
                 // pinned to their machine's worker group.
-                let peers = &shared.stealers[machine];
-                let n = peers.len();
-                (1..n).find_map(|i| peers[(index + i) % n].steal().success())
+                let peers = shared.stealers[machine].read();
+                peers
+                    .iter()
+                    .filter(|(pid, _)| *pid != id)
+                    .find_map(|(_, s)| s.steal().success())
             });
         match task {
-            Some(slot) => shared.run_task(slot as usize, machine, &local, &mut scratch),
-            None => shared.park(machine),
+            Some(task) => {
+                strikes = 0;
+                shared.run_task(task, machine, &local, &mut scratch);
+            }
+            None => {
+                shared.park(machine);
+                strikes += 1;
+                if strikes < IDLE_STRIKES {
+                    continue;
+                }
+                // Persistently idle: retire down to the per-machine
+                // minimum.
+                let mut retired = false;
+                loop {
+                    let n = shared.live[machine].load(Ordering::Acquire);
+                    if n <= shared.min_workers {
+                        break;
+                    }
+                    if shared.live[machine]
+                        .compare_exchange(n, n - 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        retired = true;
+                        break;
+                    }
+                }
+                if !retired {
+                    strikes = 0;
+                    continue;
+                }
+                shared.stealers[machine]
+                    .write()
+                    .retain(|(pid, _)| *pid != id);
+                if shared.injectors[machine].is_empty() {
+                    return; // our deque is empty (we only exit starved)
+                }
+                // A task raced our retirement: hand the slot back and keep
+                // working.
+                shared.live[machine].fetch_add(1, Ordering::AcqRel);
+                shared.stealers[machine].write().push((id, local.stealer()));
+                strikes = 0;
+            }
         }
     }
 }
@@ -545,30 +981,26 @@ fn worker_loop(shared: Arc<PoolShared>, local: Worker<Task>, machine: usize, ind
 #[derive(Debug)]
 pub(crate) struct WorkerPool {
     shared: Arc<PoolShared>,
-    handles: Vec<JoinHandle<()>>,
 }
 
 impl WorkerPool {
-    /// Builds the shared state and launches `workers_per_machine` worker
-    /// threads for each of `machines` scheduling domains.
+    /// Builds the shared state and launches `min_workers` worker threads
+    /// for each of `machines` scheduling domains; nudges grow each domain
+    /// up to `max_workers` on demand (`min == max` pins a fixed pool).
     pub(crate) fn start(
         slots: Vec<OpSlot>,
         receivers: Vec<Receiver<Envelope>>,
         routes: Vec<Route>,
         path: DataPath,
         machines: usize,
-        workers_per_machine: usize,
+        min_workers: usize,
+        max_workers: usize,
     ) -> Self {
         assert!(machines > 0, "a pool needs at least one machine");
-        assert!(workers_per_machine > 0, "a pool needs at least one worker");
-        let locals: Vec<Vec<Worker<Task>>> = (0..machines)
-            .map(|_| {
-                (0..workers_per_machine)
-                    .map(|_| Worker::new_lifo())
-                    .collect()
-            })
-            .collect();
-        let shared = Arc::new(PoolShared {
+        assert!(min_workers > 0, "a pool needs at least one worker");
+        assert!(max_workers >= min_workers, "worker band must be ordered");
+        let n_slots = slots.len();
+        let shared = Arc::new_cyclic(|me| PoolShared {
             slots,
             receivers,
             path,
@@ -576,11 +1008,20 @@ impl WorkerPool {
             routes,
             routed_tuples: AtomicU64::new(0),
             cross_tuples: AtomicU64::new(0),
-            injectors: (0..machines).map(|_| Injector::new()).collect(),
-            stealers: locals
-                .iter()
-                .map(|group| group.iter().map(Worker::stealer).collect())
+            waiters: (0..n_slots)
+                .map(|_| WaitList {
+                    list: PlMutex::new(VecDeque::new()),
+                    count: AtomicUsize::new(0),
+                })
                 .collect(),
+            injectors: (0..machines).map(|_| Injector::new()).collect(),
+            stealers: (0..machines).map(|_| RwLock::new(Vec::new())).collect(),
+            live: (0..machines).map(|_| AtomicUsize::new(0)).collect(),
+            min_workers,
+            max_workers,
+            next_worker: AtomicU64::new(0),
+            handles: PlMutex::new(Vec::new()),
+            me: me.clone(),
             idle: (0..machines)
                 .map(|_| IdleGroup {
                     lock: Mutex::new(()),
@@ -590,19 +1031,12 @@ impl WorkerPool {
                 .collect(),
             shutdown: AtomicBool::new(false),
         });
-        let mut handles = Vec::with_capacity(machines * workers_per_machine);
-        for (machine, group) in locals.into_iter().enumerate() {
-            for (index, local) in group.into_iter().enumerate() {
-                let shared = Arc::clone(&shared);
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("drs-worker-{machine}-{index}"))
-                        .spawn(move || worker_loop(shared, local, machine, index))
-                        .expect("spawn pool worker"),
-                );
+        for machine in 0..machines {
+            for _ in 0..min_workers {
+                shared.spawn_worker(machine);
             }
         }
-        WorkerPool { shared, handles }
+        WorkerPool { shared }
     }
 
     /// The shared pool state (for nudging and weight control).
@@ -610,20 +1044,61 @@ impl WorkerPool {
         &self.shared
     }
 
-    /// Total number of worker threads across all machines.
+    /// Current number of live worker threads across all machines.
     pub(crate) fn workers(&self) -> usize {
-        self.shared.stealers.iter().map(Vec::len).sum()
+        self.shared
+            .live
+            .iter()
+            .map(|l| l.load(Ordering::Acquire))
+            .sum()
     }
 
-    /// Stops and joins every worker. Idempotent.
+    /// Stops and joins every worker, then reconciles every envelope still
+    /// held in a wait list, an injector or an input channel, so the
+    /// tuple-tree ledger balances exactly even on a shutdown mid-batch.
+    /// Idempotent.
     pub(crate) fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
-        for idle in &self.shared.idle {
-            let _guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
-            idle.cv.notify_all();
+        loop {
+            for idle in &self.shared.idle {
+                let _guard = idle.lock.lock().unwrap_or_else(PoisonError::into_inner);
+                idle.cv.notify_all();
+            }
+            let handles: Vec<_> = self.shared.handles.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
+        for wait in &self.shared.waiters {
+            let drained: Vec<_> = { wait.list.lock().drain(..).collect() };
+            for sus in drained {
+                wait.count.fetch_sub(1, Ordering::AcqRel);
+                self.shared.cancel_suspended(*sus);
+            }
+        }
+        for injector in &self.shared.injectors {
+            while let Some(task) = injector.steal().success() {
+                self.shared.cancel_task(task);
+            }
+        }
+        let mut buf = Vec::new();
+        for receiver in &self.shared.receivers {
+            while let Ok((pulled, _)) = receiver.try_recv_batch(&mut buf, RECV_BATCH) {
+                if pulled == 0 {
+                    break;
+                }
+                for env in buf.drain(..) {
+                    self.shared.path.acks.cancel(
+                        &env.ack,
+                        1,
+                        &self.shared.path.metrics,
+                        &self.shared.path.open_trees,
+                    );
+                }
+            }
         }
     }
 }
