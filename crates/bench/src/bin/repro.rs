@@ -6,6 +6,7 @@
 //! repro [fig6|fig7|fig8|fig9|fig10|table2|ablation|surge|perf|all] [--quick] [--seed N]
 //! repro drive [--backend sim|runtime|both] [--quick]
 //! repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]
+//! repro fleet --scale 1k|10k|100k|1m [--smoke] [--seed N]
 //! repro place [--smoke] [--seed N]
 //! repro soak [--smoke] [--seed N]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
@@ -16,10 +17,46 @@
 
 use drs_bench::sweep::{run_sweep, App};
 use drs_bench::{
-    ablation, drive, faults, fig10, fig8, fig9, fleet, perf, perfdiff, place, soak, surge, table2,
+    ablation, drive, faults, fig10, fig8, fig9, fleet, fleet_scale, perf, perfdiff, place, soak,
+    surge, table2,
 };
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::env;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System-allocator wrapper counting every allocation and reallocation, so
+/// the fleet-scale bench can report steady-state allocations per window
+/// (the `drs-bench` library is `forbid(unsafe_code)`, so the allocator
+/// lives here and is handed to the library as a probe).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -29,10 +66,12 @@ struct Options {
     backend: String,
     tolerance: f64,
     faults: Option<String>,
+    scale: Option<String>,
     paths: Vec<String>,
 }
 
 fn main() -> ExitCode {
+    fleet_scale::set_alloc_probe(alloc_count);
     let mut target = String::from("all");
     let mut target_set = false;
     let mut options = Options {
@@ -42,6 +81,7 @@ fn main() -> ExitCode {
         backend: String::from("both"),
         tolerance: 0.15,
         faults: None,
+        scale: None,
         paths: Vec::new(),
     };
     let mut args = env::args().skip(1);
@@ -72,6 +112,13 @@ fn main() -> ExitCode {
                 };
                 options.faults = Some(v);
             }
+            "--scale" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--scale requires a fleet size: 1k|10k|100k|1m");
+                    return ExitCode::FAILURE;
+                };
+                options.scale = Some(v);
+            }
             "--tolerance" => {
                 let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
                     eprintln!("--tolerance requires a fraction, e.g. 0.15");
@@ -87,6 +134,7 @@ fn main() -> ExitCode {
                 println!(
                     "       repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]"
                 );
+                println!("       repro fleet --scale 1k|10k|100k|1m [--smoke] [--seed N]");
                 println!("       repro place [--smoke] [--seed N]");
                 println!("       repro soak [--smoke] [--seed N]");
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
@@ -169,6 +217,20 @@ fn run_drive(options: &Options) -> ExitCode {
 }
 
 fn run_fleet(options: &Options) -> ExitCode {
+    if let Some(scale) = options.scale.as_deref() {
+        if options.faults.is_some() {
+            eprintln!("--scale and --faults are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        let smoke = options.smoke || options.quick;
+        let Some(config) = fleet_scale::FleetScaleConfig::named(scale, smoke, options.seed) else {
+            eprintln!("unknown scale {scale}; use 1k|10k|100k|1m");
+            return ExitCode::FAILURE;
+        };
+        let run = fleet_scale::run_fleet_scale(&config);
+        print!("{}", fleet_scale::render_fleet_scale(&config, &run));
+        return ExitCode::SUCCESS;
+    }
     let scenario = match options.faults.as_deref() {
         None => None,
         Some(name) => match faults::FaultScenario::parse(name) {

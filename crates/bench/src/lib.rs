@@ -20,6 +20,11 @@
 //!   the live runtime, timelines side by side;
 //! * [`fleet`] — a four-topology VLD+FPD fleet sharing one contended
 //!   processor budget through the sharded fleet simulator;
+//! * [`fleet_scale`] — synthetic shard fleets at 1k–1m shards
+//!   (`repro fleet --scale`): warm-start incremental negotiation vs the
+//!   from-scratch reference, negotiate-µs per contended window and
+//!   steady-state allocations per window, gated via the `fleet_scale`
+//!   section of `BENCH_PERF.json`;
 //! * [`faults`] — the same fleet under a degraded control plane: named
 //!   scenarios (`lossy`, `laggy`, `partition`, `churn`, `crash-storm`)
 //!   behind `repro fleet --faults`, rendering injected faults next to
@@ -52,6 +57,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet;
+pub mod fleet_scale;
 pub mod perf;
 pub mod perfdiff;
 pub mod place;

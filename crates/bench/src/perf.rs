@@ -57,6 +57,53 @@ impl EventQueuePoint {
     }
 }
 
+/// The calendar-ladder scale guard: one hold-model point whose reinserts
+/// are far-future-heavy (most pops teleport deep past the calendar's
+/// current year), at a 10⁶ pending population — the access pattern that
+/// stresses ladder wraparound and empty-bucket scans rather than the
+/// steady near-term churn of [`EventQueuePoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventQueueFarPoint {
+    /// Events resident in the queue during the hold loop.
+    pub pending: u64,
+    /// Mean nanoseconds per hold cycle on the calendar queue.
+    pub calendar_ns: f64,
+    /// Mean nanoseconds per hold cycle on the binary-heap reference.
+    pub heap_ns: f64,
+}
+
+impl EventQueueFarPoint {
+    /// `heap / calendar` — how many times faster the calendar queue is.
+    pub fn speedup(&self) -> f64 {
+        self.heap_ns / self.calendar_ns
+    }
+}
+
+/// The fleet-scale negotiation comparison embedded in the snapshot: the
+/// smoke shape of `repro fleet --scale 100k` (100k shards, 5% demand
+/// churn per window), reduced to the gated numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScalePoint {
+    /// Shards in the synthetic fleet.
+    pub shards: u64,
+    /// Percent of shards whose demand drifts per window.
+    pub churn_pct: f64,
+    /// Mean microseconds per contended window, warm-start incremental.
+    pub incremental_us: f64,
+    /// Mean microseconds per contended window, from-scratch reference.
+    pub scratch_us: f64,
+    /// Heap allocations across one zero-churn steady-state incremental
+    /// window — must be 0; `None` when no allocation probe is installed.
+    pub steady_allocs: Option<u64>,
+}
+
+impl FleetScalePoint {
+    /// `scratch / incremental` — how many times faster the warm path is.
+    pub fn speedup(&self) -> f64 {
+        self.scratch_us / self.incremental_us
+    }
+}
+
 /// Simulator throughput for one workload profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimPoint {
@@ -166,6 +213,11 @@ pub struct PerfReport {
     pub scheduling: Vec<SchedPoint>,
     /// Event-queue hold-model sweep over pending-population sizes.
     pub event_queue: Vec<EventQueuePoint>,
+    /// The far-future-heavy calendar-ladder guard at 10⁶ pending events.
+    pub event_queue_far: EventQueueFarPoint,
+    /// Fleet-scale warm-start negotiation vs from-scratch (smoke shape of
+    /// `repro fleet --scale 100k`).
+    pub fleet_scale: FleetScalePoint,
     /// Simulator end-to-end runs.
     pub simulator: Vec<SimPoint>,
     /// Live-runtime end-to-end runs.
@@ -296,6 +348,47 @@ pub fn run_event_queue(ops: u64, seed: u64) -> Vec<EventQueuePoint> {
         .iter()
         .map(|&pending| event_queue_point(pending, ops, seed))
         .collect()
+}
+
+/// Far-future-heavy hold model: 7 of 8 reinserts jump ~10³–10⁶× further
+/// ahead than the near-term churn of [`hold_model_ns`], so the pending
+/// population collapses into a distant cloud the scheduler must wade
+/// through — the pattern that punishes a mis-sized calendar ladder with
+/// long empty-bucket scans. Returns mean nanoseconds per cycle.
+fn hold_model_far_ns<Q: HoldQueue>(queue: &mut Q, pending: u64, ops: u64, seed: u64) -> f64 {
+    let mut rng = XorShift(seed | 1);
+    for _ in 0..pending {
+        queue.push(rng.next() % (pending * 1_000));
+    }
+    let start = Instant::now();
+    for _ in 0..ops {
+        let t = queue.pop();
+        let jump = if rng.next().is_multiple_of(8) {
+            500 + rng.next() % 2_000_000
+        } else {
+            1_000_000_000 + rng.next() % 4_000_000_000
+        };
+        queue.push(t + jump);
+    }
+    start.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+/// Times the calendar queue against the binary-heap reference on the
+/// far-future-heavy hold model (best of [`WALL_RUNS`] − 1 attempts).
+pub fn event_queue_far_point(pending: u64, ops: u64, seed: u64) -> EventQueueFarPoint {
+    let mut calendar_ns = f64::INFINITY;
+    let mut heap_ns = f64::INFINITY;
+    for _ in 0..WALL_RUNS.saturating_sub(1).max(1) {
+        let mut calendar: CalendarQueue<u32> = CalendarQueue::new();
+        calendar_ns = calendar_ns.min(hold_model_far_ns(&mut calendar, pending, ops, seed));
+        let mut heap = HeapQueue::default();
+        heap_ns = heap_ns.min(hold_model_far_ns(&mut heap, pending, ops, seed));
+    }
+    EventQueueFarPoint {
+        pending,
+        calendar_ns,
+        heap_ns,
+    }
 }
 
 /// A spout adapter stripping inter-emission waits, so the pipeline runs
@@ -501,6 +594,23 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         .collect();
 
     let event_queue = run_event_queue(EVENT_QUEUE_HOLD_OPS, seed);
+    let event_queue_far = event_queue_far_point(1_000_000, EVENT_QUEUE_HOLD_OPS, seed);
+
+    // The fleet-scale comparison always runs the 100k-shard smoke shape
+    // (deliberately independent of `iterations`/`--quick`): baseline and
+    // CI must negotiate the same fleet. The absolute µs carry runner bias,
+    // but the incremental-vs-scratch ratio — the tentpole claim — is
+    // hardware-immune, like the scheduling speedup.
+    let scale_config =
+        crate::fleet_scale::FleetScaleConfig::named("100k", true, seed).expect("known scale name");
+    let scale_run = crate::fleet_scale::run_fleet_scale(&scale_config);
+    let fleet_scale = FleetScalePoint {
+        shards: scale_config.shards as u64,
+        churn_pct: scale_config.churn_fraction * 100.0,
+        incremental_us: scale_run.incremental.negotiate_us,
+        scratch_us: scale_run.scratch.negotiate_us,
+        steady_allocs: scale_run.incremental.steady_allocs,
+    };
 
     let mut simulator = Vec::new();
     for (name, secs) in [("vld", 60u64), ("fpd", 10u64)] {
@@ -613,6 +723,8 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
     PerfReport {
         scheduling,
         event_queue,
+        event_queue_far,
+        fleet_scale,
         simulator,
         runtime,
         worker_pool,
@@ -657,6 +769,38 @@ pub fn render_perf(report: &PerfReport) -> String {
         "Event queue: calendar vs binary heap (ns per hold cycle)",
         &["pending", "calendar (ns)", "heap (ns)", "speedup"],
         &eq_rows,
+    ));
+    out.push_str(&render_table(
+        "Event queue, far-future-heavy (ladder scale guard)",
+        &["pending", "calendar (ns)", "heap (ns)", "speedup"],
+        &[vec![
+            report.event_queue_far.pending.to_string(),
+            format!("{:.1}", report.event_queue_far.calendar_ns),
+            format!("{:.1}", report.event_queue_far.heap_ns),
+            format!("{:.1}x", report.event_queue_far.speedup()),
+        ]],
+    ));
+    out.push_str(&render_table(
+        "Fleet scale: incremental vs from-scratch negotiation (µs per contended window)",
+        &[
+            "shards",
+            "churn %",
+            "incremental (µs)",
+            "from-scratch (µs)",
+            "speedup",
+            "steady allocs",
+        ],
+        &[vec![
+            report.fleet_scale.shards.to_string(),
+            format!("{:.0}", report.fleet_scale.churn_pct),
+            format!("{:.1}", report.fleet_scale.incremental_us),
+            format!("{:.1}", report.fleet_scale.scratch_us),
+            format!("{:.1}x", report.fleet_scale.speedup()),
+            report
+                .fleet_scale
+                .steady_allocs
+                .map_or_else(|| "n/a".to_owned(), |n| n.to_string()),
+        ]],
     ));
     let sim_rows: Vec<Vec<String>> = report
         .simulator
@@ -783,6 +927,32 @@ pub fn perf_json(report: &PerfReport) -> String {
             if i + 1 < report.event_queue.len() { "," } else { "" },
         ));
     }
+    // `far_pending` (not `pending`) keeps the line-keyed perfdiff parser
+    // from reading this row as a regular event_queue point.
+    s.push_str("  ],\n  \"event_queue_far\": [\n");
+    s.push_str(&format!(
+        "    {{\"far_pending\": {}, \"calendar_ns\": {:.2}, \"heap_ns\": {:.2}, \"far_speedup\": {:.2}}}\n",
+        report.event_queue_far.pending,
+        report.event_queue_far.calendar_ns,
+        report.event_queue_far.heap_ns,
+        report.event_queue_far.speedup(),
+    ));
+    // Emitted only when the allocation probe ran (it always does under
+    // the repro binary); `shards` is this section's disjoint line key.
+    let steady = report
+        .fleet_scale
+        .steady_allocs
+        .map_or_else(String::new, |n| format!(", \"steady_allocs\": {n}"));
+    s.push_str("  ],\n  \"fleet_scale\": [\n");
+    s.push_str(&format!(
+        "    {{\"shards\": {}, \"churn_pct\": {:.1}, \"incremental_us\": {:.2}, \"scratch_us\": {:.2}, \"fleet_speedup\": {:.2}{}}}\n",
+        report.fleet_scale.shards,
+        report.fleet_scale.churn_pct,
+        report.fleet_scale.incremental_us,
+        report.fleet_scale.scratch_us,
+        report.fleet_scale.speedup(),
+        steady,
+    ));
     s.push_str("  ],\n  \"simulator\": [\n");
     for (i, p) in report.simulator.iter().enumerate() {
         s.push_str(&format!(
@@ -932,6 +1102,18 @@ mod tests {
                 calendar_ns: 50.0,
                 heap_ns: 150.0,
             }],
+            event_queue_far: EventQueueFarPoint {
+                pending: 1_000_000,
+                calendar_ns: 900.0,
+                heap_ns: 2_700.0,
+            },
+            fleet_scale: FleetScalePoint {
+                shards: 100_000,
+                churn_pct: 5.0,
+                incremental_us: 60_000.0,
+                scratch_us: 1_000_000.0,
+                steady_allocs: Some(0),
+            },
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -988,6 +1170,12 @@ mod tests {
         assert!(json.contains("\"speedup\": 5.00"));
         assert!(json.contains("\"pending\": 100000"));
         assert!(json.contains("\"eq_speedup\": 3.00"));
+        assert!(json.contains("\"far_pending\": 1000000"));
+        assert!(json.contains("\"far_speedup\": 3.00"));
+        assert!(json.contains("\"shards\": 100000"));
+        assert!(json.contains("\"churn_pct\": 5.0"));
+        assert!(json.contains("\"fleet_speedup\": 16.67"));
+        assert!(json.contains("\"steady_allocs\": 0"));
         assert!(json.contains("\"app\": \"vld\""));
         assert!(json.contains("\"pipeline\": \"vld_live\""));
         assert!(json.contains("\"workers\": 2"));
@@ -1014,6 +1202,9 @@ mod tests {
         assert!(s.contains("speedup"));
         assert!(s.contains("trees/wall-sec"));
         assert!(s.contains("calendar (ns)"));
+        assert!(s.contains("far-future-heavy"));
+        assert!(s.contains("incremental vs from-scratch negotiation"));
+        assert!(s.contains("steady allocs"));
         assert!(s.contains("tuples/wall-sec"));
         assert!(s.contains("Worker-pool sweep"));
         assert!(s.contains("thread-join (µs)"));

@@ -15,6 +15,16 @@
 //!   `event_queue[].eq_speedup` (higher is better) — the simulator's
 //!   calendar event queue against its binary-heap reference, per pending
 //!   population;
+//! * `event_queue_far[].calendar_ns` (lower is better) and
+//!   `event_queue_far[].far_speedup` (higher is better) — the same pair
+//!   on the far-future-heavy ladder-scale guard at 10⁶ pending events;
+//! * `fleet_scale[].incremental_us` (lower is better),
+//!   `fleet_scale[].fleet_speedup` (higher is better) and
+//!   `fleet_scale[].steady_allocs` (lower is better) — warm-start
+//!   incremental fleet negotiation per contended window against the
+//!   from-scratch reference at 100k shards / 5% churn, plus the heap
+//!   allocations of a zero-churn steady-state window (held at 0 by a
+//!   `drs-core` test; gated here so it can only ratchet down);
 //! * `simulator[].trees_per_wall_sec` (higher is better) — end-to-end
 //!   simulator throughput, per workload;
 //! * `runtime[].tuples_per_wall_sec` (higher is better) — end-to-end live
@@ -70,8 +80,19 @@ impl MetricDelta {
     /// Relative regression of `current` vs `baseline` (positive = worse),
     /// direction-aware. `0.0` for metrics new in the current snapshot.
     pub fn regression(&self) -> f64 {
-        if self.is_new() || self.baseline <= 0.0 {
+        if self.is_new() {
             return 0.0;
+        }
+        if self.baseline <= 0.0 {
+            // A zero baseline is meaningful for lower-is-better counters
+            // (steady-state allocations per window): any nonzero current
+            // regresses from nothing. A ratio against zero is otherwise
+            // undefined — treat those as neutral.
+            return if !self.higher_is_better && self.current > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         if self.higher_is_better {
             (self.baseline - self.current) / self.baseline
@@ -154,6 +175,51 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                     baseline: speedup,
                     current: f64::NAN,
                     higher_is_better: true,
+                });
+            }
+        }
+        if let (Some(pending), Some(calendar)) = (
+            field_f64(line, "far_pending"),
+            field_f64(line, "calendar_ns"),
+        ) {
+            metrics.push(MetricDelta {
+                name: format!("event_queue_far[pending={pending}].calendar_ns"),
+                baseline: calendar,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "far_speedup") {
+                metrics.push(MetricDelta {
+                    name: format!("event_queue_far[pending={pending}].far_speedup"),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+        }
+        if let (Some(shards), Some(incremental)) =
+            (field_f64(line, "shards"), field_f64(line, "incremental_us"))
+        {
+            metrics.push(MetricDelta {
+                name: format!("fleet_scale[shards={shards}].incremental_us"),
+                baseline: incremental,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "fleet_speedup") {
+                metrics.push(MetricDelta {
+                    name: format!("fleet_scale[shards={shards}].fleet_speedup"),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+            if let Some(allocs) = field_f64(line, "steady_allocs") {
+                metrics.push(MetricDelta {
+                    name: format!("fleet_scale[shards={shards}].steady_allocs"),
+                    baseline: allocs,
+                    current: f64::NAN,
+                    higher_is_better: false,
                 });
             }
         }
@@ -345,9 +411,32 @@ pub fn report(deltas: &[MetricDelta], tolerance: f64) -> (String, Vec<&MetricDel
 mod tests {
     use super::*;
     use crate::perf::{
-        perf_json, EventQueuePoint, PerfReport, PlacementPoint, RebalancePoint, RuntimePoint,
-        SchedPoint, SimPoint, SoakPoint, WorkerPoolPoint,
+        perf_json, EventQueueFarPoint, EventQueuePoint, FleetScalePoint, PerfReport,
+        PlacementPoint, RebalancePoint, RuntimePoint, SchedPoint, SimPoint, SoakPoint,
+        WorkerPoolPoint,
     };
+
+    /// The far-future event-queue row shared by the fixtures; varied only
+    /// by the dedicated test.
+    fn far_point() -> EventQueueFarPoint {
+        EventQueueFarPoint {
+            pending: 1_000_000,
+            calendar_ns: 900.0,
+            heap_ns: 2_700.0,
+        }
+    }
+
+    /// The fleet-scale row shared by the fixtures; varied only by the
+    /// dedicated test.
+    fn fleet_scale_point() -> FleetScalePoint {
+        FleetScalePoint {
+            shards: 100_000,
+            churn_pct: 5.0,
+            incremental_us: 60_000.0,
+            scratch_us: 1_000_000.0,
+            steady_allocs: Some(0),
+        }
+    }
 
     /// The soak row shared by the fixtures; varied only by the
     /// soak-specific test.
@@ -409,6 +498,8 @@ mod tests {
                 calendar_ns: cal_ns,
                 heap_ns: cal_ns * 3.0,
             }],
+            event_queue_far: far_point(),
+            fleet_scale: fleet_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -460,12 +551,15 @@ mod tests {
             .lines()
             .filter(|l| {
                 !l.contains("pending")
+                    && !l.contains("shards")
                     && !l.contains("pipeline")
                     && !l.contains("workers")
                     && !l.contains("\"path\"")
                     && !l.contains("\"policy\"")
                     && !l.contains("\"scenario\"")
                     && !l.contains("\"event_queue\"")
+                    && !l.contains("\"event_queue_far\"")
+                    && !l.contains("\"fleet_scale\"")
                     && !l.contains("\"runtime\"")
                     && !l.contains("\"worker_pool\"")
                     && !l.contains("\"rebalance\"")
@@ -487,6 +581,11 @@ mod tests {
                 "scheduling[k_max=48].speedup",
                 "event_queue[pending=100000].calendar_ns",
                 "event_queue[pending=100000].eq_speedup",
+                "event_queue_far[pending=1000000].calendar_ns",
+                "event_queue_far[pending=1000000].far_speedup",
+                "fleet_scale[shards=100000].incremental_us",
+                "fleet_scale[shards=100000].fleet_speedup",
+                "fleet_scale[shards=100000].steady_allocs",
                 "simulator[vld].trees_per_wall_sec",
                 "runtime[vld_live].tuples_per_wall_sec",
                 "worker_pool[workers=2].tuples_per_wall_sec",
@@ -503,8 +602,8 @@ mod tests {
             ]
         );
         let expect_higher = [
-            false, true, false, true, true, true, true, false, true, false, false, true, false,
-            false, false, false, true,
+            false, true, false, true, false, true, false, true, false, true, true, true, false,
+            true, false, false, true, false, false, false, false, true,
         ];
         for (m, &higher) in metrics.iter().zip(&expect_higher) {
             assert_eq!(m.higher_is_better, higher, "{}", m.name);
@@ -724,6 +823,8 @@ mod tests {
                 calendar_ns: 50.0,
                 heap_ns: 150.0,
             }],
+            event_queue_far: far_point(),
+            fleet_scale: fleet_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -796,6 +897,8 @@ mod tests {
                 calendar_ns: 100.0,
                 heap_ns: 150.0,
             }],
+            event_queue_far: far_point(),
+            fleet_scale: fleet_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -828,6 +931,95 @@ mod tests {
         );
     }
 
+    /// Build the fixture snapshot with the far-queue and fleet-scale rows
+    /// swapped out, leaving every other section at its shared default.
+    fn snapshot_with_scale_points(far: EventQueueFarPoint, fleet: FleetScalePoint) -> String {
+        perf_json(&PerfReport {
+            scheduling: vec![SchedPoint {
+                k_max: 48,
+                heap_us: 2.0,
+                reference_us: 40.0,
+            }],
+            event_queue: vec![EventQueuePoint {
+                pending: 100_000,
+                calendar_ns: 50.0,
+                heap_ns: 150.0,
+            }],
+            event_queue_far: far,
+            fleet_scale: fleet,
+            simulator: vec![SimPoint {
+                name: "vld",
+                simulated_secs: 60,
+                wall_ms: 10.0,
+                trees_per_wall_sec: 1000.0,
+            }],
+            runtime: vec![RuntimePoint {
+                pipeline: "vld_live",
+                frames: 4_000,
+                wall_ms: 60.0,
+                tuples_per_wall_sec: 1.0e6,
+            }],
+            worker_pool: vec![WorkerPoolPoint {
+                workers: 2,
+                wall_ms: 70.0,
+                tuples_per_wall_sec: 0.8e6,
+            }],
+            rebalance: RebalancePoint {
+                pool_pause_us: 200.0,
+                thread_join_pause_us: 6_000.0,
+            },
+            placement: placement_rows(0.37, 180.0, 0.5),
+            soak: soak_point(),
+        })
+    }
+
+    #[test]
+    fn fleet_scale_and_far_queue_are_gated_direction_aware() {
+        // Incremental negotiation triples while the from-scratch reference
+        // holds still, and the far-future calendar point quadruples against
+        // a fixed heap reference: the wall metrics and both hardware-immune
+        // speedup ratios must all offend.
+        let baseline = snapshot_with_scale_points(far_point(), fleet_scale_point());
+        let slow_far = EventQueueFarPoint {
+            calendar_ns: far_point().calendar_ns * 4.0,
+            ..far_point()
+        };
+        let slow_fleet = FleetScalePoint {
+            incremental_us: fleet_scale_point().incremental_us * 3.0,
+            ..fleet_scale_point()
+        };
+        let deltas = diff(&baseline, &snapshot_with_scale_points(slow_far, slow_fleet)).unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        for name in [
+            "event_queue_far[pending=1000000].calendar_ns",
+            "event_queue_far[pending=1000000].far_speedup",
+            "fleet_scale[shards=100000].incremental_us",
+            "fleet_scale[shards=100000].fleet_speedup",
+        ] {
+            assert!(
+                offenders.iter().any(|m| m.name == name),
+                "{name}\n{rendered}"
+            );
+        }
+        // A burst of steady-state allocations is caught by the same gate.
+        let leaky = FleetScalePoint {
+            steady_allocs: Some(4_096),
+            ..fleet_scale_point()
+        };
+        let deltas = diff(
+            &snapshot_with_scale_points(far_point(), fleet_scale_point()),
+            &snapshot_with_scale_points(far_point(), leaky),
+        )
+        .unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "fleet_scale[shards=100000].steady_allocs"),
+            "{rendered}"
+        );
+    }
+
     #[test]
     fn metrics_new_in_current_are_informational_not_failures() {
         // An old-schema baseline (no event_queue / runtime sections)
@@ -837,10 +1029,11 @@ mod tests {
         let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
         assert_eq!(
             news.len(),
-            14,
-            "calendar_ns, eq_speedup, runtime tps, worker_pool tps, pause_us, \
-             pause_speedup, cross_fraction, mean_sojourn_ms, cross_cut, and \
-             the five soak metrics"
+            19,
+            "calendar_ns, eq_speedup, the two event_queue_far metrics, the \
+             three fleet_scale metrics, runtime tps, worker_pool tps, \
+             pause_us, pause_speedup, cross_fraction, mean_sojourn_ms, \
+             cross_cut, and the five soak metrics"
         );
         assert!(news.iter().all(|d| d.regression() == 0.0));
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -911,17 +1104,30 @@ mod tests {
 
     #[test]
     fn zero_or_negative_baseline_never_divides_by_zero() {
+        // A lower-is-better counter growing from a zero baseline is a real
+        // regression (steady-state allocations leaking in): flagged, and
+        // without ever dividing by the zero.
         let d = MetricDelta {
             name: "synthetic".to_owned(),
             baseline: 0.0,
             current: 5.0,
             higher_is_better: false,
         };
-        assert_eq!(d.regression(), 0.0);
-        let deltas = [d];
+        assert_eq!(d.regression(), f64::INFINITY);
+        // A higher-is-better ratio against a zero baseline stays neutral:
+        // there is no meaningful reference to regress from.
+        let n = MetricDelta {
+            name: "neutral".to_owned(),
+            baseline: 0.0,
+            current: 5.0,
+            higher_is_better: true,
+        };
+        assert_eq!(n.regression(), 0.0);
+        let deltas = [d, n];
         let (rendered, offenders) = report(&deltas, 0.15);
-        assert!(offenders.is_empty());
+        assert_eq!(offenders.len(), 1);
         assert!(rendered.contains("synthetic"));
+        assert!(rendered.contains("neutral"));
     }
 
     #[test]

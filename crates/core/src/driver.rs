@@ -142,7 +142,7 @@ pub struct OperatorSample {
 }
 
 /// Everything a backend measured during one window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct WindowSample {
     /// Measured external arrival rate `λ̂0`, if the window saw time pass.
     pub external_rate: Option<f64>,
@@ -300,10 +300,29 @@ pub trait CspBackend {
     /// The allocation currently in force, in model order.
     fn current_allocation(&self) -> Vec<u32>;
 
+    /// Writes the allocation currently in force into `out` (cleared
+    /// first). The default delegates to
+    /// [`current_allocation`](Self::current_allocation); backends driven in
+    /// allocation-sensitive loops (the fleet driver polls this once per
+    /// shard per window) should override it to fill `out` directly.
+    fn current_allocation_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.current_allocation());
+    }
+
     /// Runs the system for (about) `window_secs` and returns the window's
     /// measurements. A simulator advances virtual time; a live engine
     /// waits out the wall clock.
     fn advance(&mut self, window_secs: f64) -> WindowSample;
+
+    /// In-place [`advance`](Self::advance): runs the window and writes its
+    /// measurements into `out`, reusing `out`'s buffers where possible.
+    /// The default delegates to `advance` (and therefore allocates the
+    /// sample); backends that want allocation-free steady-state fleet
+    /// windows override this to fill `out` directly.
+    fn advance_into(&mut self, window_secs: f64, out: &mut WindowSample) {
+        *out = self.advance(window_secs);
+    }
 
     /// Actuates a rebalance.
     ///

@@ -30,6 +30,39 @@
 //!   latency violates its target (never shrink a struggling shard), which
 //!   can also defer another shard's grow until the pool frees up.
 //!
+//! # Incremental warm-start negotiation
+//!
+//! Rebuilding the fleet-wide benefit heap from scratch every window costs
+//! `O(total operators)` even when almost nothing moved — at 10⁵–10⁶ shards
+//! that alone dwarfs the window budget. The negotiator therefore persists
+//! its contended-round state across windows and repairs it instead:
+//!
+//! * each shard's [`drs_queueing::incremental::NetworkSojourn`] walk and its
+//!   position on the marginal-benefit heaps survive the window boundary;
+//!   demand epochs (bumped only when a shard's validated demand actually
+//!   changes bit-for-bit) stamp every cached entry, and stale entries are
+//!   discarded lazily on pop rather than eagerly rebuilt;
+//! * a window's negotiation then costs `O(changed shards + executors
+//!   moved)`: shards whose demand, floor and desired vector are unchanged
+//!   are never re-walked, and budget changes replay only the boundary of
+//!   the previous fixpoint (ascend on freed capacity, descend on lost
+//!   capacity);
+//! * the warm path ([`FleetNegotiator::negotiate_within_incremental`])
+//!   is *observationally identical* to the retained from-scratch
+//!   reference ([`FleetNegotiator::negotiate_within`]) — same grants,
+//!   same errors, bit for bit — property-tested across randomized demand
+//!   drift, shard churn and budget schedules;
+//! * a fully settled window — no demand epoch moved, every grant equal to
+//!   the allocation in force — runs **allocation-free** end to end
+//!   through [`FleetDriver`]: backends fill reusable buffers via the
+//!   `*_into` hooks on [`CspBackend`], and a counting-allocator test
+//!   holds the zero.
+//!
+//! `repro fleet --scale {1k,10k,100k,1m}` benchmarks the warm path
+//! against the from-scratch reference at those fleet sizes; the `100k`
+//! point is exported as the `fleet_scale` section of `BENCH_PERF.json`
+//! and regression-gated by `repro perfdiff`.
+//!
 //! # Degraded control plane
 //!
 //! Production control channels lose, delay and duplicate messages, and
@@ -151,7 +184,7 @@
 
 use crate::decision::{self, DecisionInputs, DecisionPolicy};
 use crate::driver::{ActuationRetry, BackendError, CspBackend, RebalancePlan, WindowSample};
-use crate::measurer::{Measurer, SampleBuilder, Smoothing};
+use crate::measurer::{Measurer, RawSample, SampleBuilder, Smoothing};
 use crate::model::PerformanceModel;
 use crate::placement::{
     self, EdgeTraffic, MachinePool as PlacementPool, OperatorLoad, Placement, PlacementRequest,
@@ -170,13 +203,51 @@ fn executor_total(allocation: &[u32]) -> u64 {
 }
 
 /// One topology's resource demand, as submitted to the negotiator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardDemand {
     /// The shard's fitted open network (model order).
     pub network: JacksonNetwork,
     /// The allocation the shard's own single-topology schedule asks for
     /// (its Program 6 / Algorithm 1 answer, one entry per model operator).
     pub desired: Vec<u32>,
+}
+
+// Manual impl so `clone_from` reuses both buffers: the incremental
+// negotiator refreshes its per-slot demand cache in place on every change,
+// and the driver refreshes its packed demand list the same way.
+impl Clone for ShardDemand {
+    fn clone(&self) -> Self {
+        ShardDemand {
+            network: self.network.clone(),
+            desired: self.desired.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.network.clone_from(&source.network);
+        self.desired.clone_from(&source.desired);
+    }
+}
+
+/// Bitwise demand equality — the incremental negotiator's change detector.
+/// "Unchanged" must mean "every floating-point model value recomputes
+/// identically", so rates compare on bits: `PartialEq` would equate
+/// `-0.0 == 0.0` (distinct under `total_cmp`, which orders the benefit
+/// heap). A NaN rate compares equal to itself on bits, so a pathological
+/// demand is at worst re-entered or cached consistently — never diffed
+/// into an inconsistent warm state.
+fn demand_bits_equal(a: &ShardDemand, b: &ShardDemand) -> bool {
+    a.desired == b.desired
+        && a.network.external_rate().to_bits() == b.network.external_rate().to_bits()
+        && a.network.len() == b.network.len()
+        && a.network
+            .operators()
+            .iter()
+            .zip(b.network.operators())
+            .all(|(x, y)| {
+                x.arrival_rate().to_bits() == y.arrival_rate().to_bits()
+                    && x.service_rate().to_bits() == y.service_rate().to_bits()
+            })
 }
 
 /// What the negotiator granted one shard.
@@ -244,17 +315,214 @@ impl fmt::Display for FleetError {
 
 impl std::error::Error for FleetError {}
 
+/// One `(shard, op)` step in the warm heaps — either a frontier step (the
+/// next processor the pair would take) or a taken step (the weakest it
+/// holds). Entries are stamped with the slot's generation and the op's
+/// sequence number at push time; any later rebuild or move stales them, and
+/// stale entries are discarded lazily on pop instead of removed eagerly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct WarmEntry {
+    /// Effective (prefix-min clamped) weighted marginal benefit δ.
+    delta: f64,
+    slot: u32,
+    op: u32,
+    generation: u64,
+    seq: u64,
+}
+
+/// Ascent-heap order: largest δ first, ties to the smallest `(slot, op)` —
+/// the same strict total order as the from-scratch [`Candidate`] heap, so
+/// warm and cold negotiation tie-break identically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Ascend(WarmEntry);
+
+impl Eq for Ascend {}
+
+impl Ord for Ascend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .delta
+            .total_cmp(&other.0.delta)
+            .then_with(|| (other.0.slot, other.0.op).cmp(&(self.0.slot, self.0.op)))
+    }
+}
+
+impl PartialOrd for Ascend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Descent-heap order: the heap's max is the *weakest* taken step —
+/// smallest δ first, ties to the largest `(slot, op)` — the exact reverse
+/// of [`Ascend`], so "best frontier step" and "weakest taken step" are the
+/// two ends of one strict total order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Descend(WarmEntry);
+
+impl Eq for Descend {}
+
+impl Ord for Descend {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .delta
+            .total_cmp(&self.0.delta)
+            .then_with(|| (self.0.slot, self.0.op).cmp(&(other.0.slot, other.0.op)))
+    }
+}
+
+impl PartialOrd for Descend {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Whether frontier step `f` strictly precedes taken step `a` in the greedy
+/// order (larger δ first, ties to the smaller `(slot, op)`). If a frontier
+/// step of a below-cap shard outranks any taken step, the warm state is not
+/// the greedy equilibrium and the pair must be exchanged.
+fn outranks(f: &WarmEntry, a: &WarmEntry) -> bool {
+    f.delta
+        .total_cmp(&a.delta)
+        .then_with(|| (a.slot, a.op).cmp(&(f.slot, f.op)))
+        .is_gt()
+}
+
+/// Per-shard warm state carried across windows by the incremental
+/// negotiator (see [`FleetNegotiator::negotiate_within_incremental`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SlotState {
+    /// The demand the warm state was built from (bitwise cache key — see
+    /// `demand_bits_equal`).
+    demand: ShardDemand,
+    /// Per-op minimum stable allocation (cached).
+    floor: Vec<u32>,
+    /// `demand.desired` raised to the floor — what an uncontended window
+    /// grants verbatim.
+    desired_floored: Vec<u32>,
+    floor_total: u64,
+    desired_total: u64,
+    /// The shard's reversible sojourn walk, parked at its current grant
+    /// position. `None` until the slot first negotiates contended.
+    walk: Option<NetworkSojourn>,
+    /// Per-op stack of the *effective* (prefix-min clamped) δ of every
+    /// step taken above the floor; the top is the op's weakest taken step.
+    taken: Vec<Vec<f64>>,
+    /// Steps taken above the floor, across all ops.
+    taken_total: u64,
+    /// Per-op stamp, bumped on every step/revoke/unpark of that op.
+    op_seq: Vec<u64>,
+    /// Slot stamp (drawn from the negotiator's global counter on rebuild,
+    /// so entries of a removed-then-replaced slot can never revive).
+    generation: u64,
+    /// The walk no longer matches `demand` (it changed while the fleet was
+    /// uncontended, or the slot is new); rebuilt at the floor on the next
+    /// contended window.
+    walk_stale: bool,
+    /// The published grant no longer matches the warm state; rewritten
+    /// before `negotiate_within_incremental` returns.
+    grant_dirty: bool,
+    /// Frontier entries of this slot were discarded while it sat at its
+    /// demand cap; a revoke that drops it below the cap re-enters them.
+    parked: bool,
+}
+
+impl SlotState {
+    /// Demand cap: steps above the floor this shard may take.
+    fn cap(&self) -> u64 {
+        self.desired_total - self.floor_total
+    }
+
+    /// Effective frontier δ of `op`: the raw marginal benefit at the walk's
+    /// current position, clamped to the weakest taken step of the same op.
+    /// The clamp makes every per-op δ stream monotone non-increasing even
+    /// under floating-point wobble — exactly the `min` applied when the
+    /// from-scratch loop pushes a successor candidate — which is what keeps
+    /// warm equilibria and cold runs bit-identical.
+    fn frontier_eff(&self, op: usize) -> f64 {
+        let walk = self.walk.as_ref().expect("contended slot carries a walk");
+        let raw = walk.weighted_marginal_benefit(op);
+        match self.taken[op].last() {
+            Some(&top) => raw.min(top),
+            None => raw,
+        }
+    }
+}
+
+/// Mode memory for [`FleetNegotiator::negotiate_within_incremental`]:
+/// transitions between uncontended and contended windows are the only
+/// points where grants must be reconciled fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum NegotiationMode {
+    /// No successful incremental negotiation yet.
+    Initial,
+    /// Last window granted every shard its floored desire.
+    Uncontended,
+    /// Last window ran the warm greedy equilibrium.
+    Contended,
+}
+
 /// The fleet budget negotiator: owns `Kmax` and arbitrates competing
 /// per-topology demands (see the [module docs](self)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Two entry points compute identical grants:
+///
+/// * [`FleetNegotiator::negotiate`] / [`negotiate_within`] — stateless,
+///   from scratch, `O(fleet)` per call; the oracle the proptests compare
+///   against.
+/// * [`FleetNegotiator::negotiate_within_incremental`] — warm-started from
+///   the previous window's state, `O(changed shards + executor moves)` per
+///   call and allocation-free when nothing changed; what [`FleetDriver`]
+///   runs every window.
+///
+/// The warm state is a pure cache: any warm position converges to the same
+/// bit-identical grants a cold run computes, so checkpoint clones,
+/// mid-sequence errors and restores are all safe.
+///
+/// [`negotiate_within`]: FleetNegotiator::negotiate_within
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetNegotiator {
     k_max: u32,
+    /// Warm per-shard state, indexed like the demand slice.
+    slots: Vec<SlotState>,
+    /// Published grants, indexed like the demand slice.
+    grants: Vec<ShardGrant>,
+    /// Frontier steps, best first (lazy, stamped — see [`WarmEntry`]).
+    ascent: std::collections::BinaryHeap<Ascend>,
+    /// Taken steps, weakest first (lazy, stamped).
+    descent: std::collections::BinaryHeap<Descend>,
+    sum_floor: u64,
+    sum_desired: u64,
+    sum_taken: u64,
+    /// Live `(shard, op)` pairs across all slots (heap-compaction bound).
+    total_ops: usize,
+    /// Monotone stamp source for slot generations.
+    stamp: u64,
+    mode: NegotiationMode,
+    /// Slots whose grant must be rewritten (deduplicated by
+    /// `SlotState::grant_dirty`; survives an errored call so no rewrite is
+    /// ever lost).
+    touched: Vec<u32>,
 }
 
 impl FleetNegotiator {
     /// Creates a negotiator owning a global budget of `k_max` processors.
     pub fn new(k_max: u32) -> Self {
-        FleetNegotiator { k_max }
+        FleetNegotiator {
+            k_max,
+            slots: Vec::new(),
+            grants: Vec::new(),
+            ascent: std::collections::BinaryHeap::new(),
+            descent: std::collections::BinaryHeap::new(),
+            sum_floor: 0,
+            sum_desired: 0,
+            sum_taken: 0,
+            total_ops: 0,
+            stamp: 0,
+            mode: NegotiationMode::Initial,
+            touched: Vec::new(),
+        }
     }
 
     /// The global processor budget.
@@ -301,6 +569,17 @@ impl FleetNegotiator {
         &self,
         budget: u32,
         demands: &[ShardDemand],
+    ) -> Result<Vec<ShardGrant>, FleetError> {
+        let refs: Vec<&ShardDemand> = demands.iter().collect();
+        Self::negotiate_scratch(budget, &refs)
+    }
+
+    /// The from-scratch arbitration over *borrowed* demands — the form the
+    /// gate-aware re-offer round uses, so excluding held shards costs a
+    /// reference each instead of a deep `ShardDemand` copy.
+    pub(crate) fn negotiate_scratch(
+        budget: u32,
+        demands: &[&ShardDemand],
     ) -> Result<Vec<ShardGrant>, FleetError> {
         for (i, d) in demands.iter().enumerate() {
             if d.desired.len() != d.network.len() {
@@ -380,8 +659,14 @@ impl FleetNegotiator {
             states[shard].increment(op);
             totals[shard] += 1;
             remaining -= 1;
+            // The successor δ is clamped to the step just taken: in exact
+            // arithmetic convexity makes every per-op δ stream monotone
+            // non-increasing anyway, so the clamp only absorbs ulp-level
+            // floating-point wobble — and it is what guarantees the warm
+            // incremental path (which stores these effective δs in its
+            // taken-stacks) reaches bit-identical grants from any start.
             heap.push(Candidate {
-                delta: states[shard].weighted_marginal_benefit(op),
+                delta: states[shard].weighted_marginal_benefit(op).min(best.delta),
                 key: (shard, op),
             });
         }
@@ -397,6 +682,476 @@ impl FleetNegotiator {
                 }
             })
             .collect())
+    }
+
+    /// The grants computed by the last successful
+    /// [`FleetNegotiator::negotiate_within_incremental`] call, indexed like
+    /// the demand slice it was given. Unspecified (possibly stale) after an
+    /// `Err` — callers must not actuate grants from a failed round.
+    pub fn grants(&self) -> &[ShardGrant] {
+        &self.grants
+    }
+
+    /// Incremental warm-start arbitration: computes exactly what
+    /// [`FleetNegotiator::negotiate_within`] would return for `budget` and
+    /// `demands` — bit-identical allocations and `capped` flags, the
+    /// proptests pin it — but in `O(changed shards + executor moves)` by
+    /// reusing the previous window's state, and without a single heap
+    /// allocation when nothing changed. Results are published through
+    /// [`FleetNegotiator::grants`].
+    ///
+    /// Per window it
+    ///
+    /// 1. **diffs** each slot's demand against the cached one (bitwise —
+    ///    `demand_bits_equal`); unchanged slots are not touched at all;
+    /// 2. re-derives floors/desires for changed slots and, on a contended
+    ///    window, **rebuilds** their reversible [`NetworkSojourn`] walk at
+    ///    the stability floor (changed rates invalidate the carried
+    ///    Erlang-B history; unchanged slots keep their walk parked at the
+    ///    previous grant);
+    /// 3. **fixes up** the warm equilibrium: revoke the globally weakest
+    ///    taken step (via [`NetworkSojourn::decrement`] — the O(1)
+    ///    step-down machinery) while over the spend target, take the
+    ///    globally best frontier step while under it, then exchange while
+    ///    any frontier step of a below-cap shard outranks a taken step;
+    /// 4. rewrites the grant of every slot whose walk moved.
+    ///
+    /// The fix-up terminates at the unique greedy equilibrium: per-op δ
+    /// streams are monotone (prefix-min clamped, matching the from-scratch
+    /// successor clamp), so the final state is fully characterized by "no
+    /// frontier step outranks a taken step" plus the per-shard caps — the
+    /// same state the cold heap run reaches, independent of the warm
+    /// starting position.
+    ///
+    /// # Errors
+    ///
+    /// The same errors, in the same precedence, as
+    /// [`FleetNegotiator::negotiate_within`]. A failed call leaves the
+    /// cache consistent: the next successful call converges as usual.
+    pub fn negotiate_within_incremental(
+        &mut self,
+        budget: u32,
+        demands: &[ShardDemand],
+    ) -> Result<(), FleetError> {
+        debug_assert!(u32::try_from(demands.len()).is_ok());
+        // Slots beyond the end of the demand slice retire (fleet shrank or
+        // re-packed); their heap entries die by the slot-index bound check.
+        while self.slots.len() > demands.len() {
+            let slot = self.slots.pop().expect("len checked above");
+            self.sum_floor -= slot.floor_total;
+            self.sum_desired -= slot.desired_total;
+            self.sum_taken -= slot.taken_total;
+            self.total_ops -= slot.demand.network.len();
+        }
+        self.grants.truncate(demands.len());
+
+        // Diff pass, in slot order (so the first invalid changed slot
+        // reports the same `DemandLength` a from-scratch validation would).
+        for (i, d) in demands.iter().enumerate() {
+            let changed = match self.slots.get(i) {
+                Some(slot) => !demand_bits_equal(&slot.demand, d),
+                None => true,
+            };
+            if !changed {
+                continue;
+            }
+            if d.desired.len() != d.network.len() {
+                return Err(FleetError::DemandLength {
+                    shard: i,
+                    expected: d.network.len(),
+                    actual: d.desired.len(),
+                });
+            }
+            if i == self.slots.len() {
+                self.slots.push(SlotState {
+                    demand: d.clone(),
+                    floor: Vec::new(),
+                    desired_floored: Vec::new(),
+                    floor_total: 0,
+                    desired_total: 0,
+                    walk: None,
+                    taken: Vec::new(),
+                    taken_total: 0,
+                    op_seq: Vec::new(),
+                    generation: 0,
+                    walk_stale: true,
+                    grant_dirty: false,
+                    parked: false,
+                });
+            } else {
+                let slot = &mut self.slots[i];
+                self.sum_floor -= slot.floor_total;
+                self.sum_desired -= slot.desired_total;
+                self.total_ops -= slot.demand.network.len();
+                slot.demand.clone_from(d);
+            }
+            let slot = &mut self.slots[i];
+            slot.floor.clear();
+            slot.floor
+                .extend(d.network.operators().iter().map(|q| q.min_stable_servers()));
+            {
+                let SlotState {
+                    floor,
+                    desired_floored,
+                    ..
+                } = slot;
+                desired_floored.clear();
+                desired_floored.extend(
+                    d.desired
+                        .iter()
+                        .zip(floor.iter())
+                        .map(|(&want, &f)| want.max(f)),
+                );
+            }
+            slot.floor_total = executor_total(&slot.floor);
+            slot.desired_total = executor_total(&slot.desired_floored);
+            slot.walk_stale = true;
+            self.sum_floor += slot.floor_total;
+            self.sum_desired += slot.desired_total;
+            self.total_ops += d.network.len();
+            if !slot.grant_dirty {
+                slot.grant_dirty = true;
+                self.touched.push(i as u32);
+            }
+        }
+        if self.grants.len() < demands.len() {
+            self.grants.resize_with(demands.len(), || ShardGrant {
+                allocation: Vec::new(),
+                capped: false,
+            });
+        }
+        debug_assert_eq!(self.slots.len(), demands.len());
+
+        // Uncontended: every shard gets exactly its floored desire.
+        if self.sum_desired <= u64::from(budget) {
+            if self.mode == NegotiationMode::Uncontended {
+                // Steady uncontended: only changed slots re-enter.
+                for idx in 0..self.touched.len() {
+                    let i = self.touched[idx] as usize;
+                    if i >= self.slots.len() {
+                        continue;
+                    }
+                    let slot = &mut self.slots[i];
+                    self.grants[i].allocation.clone_from(&slot.desired_floored);
+                    self.grants[i].capped = false;
+                    slot.grant_dirty = false;
+                }
+            } else {
+                // Transition (or first round): contended grants can differ
+                // from the floored desire on any capped slot — reconcile
+                // fleet-wide once.
+                for (i, slot) in self.slots.iter_mut().enumerate() {
+                    let grant = &mut self.grants[i];
+                    if slot.grant_dirty || grant.capped || grant.allocation != slot.desired_floored
+                    {
+                        grant.allocation.clone_from(&slot.desired_floored);
+                        grant.capped = false;
+                    }
+                    slot.grant_dirty = false;
+                }
+            }
+            self.touched.clear();
+            self.mode = NegotiationMode::Uncontended;
+            return Ok(());
+        }
+        if self.sum_floor > u64::from(budget) {
+            return Err(FleetError::InsufficientBudget {
+                required: self.sum_floor,
+                available: budget,
+            });
+        }
+
+        // Contended. Rebuild the walks of changed slots at their floor
+        // (changed rates invalidate the Erlang-B histories); unchanged
+        // slots keep their walks parked at the previous grant and only
+        // move by explicit increments/decrements below.
+        let transition = self.mode != NegotiationMode::Contended;
+        self.mode = NegotiationMode::Contended;
+        for i in 0..self.slots.len() {
+            if self.slots[i].walk_stale {
+                self.rebuild_slot(i);
+            }
+        }
+        if transition {
+            // Entering contention from an uncontended stretch: published
+            // grants are floored desires, while walks still hold their
+            // last-contended positions. Any mismatch must be rewritten
+            // even if the fix-up below never moves that slot.
+            for i in 0..self.slots.len() {
+                let slot = &self.slots[i];
+                if slot.grant_dirty {
+                    continue;
+                }
+                let walk = slot.walk.as_ref().expect("rebuilt above");
+                let grant = &self.grants[i].allocation;
+                let matches = grant.len() == walk.len()
+                    && grant
+                        .iter()
+                        .enumerate()
+                        .all(|(op, &k)| walk.servers(op) == k);
+                if !matches {
+                    self.slots[i].grant_dirty = true;
+                    self.touched.push(i as u32);
+                }
+            }
+        }
+
+        // The spend target: the budget above the floors, truncated to what
+        // the caps can absorb (the from-scratch loop stops early when every
+        // shard saturates its demand).
+        let target = (u64::from(budget) - self.sum_floor).min(self.sum_desired - self.sum_floor);
+        while self.sum_taken > target {
+            self.revoke_weakest();
+        }
+        while self.sum_taken < target {
+            if !self.take_best() {
+                debug_assert!(false, "frontier exhausted below the spend target");
+                break;
+            }
+        }
+        while let (Some(f), Some(a)) = (self.clean_ascent_top(), self.clean_descent_top()) {
+            if !outranks(&f, &a) {
+                break;
+            }
+            self.revoke_weakest();
+            self.take_best();
+        }
+
+        // Publish the grant of every slot whose warm state moved.
+        for idx in 0..self.touched.len() {
+            let i = self.touched[idx] as usize;
+            if i >= self.slots.len() {
+                continue;
+            }
+            let slot = &mut self.slots[i];
+            slot.grant_dirty = false;
+            let walk = slot.walk.as_ref().expect("contended slots carry walks");
+            walk.write_allocation(&mut self.grants[i].allocation);
+            self.grants[i].capped = slot.floor_total + slot.taken_total < slot.desired_total;
+        }
+        self.touched.clear();
+        self.maybe_compact();
+        Ok(())
+    }
+
+    /// Rebuilds slot `i`'s walk at its stability floor under the cached
+    /// demand, invalidating every heap entry it ever pushed (fresh
+    /// generation) and re-entering its frontier steps.
+    fn rebuild_slot(&mut self, i: usize) {
+        let generation = self.stamp;
+        self.stamp += 1;
+        let (ops, cap) = {
+            let slot = &mut self.slots[i];
+            self.sum_taken -= slot.taken_total;
+            slot.taken_total = 0;
+            let ops = slot.demand.network.len();
+            for stack in &mut slot.taken {
+                stack.clear();
+            }
+            slot.taken.resize_with(ops, Vec::new);
+            slot.op_seq.clear();
+            slot.op_seq.resize(ops, 0);
+            slot.generation = generation;
+            slot.walk = Some(
+                NetworkSojourn::reversible(&slot.demand.network, &slot.floor)
+                    .expect("floor allocation length matches the network"),
+            );
+            slot.walk_stale = false;
+            let cap = slot.cap();
+            slot.parked = cap == 0;
+            (ops, cap)
+        };
+        if !self.slots[i].grant_dirty {
+            self.slots[i].grant_dirty = true;
+            self.touched.push(i as u32);
+        }
+        if cap > 0 {
+            for op in 0..ops {
+                let delta = {
+                    let slot = &self.slots[i];
+                    slot.walk
+                        .as_ref()
+                        .expect("just built")
+                        .weighted_marginal_benefit(op)
+                };
+                self.ascent.push(Ascend(WarmEntry {
+                    delta,
+                    slot: i as u32,
+                    op: op as u32,
+                    generation,
+                    seq: 0,
+                }));
+            }
+        }
+    }
+
+    /// Whether a heap entry still refers to live warm state.
+    fn entry_live(&self, e: &WarmEntry) -> bool {
+        match self.slots.get(e.slot as usize) {
+            Some(slot) => e.generation == slot.generation && e.seq == slot.op_seq[e.op as usize],
+            None => false,
+        }
+    }
+
+    /// Discards stale entries (and parks at-cap slots) until the ascent top
+    /// is a live frontier step of a below-cap slot, returning it un-popped.
+    fn clean_ascent_top(&mut self) -> Option<WarmEntry> {
+        loop {
+            let e = self.ascent.peek()?.0;
+            if !self.entry_live(&e) {
+                self.ascent.pop();
+                continue;
+            }
+            let slot = &mut self.slots[e.slot as usize];
+            if slot.taken_total >= slot.cap() {
+                // At its demand cap: this frontier cannot compete (the
+                // from-scratch loop discards candidates of saturated
+                // shards the same way). Park the slot; a revoke dropping
+                // it below the cap re-enters every frontier.
+                slot.parked = true;
+                self.ascent.pop();
+                continue;
+            }
+            return Some(e);
+        }
+    }
+
+    /// Discards stale entries until the descent top is a live weakest taken
+    /// step, returning it un-popped.
+    fn clean_descent_top(&mut self) -> Option<WarmEntry> {
+        loop {
+            let e = self.descent.peek()?.0;
+            if !self.entry_live(&e) {
+                self.descent.pop();
+                continue;
+            }
+            return Some(e);
+        }
+    }
+
+    /// After slot `i`'s op moved (or re-entered): stamp a fresh sequence
+    /// number — staling both of the op's old heap entries — and push its
+    /// current frontier step and (if any step is held) weakest taken step.
+    fn refresh_op(&mut self, i: usize, op: usize) {
+        let slot = &self.slots[i];
+        let entry = WarmEntry {
+            delta: slot.frontier_eff(op),
+            slot: i as u32,
+            op: op as u32,
+            generation: slot.generation,
+            seq: slot.op_seq[op],
+        };
+        self.ascent.push(Ascend(entry));
+        if let Some(&top) = slot.taken[op].last() {
+            self.descent.push(Descend(WarmEntry {
+                delta: top,
+                ..entry
+            }));
+        }
+    }
+
+    /// Marks slot `i`'s grant for rewriting (deduplicated).
+    fn mark_touched(&mut self, i: usize) {
+        if !self.slots[i].grant_dirty {
+            self.slots[i].grant_dirty = true;
+            self.touched.push(i as u32);
+        }
+    }
+
+    /// Takes the globally best frontier step (walk increment). `false` when
+    /// every slot sits at its demand cap.
+    fn take_best(&mut self) -> bool {
+        let Some(e) = self.clean_ascent_top() else {
+            return false;
+        };
+        self.ascent.pop();
+        let i = e.slot as usize;
+        let op = e.op as usize;
+        {
+            let slot = &mut self.slots[i];
+            slot.op_seq[op] += 1;
+            slot.walk.as_mut().expect("live entry").increment(op);
+            // The entry's δ *is* the effective (clamped) δ of this step.
+            slot.taken[op].push(e.delta);
+            slot.taken_total += 1;
+        }
+        self.sum_taken += 1;
+        self.mark_touched(i);
+        self.refresh_op(i, op);
+        true
+    }
+
+    /// Revokes the globally weakest taken step (walk decrement — the O(1)
+    /// step-down machinery's production caller). Un-parks the slot when the
+    /// revoke drops it below its demand cap.
+    fn revoke_weakest(&mut self) {
+        let e = self
+            .clean_descent_top()
+            .expect("taken steps outstanding imply a live descent top");
+        self.descent.pop();
+        let i = e.slot as usize;
+        let op = e.op as usize;
+        let was_at_cap = {
+            let slot = &mut self.slots[i];
+            let was_at_cap = slot.taken_total >= slot.cap();
+            slot.op_seq[op] += 1;
+            slot.walk.as_mut().expect("live entry").decrement(op);
+            let popped = slot.taken[op].pop().expect("live descent entry");
+            debug_assert_eq!(popped.to_bits(), e.delta.to_bits());
+            slot.taken_total -= 1;
+            was_at_cap
+        };
+        self.sum_taken -= 1;
+        self.mark_touched(i);
+        self.refresh_op(i, op);
+        if was_at_cap {
+            self.unpark(i);
+        }
+    }
+
+    /// Re-enters every frontier step of a previously parked slot (its
+    /// at-cap frontiers were discarded lazily; now that it is below its cap
+    /// again they must compete). Stamps fresh sequence numbers so any
+    /// surviving old entries of this slot go stale rather than duplicate.
+    fn unpark(&mut self, i: usize) {
+        if !self.slots[i].parked {
+            return;
+        }
+        let ops = {
+            let slot = &mut self.slots[i];
+            slot.parked = false;
+            for s in &mut slot.op_seq {
+                *s += 1;
+            }
+            slot.op_seq.len()
+        };
+        for op in 0..ops {
+            self.refresh_op(i, op);
+        }
+    }
+
+    /// Rebuilds a heap in place once stale entries dominate it (rare;
+    /// amortized against the pushes that bloated it).
+    fn maybe_compact(&mut self) {
+        let cap = 4 * self.total_ops + 64;
+        if self.ascent.len() > cap {
+            let heap = std::mem::take(&mut self.ascent);
+            let live: Vec<Ascend> = heap
+                .into_vec()
+                .into_iter()
+                .filter(|e| self.entry_live(&e.0))
+                .collect();
+            self.ascent = std::collections::BinaryHeap::from(live);
+        }
+        if self.descent.len() > cap {
+            let heap = std::mem::take(&mut self.descent);
+            let live: Vec<Descend> = heap
+                .into_vec()
+                .into_iter()
+                .filter(|e| self.entry_live(&e.0))
+                .collect();
+            self.descent = std::collections::BinaryHeap::from(live);
+        }
     }
 }
 
@@ -443,6 +1198,12 @@ pub struct FleetDriverConfig {
     /// [`SampleBuilder::weight`]). `1.0` disables staleness discounting;
     /// values are clamped to `(0, 1]`.
     pub stale_decay: f64,
+    /// Whether every window is appended to [`FleetDriver::timeline`]
+    /// (default `true`). Large fleets driven for many windows turn this
+    /// off: the driver then keeps only [`FleetDriver::last_window`] —
+    /// updated in place, so a steady-state window records itself without
+    /// allocating — and `timeline()` stays empty.
+    pub record_timeline: bool,
 }
 
 impl FleetDriverConfig {
@@ -467,6 +1228,7 @@ impl FleetDriverConfig {
             lease_windows: 3,
             retry_backoff_cap: 8,
             stale_decay: 0.5,
+            record_timeline: true,
         }
     }
 }
@@ -684,45 +1446,75 @@ struct ShardState<B> {
     placement_info: Option<ShardPlacementInfo>,
     /// The machine assignment currently in force on the backend.
     placement: Option<Placement>,
+    /// Reused buffer for this shard's raw sample (fed to the measurer).
+    raw: RawSample,
+    /// [`Measurer::epoch`] at the last model refit; `u64::MAX` forces one.
+    /// While the epoch stands still the cached `demand`/`demand_error`
+    /// below are authoritative and the (allocating) refit is skipped.
+    demand_epoch: u64,
+    /// The demand fitted at `demand_epoch` (`None`: no usable model).
+    demand: Option<ShardDemand>,
+    /// The fit error at `demand_epoch`, replayed into the timeline each
+    /// window while the broken estimates stand still.
+    demand_error: Option<String>,
 }
 
 /// Per-window working buffers, reused across windows so the fleet loop
 /// allocates nothing per shard in steady state (the per-shard `Vec`s this
-/// replaces dominated the loop's allocation profile). All buffers are
-/// cleared at the top of every [`FleetDriver::step_with_order`]; their
-/// contents never carry information across windows.
+/// replaces dominated the loop's allocation profile). Per-window buffers
+/// are cleared at the top of every [`FleetDriver::step_with_order`]; the
+/// packed demand buffer (`demands`/`demand_idx`/`modeled`) deliberately
+/// persists across windows, so unchanged shards hand the incremental
+/// negotiator bitwise-identical slots — its no-op fast path.
 #[derive(Debug, Clone, Default)]
 struct FleetScratch {
     /// Permutation check for the caller-supplied advance order.
     seen: Vec<bool>,
-    /// This window's measurement report per shard.
-    samples: Vec<Option<WindowSample>>,
+    /// This window's measurement report per shard (buffers reused; every
+    /// entry is overwritten by `advance_into` before it is read).
+    samples: Vec<WindowSample>,
     /// Shard-level error per shard.
     errors: Vec<Option<String>>,
     /// Index into `demands` per shard (`None`: no usable model).
+    /// Persists across windows together with `demands`/`modeled`.
     demand_idx: Vec<Option<usize>>,
-    /// Packed negotiation demands (handed to the negotiator directly —
-    /// no per-window clone).
+    /// Packed negotiation demands, mirroring each modeled shard's cached
+    /// fit (handed to the negotiator directly — no per-window clone).
     demands: Vec<ShardDemand>,
     /// Shard index per `demands` entry.
     modeled: Vec<usize>,
-    /// The negotiator's grant per shard.
-    grants: Vec<Option<ShardGrant>>,
+    /// Shards whose model was refitted this window.
+    refit: Vec<usize>,
     capped: Vec<bool>,
     gated: Vec<bool>,
     /// Shrinks the gate-aware pass promoted to urgent (holding them would
     /// starve another shard): they bypass the actuation-time gate.
     urgent: Vec<bool>,
     rebalanced: Vec<bool>,
+    /// Round-1 grant withdrawn by the gate-aware pass: ignore the
+    /// negotiator's slot for this shard this window.
+    suppressed: Vec<bool>,
+    /// Index into `round2_grants` per shard, for shards the gate-aware
+    /// second round re-granted.
+    round2_idx: Vec<Option<usize>>,
+    round2_grants: Vec<ShardGrant>,
+    /// Whether this window's round-1 negotiation succeeded (the
+    /// negotiator's published grants are usable).
+    negotiated_ok: bool,
     /// The allocation a rebalance put in force this window.
     applied: Vec<Option<Vec<u32>>>,
+    /// The allocation in force per shard, cached once per window (buffers
+    /// reused; overwritten via `current_allocation_into` before use).
+    current_allocs: Vec<Vec<u32>>,
     /// Executors currently in force per shard.
     current_totals: Vec<u64>,
+    /// Executor total each shard is about to run (its grant where one
+    /// stands, its current total otherwise) — the actuation sort key.
+    target_totals: Vec<u64>,
     actuation_order: Vec<usize>,
     /// Shards held back by the gate-aware pass.
     held: Vec<usize>,
-    /// Re-negotiation buffers for the gate-aware pass.
-    round_demands: Vec<ShardDemand>,
+    /// Shard index per entry of the gate-aware re-offer round.
     round_shards: Vec<usize>,
     /// This window's solved machine assignment per shard.
     planned: Vec<Option<Placement>>,
@@ -733,20 +1525,17 @@ struct FleetScratch {
 }
 
 impl FleetScratch {
-    /// Clears every buffer and sizes the per-shard ones for `n` shards.
+    /// Clears the per-window buffers and sizes the per-shard ones for `n`
+    /// shards. The packed demand mirror survives untouched.
     fn reset(&mut self, n: usize) {
         self.seen.clear();
         self.seen.resize(n, false);
-        self.samples.clear();
-        self.samples.resize_with(n, || None);
-        self.errors.clear();
+        self.samples.resize_with(n, WindowSample::default);
         self.errors.resize_with(n, || None);
-        self.demand_idx.clear();
-        self.demand_idx.resize(n, None);
-        self.demands.clear();
-        self.modeled.clear();
-        self.grants.clear();
-        self.grants.resize_with(n, || None);
+        for e in &mut self.errors {
+            *e = None;
+        }
+        self.refit.clear();
         self.capped.clear();
         self.capped.resize(n, false);
         self.gated.clear();
@@ -755,17 +1544,48 @@ impl FleetScratch {
         self.urgent.resize(n, false);
         self.rebalanced.clear();
         self.rebalanced.resize(n, false);
-        self.applied.clear();
+        self.suppressed.clear();
+        self.suppressed.resize(n, false);
+        self.round2_idx.clear();
+        self.round2_idx.resize(n, None);
+        self.round2_grants.clear();
+        self.negotiated_ok = false;
         self.applied.resize_with(n, || None);
+        for a in &mut self.applied {
+            *a = None;
+        }
+        self.current_allocs.resize_with(n, Vec::new);
         self.current_totals.clear();
+        self.target_totals.clear();
         self.actuation_order.clear();
         self.held.clear();
-        self.round_demands.clear();
         self.round_shards.clear();
-        self.planned.clear();
         self.planned.resize_with(n, || None);
+        for p in &mut self.planned {
+            *p = None;
+        }
         self.placement_shards.clear();
         self.placement_requests.clear();
+    }
+
+    /// The grant shard `i` should actuate this window, resolved across the
+    /// two negotiation rounds: `None` when negotiation failed, the shard
+    /// has no usable model, or the gate-aware pass withdrew the grant;
+    /// the round-2 re-offer where one stands; the negotiator's published
+    /// round-1 slot otherwise. Borrow-split from the driver so callers can
+    /// hold the negotiator and the scratch independently.
+    fn grant<'a>(&'a self, negotiator: &'a FleetNegotiator, i: usize) -> Option<&'a ShardGrant> {
+        if !self.negotiated_ok || self.suppressed[i] {
+            return None;
+        }
+        if let Some(r2) = self.round2_idx[i] {
+            return Some(&self.round2_grants[r2]);
+        }
+        self.demand_idx
+            .get(i)
+            .copied()
+            .flatten()
+            .map(|slot| &negotiator.grants()[slot])
     }
 }
 
@@ -783,6 +1603,14 @@ pub struct FleetDriver<B: CspBackend> {
     wasted_grants: u64,
     scratch: FleetScratch,
     timeline: Vec<FleetWindow>,
+    /// Windows completed so far — the window counter even when
+    /// [`FleetDriverConfig::record_timeline`] keeps `timeline` empty.
+    completed_windows: u64,
+    /// The most recent window's record, maintained in place (no per-window
+    /// allocation in steady state).
+    last_window: FleetWindow,
+    /// Reused index-order buffer backing [`FleetDriver::step`].
+    order_buf: Vec<usize>,
 }
 
 /// A snapshot of the full fleet control plane — negotiator, per-shard
@@ -809,7 +1637,7 @@ impl<B: CspBackend> FleetCheckpoint<B> {
     /// The fleet window index the checkpoint was taken at (number of
     /// completed windows).
     pub fn window(&self) -> u64 {
-        self.driver.timeline.len() as u64
+        self.driver.completed_windows
     }
 }
 
@@ -846,6 +1674,15 @@ impl<B: CspBackend> FleetDriver<B> {
             wasted_grants: 0,
             scratch: FleetScratch::default(),
             timeline: Vec::new(),
+            completed_windows: 0,
+            last_window: FleetWindow {
+                window: 0,
+                contended: false,
+                total_granted: 0,
+                shards: Vec::new(),
+                error: None,
+            },
+            order_buf: Vec::new(),
         })
     }
 
@@ -877,6 +1714,14 @@ impl<B: CspBackend> FleetDriver<B> {
             dead: false,
             placement_info: spec.placement,
             placement: None,
+            raw: RawSample {
+                external_rate: 0.0,
+                operators: Vec::new(),
+                mean_sojourn: None,
+            },
+            demand_epoch: u64::MAX,
+            demand: None,
+            demand_error: None,
         })
     }
 
@@ -914,9 +1759,21 @@ impl<B: CspBackend> FleetDriver<B> {
         self.shards.remove(i).backend
     }
 
-    /// The fleet timeline recorded so far.
+    /// The fleet timeline recorded so far (empty when
+    /// [`FleetDriverConfig::record_timeline`] is off).
     pub fn timeline(&self) -> &[FleetWindow] {
         &self.timeline
+    }
+
+    /// The most recent window's record — available even when the timeline
+    /// is not being recorded. Meaningless before the first step.
+    pub fn last_window(&self) -> &FleetWindow {
+        &self.last_window
+    }
+
+    /// Windows completed so far (the timeline length when recording).
+    pub fn completed_windows(&self) -> u64 {
+        self.completed_windows
     }
 
     /// Whether shard `i`'s liveness lease is currently expired (see
@@ -1026,8 +1883,12 @@ impl<B: CspBackend> FleetDriver<B> {
 
     /// Runs one fleet window, advancing shards in index order.
     pub fn step(&mut self) -> &FleetWindow {
-        let order: Vec<usize> = (0..self.shards.len()).collect();
-        self.step_with_order(&order)
+        let mut order = std::mem::take(&mut self.order_buf);
+        order.clear();
+        order.extend(0..self.shards.len());
+        self.step_with_order(&order);
+        self.order_buf = order;
+        &self.last_window
     }
 
     /// Runs one fleet window, advancing the shard backends in the given
@@ -1054,9 +1915,12 @@ impl<B: CspBackend> FleetDriver<B> {
             scratch.seen[i] = true;
         }
 
-        // 1. Advance every shard one window, in the caller's order.
+        // 1. Advance every shard one window, in the caller's order. The
+        //    sample buffers are reused window over window.
         for &i in order {
-            scratch.samples[i] = Some(self.shards[i].backend.advance(self.config.window_secs));
+            self.shards[i]
+                .backend
+                .advance_into(self.config.window_secs, &mut scratch.samples[i]);
         }
 
         // 2. Feed the measurers (shard index order; each stream is
@@ -1065,57 +1929,140 @@ impl<B: CspBackend> FleetDriver<B> {
         //    run of `lease_windows` fully-missed reports expires the
         //    shard's liveness lease; the first usable report renews it.
         for (shard, sample) in self.shards.iter_mut().zip(&scratch.samples) {
-            let sample = sample.as_ref().expect("every shard advanced");
-            if let Some(raw) = shard.samples.build(sample) {
-                let weight = shard.samples.weight(self.config.stale_decay);
-                shard.measurer.observe_weighted(&raw, weight);
+            let ShardState {
+                samples,
+                measurer,
+                raw,
+                ..
+            } = shard;
+            if samples.build_into(sample, raw) {
+                let weight = samples.weight(self.config.stale_decay);
+                measurer.observe_weighted(raw, weight);
             }
             shard.dead = self.config.lease_windows > 0
                 && shard.samples.missed_windows() >= self.config.lease_windows;
         }
 
-        let window = self.timeline.len() as u64;
+        // 2b. Cache each shard's running allocation once for the window
+        //     (every later phase reads these instead of re-asking the
+        //     backend and re-allocating the answer).
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .backend
+                .current_allocation_into(&mut scratch.current_allocs[i]);
+            scratch
+                .current_totals
+                .push(executor_total(&scratch.current_allocs[i]));
+        }
+
+        let window = self.completed_windows;
         let mut fleet_error = None;
         let mut contended = false;
 
         if window >= self.config.warmup_windows {
-            // 3. Each shard computes its own single-topology demand,
-            //    pushed straight into the packed negotiation buffer. A
-            //    dead shard submits none: its (stale) model must not keep
+            // 3. Each shard's own single-topology demand. The (allocating)
+            //    model refit runs only when the shard's smoothed estimates
+            //    actually moved (`Measurer::epoch`); a steady shard reuses
+            //    its cached fit, which also hands the negotiator a
+            //    bitwise-identical demand — its no-op fast path. A dead
+            //    shard submits none: its (stale) model must not keep
             //    claiming budget for a machine that is gone.
-            for (i, shard) in self.shards.iter().enumerate() {
+            for (i, shard) in self.shards.iter_mut().enumerate() {
                 if shard.dead {
+                    // Forget the cache so a revived shard refits at once.
+                    shard.demand_epoch = u64::MAX;
+                    shard.demand = None;
+                    shard.demand_error = None;
                     continue;
                 }
-                let Some(estimates) = shard.measurer.estimates() else {
-                    continue;
-                };
-                match PerformanceModel::new(&estimates.to_model_inputs()) {
-                    Ok(model) => match shard_demand(&model, shard.t_max_secs, self.config.k_max) {
-                        Ok(desired) => {
-                            scratch.demand_idx[i] = Some(scratch.demands.len());
-                            scratch.modeled.push(i);
-                            scratch.demands.push(ShardDemand {
-                                network: model.network().clone(),
-                                desired,
-                            });
-                        }
-                        Err(e) => scratch.errors[i] = Some(e.to_string()),
-                    },
-                    Err(e) => scratch.errors[i] = Some(e.to_string()),
+                let epoch = shard.measurer.epoch();
+                if epoch != shard.demand_epoch {
+                    shard.demand_epoch = epoch;
+                    shard.demand_error = None;
+                    scratch.refit.push(i);
+                    shard.demand = match shard.measurer.estimates() {
+                        None => None,
+                        Some(est) => match PerformanceModel::new(&est.to_model_inputs()) {
+                            Ok(model) => {
+                                match shard_demand(&model, shard.t_max_secs, self.config.k_max) {
+                                    Ok(desired) => Some(ShardDemand {
+                                        network: model.network().clone(),
+                                        desired,
+                                    }),
+                                    Err(e) => {
+                                        shard.demand_error = Some(e.to_string());
+                                        None
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                shard.demand_error = Some(e.to_string());
+                                None
+                            }
+                        },
+                    };
                 }
-            }
-            for shard in &self.shards {
-                scratch
-                    .current_totals
-                    .push(executor_total(&shard.backend.current_allocation()));
+                if let Some(e) = &shard.demand_error {
+                    scratch.errors[i] = Some(e.clone());
+                }
             }
 
-            // 4. Central arbitration. Shards without a usable model keep
-            //    their current allocation; their executors are reserved out
-            //    of the budget before the others negotiate. Dead shards
-            //    reserve nothing — lease expiry is precisely the signal
-            //    that their grants are reclaimed and re-offered.
+            // 3b. Mirror the per-shard caches into the persistent packed
+            //     demand buffer. When the modeled set is unchanged, only
+            //     the slots refitted this window are rewritten (in place);
+            //     churn in the modeled set repacks, reusing the buffers.
+            let mut stable = scratch.demand_idx.len() == n;
+            if stable {
+                let mut next = 0usize;
+                for i in 0..n {
+                    match (self.shards[i].demand.is_some(), scratch.demand_idx[i]) {
+                        (true, Some(slot)) if slot == next => next += 1,
+                        (false, None) => {}
+                        _ => {
+                            stable = false;
+                            break;
+                        }
+                    }
+                }
+                stable = stable && next == scratch.modeled.len();
+            }
+            if stable {
+                for idx in 0..scratch.refit.len() {
+                    let i = scratch.refit[idx];
+                    if let (Some(slot), Some(d)) =
+                        (scratch.demand_idx[i], self.shards[i].demand.as_ref())
+                    {
+                        scratch.demands[slot].clone_from(d);
+                    }
+                }
+            } else {
+                scratch.modeled.clear();
+                scratch.demand_idx.clear();
+                scratch.demand_idx.resize(n, None);
+                let mut slot = 0usize;
+                for i in 0..n {
+                    let Some(d) = self.shards[i].demand.as_ref() else {
+                        continue;
+                    };
+                    if slot < scratch.demands.len() {
+                        scratch.demands[slot].clone_from(d);
+                    } else {
+                        scratch.demands.push(d.clone());
+                    }
+                    scratch.demand_idx[i] = Some(slot);
+                    scratch.modeled.push(i);
+                    slot += 1;
+                }
+                scratch.demands.truncate(slot);
+            }
+
+            // 4. Central arbitration — warm-start incremental: per-window
+            //    cost is O(changed slots + executor moves), zero heap
+            //    allocations when nothing changed. Shards without a usable
+            //    model keep their current allocation; their executors are
+            //    reserved out of the budget before the others negotiate.
+            //    Dead shards reserve nothing — lease expiry is precisely
+            //    the signal that their grants are reclaimed and re-offered.
             if !scratch.modeled.is_empty() {
                 let reserved: u64 = (0..n)
                     .filter(|&i| scratch.demand_idx[i].is_none() && !self.shards[i].dead)
@@ -1123,13 +2070,16 @@ impl<B: CspBackend> FleetDriver<B> {
                     .sum();
                 let budget = u32::try_from(u64::from(self.config.k_max).saturating_sub(reserved))
                     .expect("reserved budget is clamped below k_max, which fits in u32");
-                match self.negotiator.negotiate_within(budget, &scratch.demands) {
-                    Ok(granted) => {
-                        contended = granted.iter().any(|g| g.capped);
-                        for (slot, grant) in granted.into_iter().enumerate() {
-                            let i = scratch.modeled[slot];
-                            scratch.capped[i] = grant.capped;
-                            scratch.grants[i] = Some(grant);
+                match self
+                    .negotiator
+                    .negotiate_within_incremental(budget, &scratch.demands)
+                {
+                    Ok(()) => {
+                        scratch.negotiated_ok = true;
+                        let grants = self.negotiator.grants();
+                        contended = grants.iter().any(|g| g.capped);
+                        for (grant, &shard) in grants.iter().zip(&scratch.modeled) {
+                            scratch.capped[shard] = grant.capped;
                         }
                         // 4b. Gate-aware wobble pass: consult each shard's
                         //     decision gate *now* and re-arbitrate around
@@ -1163,29 +2113,35 @@ impl<B: CspBackend> FleetDriver<B> {
                 .sum();
             {
                 // Distinct from the caller's `order` (the measurement
-                // interleaving): actuation always shrinks first.
+                // interleaving): actuation always shrinks first. The
+                // unstable sort is deterministic — every key ends in the
+                // unique shard index — and, unlike the stable sort, does
+                // not allocate its merge buffer.
+                for i in 0..n {
+                    let target = scratch
+                        .grant(&self.negotiator, i)
+                        .map_or(scratch.current_totals[i], ShardGrant::total);
+                    scratch.target_totals.push(target);
+                }
                 let FleetScratch {
                     actuation_order,
-                    grants,
+                    target_totals,
                     current_totals,
                     ..
                 } = &mut scratch;
                 actuation_order.extend(0..n);
-                actuation_order.sort_by_key(|&i| {
-                    let target = grants[i]
-                        .as_ref()
-                        .map_or(current_totals[i], ShardGrant::total);
-                    (target > current_totals[i], i)
-                });
+                actuation_order
+                    .sort_unstable_by_key(|&i| (target_totals[i] > current_totals[i], i));
             }
             for slot in 0..n {
                 let i = scratch.actuation_order[slot];
-                let Some(grant) = scratch.grants[i].take() else {
-                    continue;
-                };
-                let current = self.shards[i].backend.current_allocation();
-                if grant.allocation == current {
-                    continue;
+                {
+                    let Some(grant) = scratch.grant(&self.negotiator, i) else {
+                        continue;
+                    };
+                    if grant.allocation == scratch.current_allocs[i] {
+                        continue;
+                    }
                 }
                 // Channel in backoff after an unacknowledged actuation:
                 // hold this window's command instead of spamming the
@@ -1203,15 +2159,21 @@ impl<B: CspBackend> FleetDriver<B> {
                 // round-trip the pass failed to predict. Contended and
                 // promoted shrinks bypass the gate — capped shards are
                 // starving and the freed capacity must actually flow.
-                let urgent_shrink =
-                    (contended || scratch.urgent[i]) && grant.total() < scratch.current_totals[i];
-                if !urgent_shrink && self.gate_refuses(i, &grant, &current, &scratch) {
+                let urgent_shrink = (contended || scratch.urgent[i])
+                    && scratch.target_totals[i] < scratch.current_totals[i];
+                let refused = !urgent_shrink && {
+                    let grant = scratch
+                        .grant(&self.negotiator, i)
+                        .expect("resolved just above");
+                    self.gate_refuses(i, grant, &scratch.current_allocs[i], &scratch)
+                };
+                if refused {
                     scratch.gated[i] = true;
                     self.wasted_grants += 1;
                     continue;
                 }
-                if grant.total() > scratch.current_totals[i]
-                    && fleet_total - scratch.current_totals[i] + grant.total()
+                if scratch.target_totals[i] > scratch.current_totals[i]
+                    && fleet_total - scratch.current_totals[i] + scratch.target_totals[i]
                         > u64::from(self.config.k_max)
                 {
                     // An earlier shrink was refused and its executors are
@@ -1219,23 +2181,32 @@ impl<B: CspBackend> FleetDriver<B> {
                     // rather than over-commit the pool.
                     scratch.errors[i] = Some(format!(
                         "grow to {} deferred: a refused shrink left the fleet at {} of {} executors",
-                        grant.total(),
+                        scratch.target_totals[i],
                         fleet_total,
                         self.config.k_max
                     ));
                     self.wasted_grants += 1;
                     continue;
                 }
+                // The grant leaves the negotiator's warm state by clone
+                // exactly once, here — on a window that actually moves
+                // this shard.
+                let allocation = scratch
+                    .grant(&self.negotiator, i)
+                    .expect("resolved just above")
+                    .allocation
+                    .clone();
+                let placement = scratch.planned[i].take();
                 // Every command carries a fresh, strictly increasing
                 // epoch: a backend behind a delaying/duplicating channel
                 // rejects anything stale instead of double-applying it.
                 let shard = &mut self.shards[i];
                 shard.epoch += 1;
                 let plan = RebalancePlan {
-                    allocation: grant.allocation,
+                    allocation,
                     pause_secs: self.config.pause_secs,
                     epoch: shard.epoch,
-                    placement: scratch.planned[i].take(),
+                    placement,
                 };
                 match shard.backend.apply(&plan) {
                     Ok(applied) => {
@@ -1296,8 +2267,9 @@ impl<B: CspBackend> FleetDriver<B> {
                 }
                 // A deferred or refused grant leaves the assignment solved
                 // for an allocation the backend never adopted: drop it and
-                // re-solve next window.
-                if p.allocation() != shard.backend.current_allocation() {
+                // re-solve next window. (Not rebalanced this window, so
+                // the cached allocation is still what the backend runs.)
+                if p.allocation() != scratch.current_allocs[i] {
                     continue;
                 }
                 match shard.backend.apply_placement(&p) {
@@ -1311,47 +2283,63 @@ impl<B: CspBackend> FleetDriver<B> {
             }
         }
 
-        // 6. Record the window: the applied allocation where a rebalance
-        //    fired this window, the backend's live allocation otherwise.
-        let shard_points: Vec<ShardPoint> = self
-            .shards
-            .iter()
-            .enumerate()
-            .map(|(i, shard)| {
-                let allocation = scratch.applied[i]
-                    .take()
-                    .unwrap_or_else(|| shard.backend.current_allocation());
-                let sample = scratch.samples[i].as_ref().expect("every shard advanced");
-                ShardPoint {
-                    name: shard.name.clone(),
-                    dead: shard.dead,
-                    mean_sojourn_ms: sample.mean_sojourn.map(|s| s * 1e3),
-                    completed: sample.completed,
-                    allocation,
-                    demand: scratch.demand_idx[i]
-                        .map(|slot| executor_total(&scratch.demands[slot].desired)),
-                    capped: scratch.capped[i],
-                    rebalanced: scratch.rebalanced[i],
-                    gated: scratch.gated[i],
-                    error: scratch.errors[i].take(),
-                }
-            })
-            .collect();
-        self.timeline.push(FleetWindow {
-            window,
-            contended,
-            // Dead shards' grants are reclaimed — only live executors
-            // occupy the pool.
-            total_granted: shard_points
-                .iter()
-                .filter(|s| !s.dead)
-                .map(ShardPoint::granted)
-                .sum(),
-            shards: shard_points,
-            error: fleet_error,
+        // 6. Record the window in place: the applied allocation where a
+        //    rebalance fired this window, the cached live allocation
+        //    otherwise. `last_window` is updated field by field (steady
+        //    state allocates nothing); the timeline, when recorded, takes
+        //    a clone.
+        self.last_window.window = window;
+        self.last_window.contended = contended;
+        self.last_window.error = fleet_error;
+        self.last_window.shards.resize_with(n, || ShardPoint {
+            name: String::new(),
+            dead: false,
+            mean_sojourn_ms: None,
+            completed: 0,
+            allocation: Vec::new(),
+            demand: None,
+            capped: false,
+            rebalanced: false,
+            gated: false,
+            error: None,
         });
+        let mut total_granted = 0u64;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let point = &mut self.last_window.shards[i];
+            point.name.clone_from(&shard.name);
+            point.dead = shard.dead;
+            let sample = &scratch.samples[i];
+            point.mean_sojourn_ms = sample.mean_sojourn.map(|s| s * 1e3);
+            point.completed = sample.completed;
+            match scratch.applied[i].take() {
+                Some(a) => point.allocation = a,
+                None => point.allocation.clone_from(&scratch.current_allocs[i]),
+            }
+            point.demand = scratch
+                .demand_idx
+                .get(i)
+                .copied()
+                .flatten()
+                .map(|slot| executor_total(&scratch.demands[slot].desired));
+            point.capped = scratch.capped[i];
+            point.rebalanced = scratch.rebalanced[i];
+            point.gated = scratch.gated[i];
+            point.error = scratch.errors[i].take();
+            if !point.dead {
+                // Dead shards' grants are reclaimed — only live executors
+                // occupy the pool.
+                total_granted += executor_total(&point.allocation);
+            }
+        }
+        self.last_window.total_granted = total_granted;
+        self.completed_windows += 1;
         self.scratch = scratch;
-        self.timeline.last().expect("just pushed")
+        if self.config.record_timeline {
+            self.timeline.push(self.last_window.clone());
+            self.timeline.last().expect("just pushed")
+        } else {
+            &self.last_window
+        }
     }
 
     /// Whether shard `i`'s own cost/benefit gate (paper App. B-B) refuses
@@ -1368,7 +2356,7 @@ impl<B: CspBackend> FleetDriver<B> {
             return false;
         };
         let network = &scratch.demands[slot].network;
-        let sample = scratch.samples[i].as_ref().expect("every shard advanced");
+        let sample = &scratch.samples[i];
         let verdict = decision::decide(
             &self.config.decision,
             &DecisionInputs {
@@ -1402,20 +2390,17 @@ impl<B: CspBackend> FleetDriver<B> {
     ///   load-bearing after all (holding it starves another shard), so the
     ///   round-1 grants stand and the held shrinks are promoted to urgent:
     ///   they bypass the actuation gate exactly like contended shrinks.
-    fn gate_aware_pass(&mut self, scratch: &mut FleetScratch, budget: u32, contended: bool) {
+    fn gate_aware_pass(&self, scratch: &mut FleetScratch, budget: u32, contended: bool) {
         for slot in 0..scratch.modeled.len() {
             let i = scratch.modeled[slot];
-            let Some(grant) = &scratch.grants[i] else {
-                continue;
-            };
-            let current = self.shards[i].backend.current_allocation();
-            if grant.allocation == current {
+            let grant = &self.negotiator.grants()[slot];
+            if grant.allocation == scratch.current_allocs[i] {
                 continue;
             }
             if contended && grant.total() < scratch.current_totals[i] {
                 continue; // contended shrinks actuate unconditionally
             }
-            if self.gate_refuses(i, grant, &current, scratch) {
+            if self.gate_refuses(i, grant, &scratch.current_allocs[i], scratch) {
                 scratch.held.push(i);
             }
         }
@@ -1426,7 +2411,7 @@ impl<B: CspBackend> FleetDriver<B> {
             for idx in 0..scratch.held.len() {
                 let i = scratch.held[idx];
                 scratch.gated[i] = true;
-                scratch.grants[i] = None;
+                scratch.suppressed[i] = true;
             }
             return;
         }
@@ -1437,28 +2422,40 @@ impl<B: CspBackend> FleetDriver<B> {
             .sum();
         let budget2 =
             u32::try_from(u64::from(budget).saturating_sub(held_reserved)).unwrap_or(u32::MAX);
-        for slot in 0..scratch.modeled.len() {
-            let i = scratch.modeled[slot];
-            if scratch.held.contains(&i) {
-                continue;
+        // The re-offer round runs over *borrowed* demands through the
+        // stateless from-scratch path: a subset round must not disturb the
+        // warm per-slot state the incremental negotiator carries for the
+        // full fleet.
+        let result = {
+            let FleetScratch {
+                demands,
+                modeled,
+                held,
+                round_shards,
+                ..
+            } = &mut *scratch;
+            let mut round_refs: Vec<&ShardDemand> = Vec::with_capacity(modeled.len() - held.len());
+            for slot in 0..modeled.len() {
+                let i = modeled[slot];
+                if held.contains(&i) {
+                    continue;
+                }
+                round_shards.push(i);
+                round_refs.push(&demands[slot]);
             }
-            scratch.round_shards.push(i);
-            scratch.round_demands.push(scratch.demands[slot].clone());
-        }
-        match self
-            .negotiator
-            .negotiate_within(budget2, &scratch.round_demands)
-        {
+            FleetNegotiator::negotiate_scratch(budget2, &round_refs)
+        };
+        match result {
             Ok(granted) if granted.iter().all(|g| !g.capped) => {
                 for idx in 0..scratch.held.len() {
                     let i = scratch.held[idx];
                     scratch.gated[i] = true;
-                    scratch.grants[i] = None;
+                    scratch.suppressed[i] = true;
                 }
-                for (slot, grant) in granted.into_iter().enumerate() {
-                    let i = scratch.round_shards[slot];
-                    scratch.capped[i] = grant.capped;
-                    scratch.grants[i] = Some(grant);
+                scratch.round2_grants = granted;
+                for (r2, &i) in scratch.round_shards.iter().enumerate() {
+                    scratch.capped[i] = scratch.round2_grants[r2].capped;
+                    scratch.round2_idx[i] = Some(r2);
                 }
             }
             _ => {
@@ -1488,19 +2485,17 @@ impl<B: CspBackend> FleetDriver<B> {
             let Some(info) = &shard.placement_info else {
                 continue;
             };
-            let current;
-            let target: &[u32] = match scratch.grants[i].as_ref() {
-                Some(grant) => &grant.allocation,
-                None => {
-                    current = shard.backend.current_allocation();
-                    &current
-                }
+            let request = {
+                let target: &[u32] = match scratch.grant(&self.negotiator, i) {
+                    Some(grant) => &grant.allocation,
+                    None => &scratch.current_allocs[i],
+                };
+                info.request(target, &scratch.samples[i])
             };
-            let sample = scratch.samples[i].as_ref().expect("every shard advanced");
             scratch.placement_shards.push(i);
             scratch
                 .placement_requests
-                .push((shard.name.clone(), info.request(target, sample)));
+                .push((shard.name.clone(), request));
         }
         if scratch.placement_requests.is_empty() {
             return;

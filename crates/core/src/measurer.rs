@@ -101,25 +101,35 @@ impl Stream {
         }
     }
 
-    fn observe(&mut self, x: f64, weight: f64) {
+    /// Ingests one observation; `true` when the smoothed value may have
+    /// changed. α-streams compare bits — under constant input the
+    /// exponential recurrence reaches a floating-point fixpoint after a few
+    /// dozen windows, and from then on reports `false`, which is what lets
+    /// [`Measurer::epoch`] stand still in steady state. Window streams
+    /// always report `true` (their contents shift every observation).
+    fn observe(&mut self, x: f64, weight: f64) -> bool {
         match self {
             Stream::Alpha { alpha, state } => {
                 // The fading factor scales with the weight: at weight 1
                 // this is exactly `α·prev + (1−α)·x`; at weight → 0 the
                 // previous state survives untouched.
-                *state = Some(match *state {
+                let next = match *state {
                     None => x,
                     Some(prev) => {
                         let gain = (1.0 - *alpha) * weight;
                         (1.0 - gain) * prev + gain * x
                     }
-                });
+                };
+                let changed = state.is_none_or(|prev| prev.to_bits() != next.to_bits());
+                *state = Some(next);
+                changed
             }
             Stream::Window { size, values } => {
                 if values.len() == *size {
                     values.pop_front();
                 }
                 values.push_back((x, weight));
+                true
             }
         }
     }
@@ -204,6 +214,7 @@ pub struct Measurer {
     services: Vec<Stream>,
     sojourn: Stream,
     windows_seen: u64,
+    epoch: u64,
 }
 
 impl Measurer {
@@ -220,6 +231,7 @@ impl Measurer {
             services: (0..n_operators).map(|_| Stream::new(smoothing)).collect(),
             sojourn: Stream::new(smoothing),
             windows_seen: 0,
+            epoch: 0,
         })
     }
 
@@ -236,6 +248,18 @@ impl Measurer {
     /// Number of windows observed so far.
     pub fn windows_seen(&self) -> u64 {
         self.windows_seen
+    }
+
+    /// A counter that advances exactly when an observation changed some
+    /// smoothed value (bitwise). Callers that derive expensive artifacts
+    /// from [`estimates`](Self::estimates) — the fleet driver's per-shard
+    /// model refits — cache the epoch of their last derivation and skip the
+    /// work while it stands still. Under α-smoothing a constant input
+    /// reaches its floating-point fixpoint within a few dozen windows, so a
+    /// steady shard stops paying for refits (and their allocations)
+    /// entirely; window smoothing never reports a standstill.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Ingests one raw window.
@@ -273,13 +297,16 @@ impl Measurer {
             1.0
         };
         self.windows_seen += 1;
-        self.external.observe(raw.external_rate, weight);
+        let mut changed = self.external.observe(raw.external_rate, weight);
         for (i, rates) in raw.operators.iter().enumerate() {
-            self.arrivals[i].observe(rates.arrival_rate, weight);
-            self.services[i].observe(rates.service_rate, weight);
+            changed |= self.arrivals[i].observe(rates.arrival_rate, weight);
+            changed |= self.services[i].observe(rates.service_rate, weight);
         }
         if let Some(s) = raw.mean_sojourn {
-            self.sojourn.observe(s, weight);
+            changed |= self.sojourn.observe(s, weight);
+        }
+        if changed {
+            self.epoch += 1;
         }
     }
 
@@ -302,7 +329,7 @@ impl Measurer {
     }
 }
 
-/// Builds [`RawSample`]s from backend [`WindowSample`]s, falling back to
+/// Builds [`RawSample`]s from backend [`crate::driver::WindowSample`]s, falling back to
 /// the last known rates for operators a window starved (paper App. B: brief
 /// starvation under a rebalance pause must not zero the model) — and
 /// tracking **how old** that fallback evidence is, so callers on a lossy
@@ -372,39 +399,57 @@ impl SampleBuilder {
     /// rates; returns `None` when no usable rates exist yet (nothing has
     /// ever arrived, or a starved operator has no history).
     pub fn build(&mut self, w: &crate::driver::WindowSample) -> Option<RawSample> {
-        if self.ages.len() < w.operators.len() {
-            self.ages.resize(w.operators.len(), 0);
-        }
-        match self.build_inner(w) {
-            Some(raw) => {
-                self.missed = 0;
-                Some(raw)
-            }
-            None => {
-                // The whole window is missing evidence: everything ages.
-                self.missed += 1;
-                for age in &mut self.ages {
-                    *age += 1;
-                }
-                self.staleness = self.ages.iter().copied().max().unwrap_or(0);
-                None
-            }
+        let mut out = RawSample {
+            external_rate: 0.0,
+            operators: Vec::new(),
+            mean_sojourn: None,
+        };
+        if self.build_into(w, &mut out) {
+            Some(out)
+        } else {
+            None
         }
     }
 
-    fn build_inner(&mut self, w: &crate::driver::WindowSample) -> Option<RawSample> {
-        let external_rate = w.external_rate?;
-        if external_rate <= 0.0 {
-            return None;
+    /// In-place [`build`](Self::build): writes the sample into `out`
+    /// (reusing its buffers — a caller feeding one persistent `RawSample`
+    /// per shard pays no allocation in steady state) and returns whether a
+    /// usable sample was produced. On `false`, `out`'s contents are
+    /// unspecified; the staleness/missed-window bookkeeping advances
+    /// exactly as with `build`.
+    pub fn build_into(&mut self, w: &crate::driver::WindowSample, out: &mut RawSample) -> bool {
+        if self.ages.len() < w.operators.len() {
+            self.ages.resize(w.operators.len(), 0);
         }
-        let mut operators = Vec::with_capacity(w.operators.len());
+        if self.build_inner(w, out) {
+            self.missed = 0;
+            true
+        } else {
+            // The whole window is missing evidence: everything ages.
+            self.missed += 1;
+            for age in &mut self.ages {
+                *age += 1;
+            }
+            self.staleness = self.ages.iter().copied().max().unwrap_or(0);
+            false
+        }
+    }
+
+    fn build_inner(&mut self, w: &crate::driver::WindowSample, out: &mut RawSample) -> bool {
+        let Some(external_rate) = w.external_rate else {
+            return false;
+        };
+        if external_rate <= 0.0 {
+            return false;
+        }
+        out.operators.clear();
         let mut ages = std::mem::take(&mut self.ages);
         let mut staleness = 0u64;
         for (slot, op) in w.operators.iter().enumerate() {
             match (op.arrival_rate, op.service_rate) {
                 (Some(a), Some(s)) if a > 0.0 && s > 0.0 => {
                     ages[slot] = 0;
-                    operators.push(OperatorRates {
+                    out.operators.push(OperatorRates {
                         arrival_rate: a,
                         service_rate: s,
                     });
@@ -412,22 +457,23 @@ impl SampleBuilder {
                 _ => {
                     let Some(last) = self.last_rates.as_ref().and_then(|l| l.get(slot)) else {
                         self.ages = ages;
-                        return None;
+                        return false;
                     };
                     ages[slot] += 1;
                     staleness = staleness.max(ages[slot]);
-                    operators.push(*last);
+                    out.operators.push(*last);
                 }
             }
         }
         self.ages = ages;
         self.staleness = staleness;
-        self.last_rates = Some(operators.clone());
-        Some(RawSample {
-            external_rate,
-            operators,
-            mean_sojourn: w.mean_sojourn,
-        })
+        match &mut self.last_rates {
+            Some(last) => last.clone_from(&out.operators),
+            None => self.last_rates = Some(out.operators.clone()),
+        }
+        out.external_rate = external_rate;
+        out.mean_sojourn = w.mean_sojourn;
+        true
     }
 
     /// Age, in windows, of the oldest substituted rate in the most recent

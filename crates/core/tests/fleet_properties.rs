@@ -300,3 +300,126 @@ fn decision_gate_damps_noise_driven_rebalance_churn() {
     // The fleet never exceeds its budget while damping.
     assert!(timeline.iter().all(|w| w.total_granted <= 40));
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The warm-start incremental negotiator is *observationally identical*
+    /// to from-scratch negotiation: across any sequence of demand drifts,
+    /// desired-allocation wobbles, shard churn (add/remove), budget swings,
+    /// and even invalid demands, every window's `Result` — grants
+    /// bit-for-bit, `capped` flags, and error variants included — equals
+    /// what a fresh negotiator produces for the same inputs.
+    #[test]
+    fn incremental_negotiation_matches_from_scratch(
+        loads in vec(vec((0.25f64..4.0, 0.3f64..5.5), 1..=3), 1..=4),
+        external in vec(2.0f64..60.0, 4),
+        slack in vec(1.3f64..4.0, 4),
+        // Per-window mutation script, drawn up front (no flat_map in the
+        // vendored proptest): (kind, selector, rate scale, budget scale).
+        steps in vec((0u8..5, 0usize..8, 0.7f64..1.4, 0.25f64..1.3), 1..=12),
+    ) {
+        let n = loads.len();
+        let mut networks = shard_networks(&loads, &external[..n]);
+        let Some(mut desired) = desired_allocations(&networks, &slack[..n], 512) else {
+            return Ok(());
+        };
+        let mut loads = loads;
+        let mut external = external[..n].to_vec();
+
+        // One warm negotiator carried across every window of the script.
+        let mut warm = FleetNegotiator::new(0);
+
+        let check = |warm: &mut FleetNegotiator,
+                         budget: u32,
+                         demands: &[ShardDemand],
+                         window: usize|
+         -> Result<(), TestCaseError> {
+            let scratch = FleetNegotiator::new(budget).negotiate_within(budget, demands);
+            let incremental = warm
+                .negotiate_within_incremental(budget, demands)
+                .map(|()| warm.grants().to_vec());
+            prop_assert_eq!(
+                incremental,
+                scratch,
+                "window {} diverged from from-scratch negotiation",
+                window
+            );
+            Ok(())
+        };
+
+        for (window, &(kind, sel, rate_scale, budget_scale)) in steps.iter().enumerate() {
+            let n = networks.len();
+            match kind {
+                // Demand drift: one shard's arrival rates move, offered
+                // loads (and thus minimum stable allocations) held fixed.
+                0 => {
+                    let i = sel % n;
+                    external[i] *= rate_scale;
+                    networks[i] =
+                        shard_networks(&loads[i..=i], &external[i..=i]).pop().unwrap();
+                }
+                // Desired wobble: one operator's schedule target steps by
+                // ±1 (possibly below minimum stable — the floor must win
+                // identically on both paths).
+                1 => {
+                    let i = sel % n;
+                    let op = sel % desired[i].len();
+                    desired[i][op] = if rate_scale > 1.0 {
+                        desired[i][op].saturating_add(1)
+                    } else {
+                        desired[i][op].saturating_sub(1)
+                    };
+                }
+                // Shard leaves the fleet.
+                2 if n > 1 => {
+                    let i = sel % n;
+                    loads.remove(i);
+                    external.remove(i);
+                    networks.remove(i);
+                    desired.remove(i);
+                }
+                // Shard joins the fleet (cloned from an existing one with
+                // a scaled arrival rate).
+                3 if n < 6 => {
+                    let j = sel % n;
+                    let lam = external[j] * rate_scale;
+                    loads.push(loads[j].clone());
+                    external.push(lam);
+                    let added =
+                        shard_networks(&loads[loads.len() - 1..], &[lam]).pop().unwrap();
+                    networks.push(added);
+                    desired.push(desired[j].clone());
+                }
+                _ => {} // pure budget move: demands unchanged this window
+            }
+
+            let demands: Vec<ShardDemand> = networks
+                .iter()
+                .zip(&desired)
+                .map(|(net, d)| ShardDemand { network: net.clone(), desired: d.clone() })
+                .collect();
+            let total_desired: u64 = desired
+                .iter()
+                .flat_map(|a| a.iter().map(|&k| u64::from(k)))
+                .sum();
+            let budget = ((total_desired as f64 * budget_scale) as u64)
+                .min(u64::from(u32::MAX)) as u32;
+
+            // Corruption window: a desired vector that does not match its
+            // network must produce the identical error without poisoning
+            // the warm state for later windows.
+            if kind == 4 {
+                let mut bad = demands.clone();
+                let i = sel % bad.len();
+                bad[i].desired.push(1);
+                check(&mut warm, budget, &bad, window)?;
+            }
+
+            check(&mut warm, budget, &demands, window)?;
+            // Zero-churn repeat: the pure steady-state path (no demand
+            // diff at all) must reproduce the same grants.
+            check(&mut warm, budget, &demands, window)?;
+        }
+    }
+}

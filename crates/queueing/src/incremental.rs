@@ -346,6 +346,15 @@ impl NetworkSojourn {
         self.steppers.iter().map(ErlangStepper::servers).collect()
     }
 
+    /// Writes the full current allocation into `out` (cleared first),
+    /// reusing its buffer — the allocation-free form of
+    /// [`NetworkSojourn::allocation`] for callers that refresh a grant in
+    /// place every window.
+    pub fn write_allocation(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.steppers.iter().map(ErlangStepper::servers));
+    }
+
     /// Network `E[T]` under the current allocation, in O(1). Infinite while
     /// any operator is unstable.
     pub fn expected_sojourn(&self) -> f64 {
@@ -394,7 +403,10 @@ impl NetworkSojourn {
     /// Takes one processor away from operator `op`, updating the cached
     /// network sojourn in O(1) — the descent twin of
     /// [`NetworkSojourn::increment`], for planners that walk allocations
-    /// *downward* (scale-in) instead of re-running Program 6 from scratch.
+    /// *downward* instead of re-running Program 6 from scratch. The fleet
+    /// negotiator's incremental warm-start path is the production caller:
+    /// it keeps each shard's walk at the previous grant across windows and
+    /// revokes processors through here when the equilibrium shifts.
     /// The operator's stepped model values are bit-identical to a fresh
     /// forward evaluation at the lower count (see [`ErlangStepper::step_down`]).
     ///

@@ -121,10 +121,27 @@ pub struct OperatorSojourn {
 /// assert!(net.expected_sojourn(&[6, 10])?.is_infinite());
 /// # Ok::<(), drs_queueing::jackson::JacksonError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
 pub struct JacksonNetwork {
     external_rate: f64,
     nodes: Vec<MmKQueue>,
+}
+
+// Manual impl so `clone_from` reuses the node buffer: callers that refresh
+// a cached network in place (the fleet driver does, every time a shard's
+// smoothed demand changes) must not pay an allocation per refresh.
+impl Clone for JacksonNetwork {
+    fn clone(&self) -> Self {
+        JacksonNetwork {
+            external_rate: self.external_rate,
+            nodes: self.nodes.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.external_rate = source.external_rate;
+        self.nodes.clone_from(&source.nodes);
+    }
 }
 
 impl JacksonNetwork {

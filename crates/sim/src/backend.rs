@@ -28,34 +28,44 @@ impl CspBackend for Simulator {
     }
 
     fn current_allocation(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.current_allocation_into(&mut out);
+        out
+    }
+
+    fn current_allocation_into(&self, out: &mut Vec<u32>) {
+        // Filled in place so a settled fleet window polling every shard
+        // stays allocation-free once `out` has bolt capacity.
         let allocation = self.allocation();
-        self.topology()
-            .bolts()
-            .map(|op| allocation[op.id().index()])
-            .collect()
+        out.clear();
+        out.extend(
+            self.topology()
+                .bolts()
+                .map(|op| allocation[op.id().index()]),
+        );
     }
 
     fn advance(&mut self, window_secs: f64) -> WindowSample {
+        let mut out = WindowSample::default();
+        self.advance_into(window_secs, &mut out);
+        out
+    }
+
+    fn advance_into(&mut self, window_secs: f64, out: &mut WindowSample) {
         self.run_for(SimDuration::from_secs_f64(window_secs));
         let w = self.take_window();
-        let operators = self
-            .topology()
-            .bolts()
-            .map(|op| {
-                let i = op.id().index();
-                OperatorSample {
-                    arrival_rate: w.operator_arrival_rate(i),
-                    service_rate: w.operator_service_rate(i),
-                }
-            })
-            .collect();
-        WindowSample {
-            external_rate: w.external_rate(),
-            operators,
-            mean_sojourn: w.mean_sojourn(),
-            std_sojourn: w.sojourn.std_dev(),
-            completed: w.sojourn.count(),
-        }
+        out.operators.clear();
+        out.operators.extend(self.topology().bolts().map(|op| {
+            let i = op.id().index();
+            OperatorSample {
+                arrival_rate: w.operator_arrival_rate(i),
+                service_rate: w.operator_service_rate(i),
+            }
+        }));
+        out.external_rate = w.external_rate();
+        out.mean_sojourn = w.mean_sojourn();
+        out.std_sojourn = w.sojourn.std_dev();
+        out.completed = w.sojourn.count();
     }
 
     fn apply(&mut self, plan: &RebalancePlan) -> Result<AppliedRebalance, BackendError> {

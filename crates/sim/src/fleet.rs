@@ -11,6 +11,13 @@
 //! stepping (shards may be advanced in any order within a window without
 //! changing any shard's measurements — the clocks are isolated).
 //!
+//! Each [`Simulator`] shard overrides the `*_into` backend hooks
+//! ([`drs_core::driver::CspBackend::advance_into`] and
+//! [`drs_core::driver::CspBackend::current_allocation_into`]) to fill the
+//! driver's reusable buffers in place, so a settled fleet — demand epochs
+//! quiet, grants equal to current allocations — runs its steady-state
+//! window without heap allocation regardless of shard count.
+//!
 //! A [`FaultyFleetCoordinator`] is the same fleet with every shard behind
 //! a fault-injected control channel ([`crate::faults`]): lossy/delayed
 //! reports and actuations, partitions, churn and crashes — the substrate
