@@ -7,6 +7,7 @@
 //! repro drive [--backend sim|runtime|both] [--quick]
 //! repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]
 //! repro fleet --scale 1k|10k|100k|1m [--smoke] [--seed N]
+//! repro fleet --scale 1k|10k|100k --place [--smoke] [--seed N]
 //! repro place [--smoke] [--seed N]
 //! repro soak [--smoke] [--seed N]
 //! repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]
@@ -17,8 +18,8 @@
 
 use drs_bench::sweep::{run_sweep, App};
 use drs_bench::{
-    ablation, drive, faults, fig10, fig8, fig9, fleet, fleet_scale, perf, perfdiff, place, soak,
-    surge, table2,
+    ablation, drive, faults, fig10, fig8, fig9, fleet, fleet_scale, perf, perfdiff, place,
+    place_scale, soak, surge, table2,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::env;
@@ -67,11 +68,13 @@ struct Options {
     tolerance: f64,
     faults: Option<String>,
     scale: Option<String>,
+    place: bool,
     paths: Vec<String>,
 }
 
 fn main() -> ExitCode {
     fleet_scale::set_alloc_probe(alloc_count);
+    place_scale::set_alloc_probe(alloc_count);
     let mut target = String::from("all");
     let mut target_set = false;
     let mut options = Options {
@@ -82,6 +85,7 @@ fn main() -> ExitCode {
         tolerance: 0.15,
         faults: None,
         scale: None,
+        place: false,
         paths: Vec::new(),
     };
     let mut args = env::args().skip(1);
@@ -112,6 +116,7 @@ fn main() -> ExitCode {
                 };
                 options.faults = Some(v);
             }
+            "--place" => options.place = true,
             "--scale" => {
                 let Some(v) = args.next() else {
                     eprintln!("--scale requires a fleet size: 1k|10k|100k|1m");
@@ -135,6 +140,7 @@ fn main() -> ExitCode {
                     "       repro fleet [--smoke] [--seed N] [--faults smoke|lossy|laggy|partition|churn|crash-storm]"
                 );
                 println!("       repro fleet --scale 1k|10k|100k|1m [--smoke] [--seed N]");
+                println!("       repro fleet --scale 1k|10k|100k --place [--smoke] [--seed N]");
                 println!("       repro place [--smoke] [--seed N]");
                 println!("       repro soak [--smoke] [--seed N]");
                 println!("       repro perfdiff <baseline.json> <current.json> [--tolerance 0.15]");
@@ -217,12 +223,26 @@ fn run_drive(options: &Options) -> ExitCode {
 }
 
 fn run_fleet(options: &Options) -> ExitCode {
+    if options.place && options.scale.is_none() {
+        eprintln!("--place requires --scale 1k|10k|100k");
+        return ExitCode::FAILURE;
+    }
     if let Some(scale) = options.scale.as_deref() {
         if options.faults.is_some() {
             eprintln!("--scale and --faults are mutually exclusive");
             return ExitCode::FAILURE;
         }
         let smoke = options.smoke || options.quick;
+        if options.place {
+            let Some(config) = place_scale::PlaceScaleConfig::named(scale, smoke, options.seed)
+            else {
+                eprintln!("unknown placement scale {scale}; use 1k|10k|100k");
+                return ExitCode::FAILURE;
+            };
+            let run = place_scale::run_place_scale(&config);
+            print!("{}", place_scale::render_place_scale(&config, &run));
+            return ExitCode::SUCCESS;
+        }
         let Some(config) = fleet_scale::FleetScaleConfig::named(scale, smoke, options.seed) else {
             eprintln!("unknown scale {scale}; use 1k|10k|100k|1m");
             return ExitCode::FAILURE;

@@ -25,6 +25,12 @@
 //!   from-scratch reference, negotiate-µs per contended window and
 //!   steady-state allocations per window, gated via the `fleet_scale`
 //!   section of `BENCH_PERF.json`;
+//! * [`place_scale`] — the same treatment for machine placement
+//!   (`repro fleet --scale ... --place`): the warm epoch-band
+//!   [`drs_core::placement::FleetPlacementState`] vs a from-scratch
+//!   `placement::plan` per window under seeded drift, assignments
+//!   cross-checked, gated via the `placement_scale` section of
+//!   `BENCH_PERF.json`;
 //! * [`faults`] — the same fleet under a degraded control plane: named
 //!   scenarios (`lossy`, `laggy`, `partition`, `churn`, `crash-storm`)
 //!   behind `repro fleet --faults`, rendering injected faults next to
@@ -61,6 +67,7 @@ pub mod fleet_scale;
 pub mod perf;
 pub mod perfdiff;
 pub mod place;
+pub mod place_scale;
 pub mod report;
 pub mod soak;
 pub mod surge;

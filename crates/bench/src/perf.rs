@@ -104,6 +104,34 @@ impl FleetScalePoint {
     }
 }
 
+/// The placement-scale comparison embedded in the snapshot: the smoke
+/// shape of `repro fleet --scale 100k --place` (100k shards on a shared
+/// 64-machine pool, 5% request churn per window), reduced to the gated
+/// numbers — the warm epoch-band
+/// [`drs_core::placement::FleetPlacementState`] against a from-scratch
+/// `placement::plan` per window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementScalePoint {
+    /// Shards in the synthetic fleet.
+    pub shards: u64,
+    /// Percent of shards whose placement request drifts per window.
+    pub churn_pct: f64,
+    /// Mean microseconds per drifting window, warm incremental arm.
+    pub incremental_us: f64,
+    /// Mean microseconds per drifting window, from-scratch `plan` arm.
+    pub scratch_us: f64,
+    /// Heap allocations across one zero-drift steady-state incremental
+    /// window — must be 0; `None` when no allocation probe is installed.
+    pub steady_allocs: Option<u64>,
+}
+
+impl PlacementScalePoint {
+    /// `scratch / incremental` — how many times faster the warm path is.
+    pub fn speedup(&self) -> f64 {
+        self.scratch_us / self.incremental_us
+    }
+}
+
 /// Simulator throughput for one workload profile.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimPoint {
@@ -218,6 +246,9 @@ pub struct PerfReport {
     /// Fleet-scale warm-start negotiation vs from-scratch (smoke shape of
     /// `repro fleet --scale 100k`).
     pub fleet_scale: FleetScalePoint,
+    /// Placement-scale warm-start machine assignment vs from-scratch
+    /// (smoke shape of `repro fleet --scale 100k --place`).
+    pub placement_scale: PlacementScalePoint,
     /// Simulator end-to-end runs.
     pub simulator: Vec<SimPoint>,
     /// Live-runtime end-to-end runs.
@@ -612,6 +643,21 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         steady_allocs: scale_run.incremental.steady_allocs,
     };
 
+    // The placement twin: same 100k smoke shape, warm epoch-band
+    // placement state vs a from-scratch `placement::plan` per drifting
+    // window. Like fleet_scale, the absolute µs carry runner bias but the
+    // incremental-vs-scratch ratio is hardware-immune.
+    let place_scale_config =
+        crate::place_scale::PlaceScaleConfig::named("100k", true, seed).expect("known scale name");
+    let place_scale_run = crate::place_scale::run_place_scale(&place_scale_config);
+    let placement_scale = PlacementScalePoint {
+        shards: place_scale_config.shards as u64,
+        churn_pct: place_scale_config.churn_fraction * 100.0,
+        incremental_us: place_scale_run.incremental_us,
+        scratch_us: place_scale_run.scratch_us,
+        steady_allocs: place_scale_run.steady_allocs,
+    };
+
     let mut simulator = Vec::new();
     for (name, secs) in [("vld", 60u64), ("fpd", 10u64)] {
         // Minimum wall time over the runs: identical seeds make every run
@@ -725,6 +771,7 @@ pub fn run_perf(iterations: u32, seed: u64) -> PerfReport {
         event_queue,
         event_queue_far,
         fleet_scale,
+        placement_scale,
         simulator,
         runtime,
         worker_pool,
@@ -798,6 +845,28 @@ pub fn render_perf(report: &PerfReport) -> String {
             format!("{:.1}x", report.fleet_scale.speedup()),
             report
                 .fleet_scale
+                .steady_allocs
+                .map_or_else(|| "n/a".to_owned(), |n| n.to_string()),
+        ]],
+    ));
+    out.push_str(&render_table(
+        "Placement scale: incremental vs from-scratch machine assignment (µs per drifting window)",
+        &[
+            "shards",
+            "churn %",
+            "incremental (µs)",
+            "from-scratch (µs)",
+            "speedup",
+            "steady allocs",
+        ],
+        &[vec![
+            report.placement_scale.shards.to_string(),
+            format!("{:.0}", report.placement_scale.churn_pct),
+            format!("{:.1}", report.placement_scale.incremental_us),
+            format!("{:.1}", report.placement_scale.scratch_us),
+            format!("{:.1}x", report.placement_scale.speedup()),
+            report
+                .placement_scale
                 .steady_allocs
                 .map_or_else(|| "n/a".to_owned(), |n| n.to_string()),
         ]],
@@ -952,6 +1021,23 @@ pub fn perf_json(report: &PerfReport) -> String {
         report.fleet_scale.scratch_us,
         report.fleet_scale.speedup(),
         steady,
+    ));
+    // `place_shards`/`place_incremental_us` (not `shards`/`incremental_us`)
+    // keep the line-keyed perfdiff parser from reading this row as a
+    // fleet_scale point.
+    let place_steady = report
+        .placement_scale
+        .steady_allocs
+        .map_or_else(String::new, |n| format!(", \"place_steady_allocs\": {n}"));
+    s.push_str("  ],\n  \"placement_scale\": [\n");
+    s.push_str(&format!(
+        "    {{\"place_shards\": {}, \"churn_pct\": {:.1}, \"place_incremental_us\": {:.2}, \"place_scratch_us\": {:.2}, \"place_speedup\": {:.2}{}}}\n",
+        report.placement_scale.shards,
+        report.placement_scale.churn_pct,
+        report.placement_scale.incremental_us,
+        report.placement_scale.scratch_us,
+        report.placement_scale.speedup(),
+        place_steady,
     ));
     s.push_str("  ],\n  \"simulator\": [\n");
     for (i, p) in report.simulator.iter().enumerate() {
@@ -1114,6 +1200,13 @@ mod tests {
                 scratch_us: 1_000_000.0,
                 steady_allocs: Some(0),
             },
+            placement_scale: PlacementScalePoint {
+                shards: 100_000,
+                churn_pct: 5.0,
+                incremental_us: 30_000.0,
+                scratch_us: 600_000.0,
+                steady_allocs: Some(0),
+            },
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -1176,6 +1269,10 @@ mod tests {
         assert!(json.contains("\"churn_pct\": 5.0"));
         assert!(json.contains("\"fleet_speedup\": 16.67"));
         assert!(json.contains("\"steady_allocs\": 0"));
+        assert!(json.contains("\"place_shards\": 100000"));
+        assert!(json.contains("\"place_incremental_us\": 30000.00"));
+        assert!(json.contains("\"place_speedup\": 20.00"));
+        assert!(json.contains("\"place_steady_allocs\": 0"));
         assert!(json.contains("\"app\": \"vld\""));
         assert!(json.contains("\"pipeline\": \"vld_live\""));
         assert!(json.contains("\"workers\": 2"));
@@ -1204,6 +1301,7 @@ mod tests {
         assert!(s.contains("calendar (ns)"));
         assert!(s.contains("far-future-heavy"));
         assert!(s.contains("incremental vs from-scratch negotiation"));
+        assert!(s.contains("incremental vs from-scratch machine assignment"));
         assert!(s.contains("steady allocs"));
         assert!(s.contains("tuples/wall-sec"));
         assert!(s.contains("Worker-pool sweep"));

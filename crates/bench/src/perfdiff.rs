@@ -25,6 +25,16 @@
 //!   from-scratch reference at 100k shards / 5% churn, plus the heap
 //!   allocations of a zero-churn steady-state window (held at 0 by a
 //!   `drs-core` test; gated here so it can only ratchet down);
+//! * `placement_scale[].place_incremental_us` (lower is better),
+//!   `placement_scale[].place_speedup` (higher is better) and
+//!   `placement_scale[].place_steady_allocs` (lower is better) — the
+//!   warm epoch-band placement state
+//!   (`drs_core::placement::FleetPlacementState`) per drifting window
+//!   against a from-scratch `placement::plan` at 100k shards / 5%
+//!   request churn on a 64-machine pool, plus the heap allocations of a
+//!   zero-drift steady-state window. The allocs gate starts from a zero
+//!   baseline, so *any* nonzero current value hard-fails (infinite
+//!   regression) rather than slipping under a relative tolerance;
 //! * `simulator[].trees_per_wall_sec` (higher is better) — end-to-end
 //!   simulator throughput, per workload;
 //! * `runtime[].tuples_per_wall_sec` (higher is better) — end-to-end live
@@ -223,6 +233,33 @@ pub fn parse_metrics(json: &str) -> Result<Vec<MetricDelta>, PerfDiffError> {
                 });
             }
         }
+        if let (Some(shards), Some(incremental)) = (
+            field_f64(line, "place_shards"),
+            field_f64(line, "place_incremental_us"),
+        ) {
+            metrics.push(MetricDelta {
+                name: format!("placement_scale[shards={shards}].place_incremental_us"),
+                baseline: incremental,
+                current: f64::NAN,
+                higher_is_better: false,
+            });
+            if let Some(speedup) = field_f64(line, "place_speedup") {
+                metrics.push(MetricDelta {
+                    name: format!("placement_scale[shards={shards}].place_speedup"),
+                    baseline: speedup,
+                    current: f64::NAN,
+                    higher_is_better: true,
+                });
+            }
+            if let Some(allocs) = field_f64(line, "place_steady_allocs") {
+                metrics.push(MetricDelta {
+                    name: format!("placement_scale[shards={shards}].place_steady_allocs"),
+                    baseline: allocs,
+                    current: f64::NAN,
+                    higher_is_better: false,
+                });
+            }
+        }
         if let (Some(app), Some(tps)) = (
             field_str(line, "app"),
             field_f64(line, "trees_per_wall_sec"),
@@ -412,8 +449,8 @@ mod tests {
     use super::*;
     use crate::perf::{
         perf_json, EventQueueFarPoint, EventQueuePoint, FleetScalePoint, PerfReport,
-        PlacementPoint, RebalancePoint, RuntimePoint, SchedPoint, SimPoint, SoakPoint,
-        WorkerPoolPoint,
+        PlacementPoint, PlacementScalePoint, RebalancePoint, RuntimePoint, SchedPoint, SimPoint,
+        SoakPoint, WorkerPoolPoint,
     };
 
     /// The far-future event-queue row shared by the fixtures; varied only
@@ -434,6 +471,18 @@ mod tests {
             churn_pct: 5.0,
             incremental_us: 60_000.0,
             scratch_us: 1_000_000.0,
+            steady_allocs: Some(0),
+        }
+    }
+
+    /// The placement-scale row shared by the fixtures; varied only by the
+    /// dedicated test.
+    fn placement_scale_point() -> PlacementScalePoint {
+        PlacementScalePoint {
+            shards: 100_000,
+            churn_pct: 5.0,
+            incremental_us: 30_000.0,
+            scratch_us: 600_000.0,
             steady_allocs: Some(0),
         }
     }
@@ -500,6 +549,7 @@ mod tests {
             }],
             event_queue_far: far_point(),
             fleet_scale: fleet_scale_point(),
+            placement_scale: placement_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -560,6 +610,7 @@ mod tests {
                     && !l.contains("\"event_queue\"")
                     && !l.contains("\"event_queue_far\"")
                     && !l.contains("\"fleet_scale\"")
+                    && !l.contains("\"placement_scale\"")
                     && !l.contains("\"runtime\"")
                     && !l.contains("\"worker_pool\"")
                     && !l.contains("\"rebalance\"")
@@ -586,6 +637,9 @@ mod tests {
                 "fleet_scale[shards=100000].incremental_us",
                 "fleet_scale[shards=100000].fleet_speedup",
                 "fleet_scale[shards=100000].steady_allocs",
+                "placement_scale[shards=100000].place_incremental_us",
+                "placement_scale[shards=100000].place_speedup",
+                "placement_scale[shards=100000].place_steady_allocs",
                 "simulator[vld].trees_per_wall_sec",
                 "runtime[vld_live].tuples_per_wall_sec",
                 "worker_pool[workers=2].tuples_per_wall_sec",
@@ -602,8 +656,8 @@ mod tests {
             ]
         );
         let expect_higher = [
-            false, true, false, true, false, true, false, true, false, true, true, true, false,
-            true, false, false, true, false, false, false, false, true,
+            false, true, false, true, false, true, false, true, false, false, true, false, true,
+            true, true, false, true, false, false, true, false, false, false, false, true,
         ];
         for (m, &higher) in metrics.iter().zip(&expect_higher) {
             assert_eq!(m.higher_is_better, higher, "{}", m.name);
@@ -825,6 +879,7 @@ mod tests {
             }],
             event_queue_far: far_point(),
             fleet_scale: fleet_scale_point(),
+            placement_scale: placement_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -899,6 +954,7 @@ mod tests {
             }],
             event_queue_far: far_point(),
             fleet_scale: fleet_scale_point(),
+            placement_scale: placement_scale_point(),
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -931,9 +987,14 @@ mod tests {
         );
     }
 
-    /// Build the fixture snapshot with the far-queue and fleet-scale rows
-    /// swapped out, leaving every other section at its shared default.
-    fn snapshot_with_scale_points(far: EventQueueFarPoint, fleet: FleetScalePoint) -> String {
+    /// Build the fixture snapshot with the far-queue, fleet-scale and
+    /// placement-scale rows swapped out, leaving every other section at
+    /// its shared default.
+    fn snapshot_with_scale_points(
+        far: EventQueueFarPoint,
+        fleet: FleetScalePoint,
+        place: PlacementScalePoint,
+    ) -> String {
         perf_json(&PerfReport {
             scheduling: vec![SchedPoint {
                 k_max: 48,
@@ -947,6 +1008,7 @@ mod tests {
             }],
             event_queue_far: far,
             fleet_scale: fleet,
+            placement_scale: place,
             simulator: vec![SimPoint {
                 name: "vld",
                 simulated_secs: 60,
@@ -979,7 +1041,8 @@ mod tests {
         // holds still, and the far-future calendar point quadruples against
         // a fixed heap reference: the wall metrics and both hardware-immune
         // speedup ratios must all offend.
-        let baseline = snapshot_with_scale_points(far_point(), fleet_scale_point());
+        let baseline =
+            snapshot_with_scale_points(far_point(), fleet_scale_point(), placement_scale_point());
         let slow_far = EventQueueFarPoint {
             calendar_ns: far_point().calendar_ns * 4.0,
             ..far_point()
@@ -988,7 +1051,11 @@ mod tests {
             incremental_us: fleet_scale_point().incremental_us * 3.0,
             ..fleet_scale_point()
         };
-        let deltas = diff(&baseline, &snapshot_with_scale_points(slow_far, slow_fleet)).unwrap();
+        let deltas = diff(
+            &baseline,
+            &snapshot_with_scale_points(slow_far, slow_fleet, placement_scale_point()),
+        )
+        .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
         for name in [
             "event_queue_far[pending=1000000].calendar_ns",
@@ -1007,8 +1074,8 @@ mod tests {
             ..fleet_scale_point()
         };
         let deltas = diff(
-            &snapshot_with_scale_points(far_point(), fleet_scale_point()),
-            &snapshot_with_scale_points(far_point(), leaky),
+            &snapshot_with_scale_points(far_point(), fleet_scale_point(), placement_scale_point()),
+            &snapshot_with_scale_points(far_point(), leaky, placement_scale_point()),
         )
         .unwrap();
         let (rendered, offenders) = report(&deltas, 0.15);
@@ -1021,6 +1088,64 @@ mod tests {
     }
 
     #[test]
+    fn placement_scale_is_gated_direction_aware() {
+        // The incremental placement window triples while the from-scratch
+        // arm holds still: both the wall metric and the hardware-immune
+        // speedup ratio offend. The untouched fleet_scale twin stays clean
+        // — the `place_`-prefixed keys keep the two sections' rows apart
+        // in the line-keyed parser.
+        let baseline =
+            snapshot_with_scale_points(far_point(), fleet_scale_point(), placement_scale_point());
+        let slow = PlacementScalePoint {
+            incremental_us: placement_scale_point().incremental_us * 3.0,
+            ..placement_scale_point()
+        };
+        let deltas = diff(
+            &baseline,
+            &snapshot_with_scale_points(far_point(), fleet_scale_point(), slow),
+        )
+        .unwrap();
+        let (rendered, offenders) = report(&deltas, 0.15);
+        for name in [
+            "placement_scale[shards=100000].place_incremental_us",
+            "placement_scale[shards=100000].place_speedup",
+        ] {
+            assert!(
+                offenders.iter().any(|m| m.name == name),
+                "{name}\n{rendered}"
+            );
+        }
+        assert!(
+            !offenders.iter().any(|m| m.name.starts_with("fleet_scale")),
+            "{rendered}"
+        );
+
+        // Steady placement allocations leaking in from the zero baseline
+        // hard-fail: the regression is infinite, beyond any tolerance.
+        let leaky = PlacementScalePoint {
+            steady_allocs: Some(64),
+            ..placement_scale_point()
+        };
+        let deltas = diff(
+            &baseline,
+            &snapshot_with_scale_points(far_point(), fleet_scale_point(), leaky),
+        )
+        .unwrap();
+        let alloc_delta = deltas
+            .iter()
+            .find(|d| d.name == "placement_scale[shards=100000].place_steady_allocs")
+            .expect("gated metric present");
+        assert_eq!(alloc_delta.regression(), f64::INFINITY);
+        let (rendered, offenders) = report(&deltas, 1_000_000.0);
+        assert!(
+            offenders
+                .iter()
+                .any(|m| m.name == "placement_scale[shards=100000].place_steady_allocs"),
+            "an infinite regression must offend at any tolerance\n{rendered}"
+        );
+    }
+
+    #[test]
     fn metrics_new_in_current_are_informational_not_failures() {
         // An old-schema baseline (no event_queue / runtime sections)
         // against a full current snapshot: the gate must pass, and the new
@@ -1029,11 +1154,12 @@ mod tests {
         let news: Vec<&MetricDelta> = deltas.iter().filter(|d| d.is_new()).collect();
         assert_eq!(
             news.len(),
-            19,
+            22,
             "calendar_ns, eq_speedup, the two event_queue_far metrics, the \
-             three fleet_scale metrics, runtime tps, worker_pool tps, \
-             pause_us, pause_speedup, cross_fraction, mean_sojourn_ms, \
-             cross_cut, and the five soak metrics"
+             three fleet_scale metrics, the three placement_scale metrics, \
+             runtime tps, worker_pool tps, pause_us, pause_speedup, \
+             cross_fraction, mean_sojourn_ms, cross_cut, and the five soak \
+             metrics"
         );
         assert!(news.iter().all(|d| d.regression() == 0.0));
         let (rendered, offenders) = report(&deltas, 0.15);

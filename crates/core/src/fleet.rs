@@ -195,6 +195,7 @@ use drs_queueing::jackson::JacksonNetwork;
 use drs_topology::ResourceProfile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Total executors in an allocation (`u64` so fleet-wide sums cannot
 /// overflow).
@@ -1204,6 +1205,15 @@ pub struct FleetDriverConfig {
     /// updated in place, so a steady-state window records itself without
     /// allocating — and `timeline()` stays empty.
     pub record_timeline: bool,
+    /// Relative dead-band on measured edge rates for placement-epoch
+    /// purposes: a shard's cached placement inputs count as *changed*
+    /// (bumping its placement epoch and re-solving its machine
+    /// assignment) only when an edge's new rate differs from the cached
+    /// one by more than this fraction of the cached rate. Absorbs
+    /// measurement wobble that would otherwise dirty every shard every
+    /// window; allocation or resource-profile changes always count.
+    /// `0.0` disables the band (any rate movement re-places the shard).
+    pub placement_rate_band: f64,
 }
 
 impl FleetDriverConfig {
@@ -1212,8 +1222,8 @@ impl FleetDriverConfig {
     /// default decision gate hardened for fleet noise
     /// (`min_executor_savings` = 2, so a one-executor scale-down — the
     /// classic noise wobble — never pays for a pause on its own), a
-    /// 3-window liveness lease, an 8-window retry-backoff cap, and 0.5
-    /// per-window stale-evidence decay.
+    /// 3-window liveness lease, an 8-window retry-backoff cap, 0.5
+    /// per-window stale-evidence decay, and a 5% placement rate band.
     pub fn new(k_max: u32) -> Self {
         FleetDriverConfig {
             k_max,
@@ -1229,6 +1239,7 @@ impl FleetDriverConfig {
             retry_backoff_cap: 8,
             stale_decay: 0.5,
             record_timeline: true,
+            placement_rate_band: 0.05,
         }
     }
 }
@@ -1251,32 +1262,78 @@ pub struct ShardPlacementInfo {
 }
 
 impl ShardPlacementInfo {
+    /// The measured tuple rate on edge `(from, gain)` this window.
+    fn edge_rate(&self, from: usize, gain: f64, sample: &WindowSample) -> f64 {
+        gain * sample
+            .operators
+            .get(from)
+            .and_then(|o| o.arrival_rate)
+            .unwrap_or(1.0)
+    }
+
     /// The placement request for running `allocation` given this window's
     /// measured `sample`.
     pub fn request(&self, allocation: &[u32], sample: &WindowSample) -> PlacementRequest {
-        let operators = allocation
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| OperatorLoad {
+        let mut out = PlacementRequest::default();
+        self.request_into(&mut out, allocation, sample);
+        out
+    }
+
+    /// [`ShardPlacementInfo::request`] into a reused buffer — the
+    /// allocation-free form the warm placement state rewrites in place.
+    pub fn request_into(
+        &self,
+        out: &mut PlacementRequest,
+        allocation: &[u32],
+        sample: &WindowSample,
+    ) {
+        out.operators.clear();
+        out.operators
+            .extend(allocation.iter().enumerate().map(|(i, &k)| OperatorLoad {
                 executors: k,
                 profile: self.profiles.get(i).copied().unwrap_or_default(),
-            })
-            .collect();
-        let edges = self
-            .edges
-            .iter()
-            .map(|&(from, to, gain)| EdgeTraffic {
+            }));
+        out.edges.clear();
+        out.edges
+            .extend(self.edges.iter().map(|&(from, to, gain)| EdgeTraffic {
                 from,
                 to,
-                rate: gain
-                    * sample
-                        .operators
-                        .get(from)
-                        .and_then(|o| o.arrival_rate)
-                        .unwrap_or(1.0),
-            })
-            .collect();
-        PlacementRequest { operators, edges }
+                rate: self.edge_rate(from, gain, sample),
+            }));
+    }
+
+    /// Whether `cached` still describes running `allocation` under this
+    /// window's `sample`, up to the relative `rate_band` on edge rates:
+    /// executor counts and resource profiles must match exactly, while an
+    /// edge rate may drift within `rate_band` of the cached rate without
+    /// counting as a change. This is the placement-epoch predicate — a
+    /// `false` here is what dirties a shard's machine assignment.
+    pub fn request_matches(
+        &self,
+        cached: &PlacementRequest,
+        allocation: &[u32],
+        sample: &WindowSample,
+        rate_band: f64,
+    ) -> bool {
+        if cached.operators.len() != allocation.len() || cached.edges.len() != self.edges.len() {
+            return false;
+        }
+        for (i, (op, &k)) in cached.operators.iter().zip(allocation).enumerate() {
+            if op.executors != k || op.profile != self.profiles.get(i).copied().unwrap_or_default()
+            {
+                return false;
+            }
+        }
+        for (edge, &(from, to, gain)) in cached.edges.iter().zip(&self.edges) {
+            if edge.from != from || edge.to != to {
+                return false;
+            }
+            let rate = self.edge_rate(from, gain, sample);
+            if (rate - edge.rate).abs() > rate_band * edge.rate.abs() {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -1516,12 +1573,17 @@ struct FleetScratch {
     held: Vec<usize>,
     /// Shard index per entry of the gate-aware re-offer round.
     round_shards: Vec<usize>,
-    /// This window's solved machine assignment per shard.
-    planned: Vec<Option<Placement>>,
-    /// Shard index per entry of the placement request list.
-    placement_shards: Vec<usize>,
-    /// Request list handed to `placement::plan`.
-    placement_requests: Vec<(String, PlacementRequest)>,
+    /// This window's solved machine assignment per shard, as a slot into
+    /// the warm placement state (`place`) — the placement itself stays
+    /// cached there and is cloned only when a command actually carries it.
+    planned_slots: Vec<Option<usize>>,
+    /// The warm-start placement cache (persists across windows): cached
+    /// requests, solved placements, residual pool capacity, per-shard
+    /// placement epochs. See [`placement::FleetPlacementState`].
+    place: placement::FleetPlacementState,
+    /// Shard index → warm-state slot, persisted across windows and
+    /// re-validated by name each window (churn shifts shard indices).
+    place_slots: Vec<Option<usize>>,
 }
 
 impl FleetScratch {
@@ -1560,12 +1622,14 @@ impl FleetScratch {
         self.actuation_order.clear();
         self.held.clear();
         self.round_shards.clear();
-        self.planned.resize_with(n, || None);
-        for p in &mut self.planned {
-            *p = None;
+        self.planned_slots.clear();
+        self.planned_slots.resize(n, None);
+        // `place`/`place_slots` persist across windows (the warm-start
+        // placement cache); slots are re-validated by name when used.
+        if self.place_slots.len() != n {
+            self.place_slots.clear();
+            self.place_slots.resize(n, None);
         }
-        self.placement_shards.clear();
-        self.placement_requests.clear();
     }
 
     /// The grant shard `i` should actuate this window, resolved across the
@@ -1597,7 +1661,11 @@ impl FleetScratch {
 #[derive(Debug, Clone)]
 pub struct FleetDriver<B: CspBackend> {
     shards: Vec<ShardState<B>>,
-    negotiator: FleetNegotiator,
+    /// Shared copy-on-write: [`FleetDriver::checkpoint`] clones the `Arc`,
+    /// not the negotiator's warm state; [`Arc::make_mut`] at the negotiate
+    /// site deep-clones lazily, only when a driver that still shares the
+    /// state with a checkpoint (or a restored branch) next negotiates.
+    negotiator: Arc<FleetNegotiator>,
     config: FleetDriverConfig,
     machine_pool: Option<PlacementPool>,
     wasted_grants: u64,
@@ -1668,7 +1736,7 @@ impl<B: CspBackend> FleetDriver<B> {
         }
         Ok(FleetDriver {
             shards: states,
-            negotiator: FleetNegotiator::new(config.k_max),
+            negotiator: Arc::new(FleetNegotiator::new(config.k_max)),
             config,
             machine_pool: None,
             wasted_grants: 0,
@@ -1825,6 +1893,27 @@ impl<B: CspBackend> FleetDriver<B> {
     /// Panics if `i` is out of range.
     pub fn shard_placement(&self, i: usize) -> Option<&Placement> {
         self.shards[i].placement.as_ref()
+    }
+
+    /// Cumulative per-shard greedy solves the warm placement state has
+    /// performed (see [`placement::FleetPlacementState::solver_calls`]).
+    /// A settled window adds zero.
+    pub fn placement_solver_calls(&self) -> u64 {
+        self.scratch.place.solver_calls()
+    }
+
+    /// Cumulative batch re-solves of the whole fleet's placement — the
+    /// first placement-enabled window, pool changes, drift-triggered
+    /// anchor solves, and explicit invalidations.
+    pub fn placement_full_solves(&self) -> u64 {
+        self.scratch.place.full_solves()
+    }
+
+    /// Forces the next placement-enabled window to batch re-solve every
+    /// shard from scratch (see
+    /// [`placement::FleetPlacementState::invalidate`]).
+    pub fn invalidate_placement_cache(&mut self) {
+        self.scratch.place.invalidate();
     }
 
     /// Grant/refuse round-trips wasted at *actuation* time: a negotiated
@@ -2070,8 +2159,10 @@ impl<B: CspBackend> FleetDriver<B> {
                     .sum();
                 let budget = u32::try_from(u64::from(self.config.k_max).saturating_sub(reserved))
                     .expect("reserved budget is clamped below k_max, which fits in u32");
-                match self
-                    .negotiator
+                // `make_mut` only clones when a checkpoint still shares
+                // the warm state; a driver that never branched mutates in
+                // place with no per-window cost.
+                match Arc::make_mut(&mut self.negotiator)
                     .negotiate_within_incremental(budget, &scratch.demands)
                 {
                     Ok(()) => {
@@ -2196,7 +2287,9 @@ impl<B: CspBackend> FleetDriver<B> {
                     .expect("resolved just above")
                     .allocation
                     .clone();
-                let placement = scratch.planned[i].take();
+                let placement = scratch.planned_slots[i]
+                    .take()
+                    .map(|slot| scratch.place.placement(slot).clone());
                 // Every command carries a fresh, strictly increasing
                 // epoch: a backend behind a delaying/duplicating channel
                 // rejects anything stale instead of double-applying it.
@@ -2218,7 +2311,7 @@ impl<B: CspBackend> FleetDriver<B> {
                         // it is in force only if the backend actually put
                         // the matching executor counts in force.
                         if let Some(p) = plan.placement {
-                            if p.allocation() == applied.allocation {
+                            if p.allocation_matches(&applied.allocation) {
                                 shard.placement = Some(p);
                             }
                         }
@@ -2258,22 +2351,23 @@ impl<B: CspBackend> FleetDriver<B> {
                 if scratch.rebalanced[i] {
                     continue;
                 }
-                let Some(p) = scratch.planned[i].take() else {
+                let Some(slot) = scratch.planned_slots[i].take() else {
                     continue;
                 };
+                let p = scratch.place.placement(slot);
                 let shard = &mut self.shards[i];
-                if shard.dead || shard.placement.as_ref() == Some(&p) {
+                if shard.dead || shard.placement.as_ref() == Some(p) {
                     continue;
                 }
                 // A deferred or refused grant leaves the assignment solved
                 // for an allocation the backend never adopted: drop it and
                 // re-solve next window. (Not rebalanced this window, so
                 // the cached allocation is still what the backend runs.)
-                if p.allocation() != scratch.current_allocs[i] {
+                if !p.allocation_matches(&scratch.current_allocs[i]) {
                     continue;
                 }
-                match shard.backend.apply_placement(&p) {
-                    Ok(()) => shard.placement = Some(p),
+                match shard.backend.apply_placement(p) {
+                    Ok(()) => shard.placement = Some(p.clone()),
                     Err(e) => {
                         if scratch.errors[i].is_none() {
                             scratch.errors[i] = Some(format!("placement: {e}"));
@@ -2467,58 +2561,88 @@ impl<B: CspBackend> FleetDriver<B> {
         }
     }
 
-    /// Phase 4c: with a shared machine pool installed, solve one fleet-wide
-    /// [`placement::plan`] over every live shard that declared placement
-    /// metadata, from the allocation each shard is about to run (its grant
-    /// where one stands, its current executors otherwise) with edge rates
-    /// scaled by this window's measured arrival rates. Solved in
-    /// sorted-name order, so the assignment is independent of shard indices
-    /// and advance order.
+    /// Phase 4c: with a shared machine pool installed, refresh the warm
+    /// placement state ([`placement::FleetPlacementState`]) from the
+    /// allocation each live metadata-carrying shard is about to run (its
+    /// grant where one stands, its current executors otherwise) and this
+    /// window's measured edge rates, then replan. Only shards whose
+    /// inputs actually changed — executor counts, resource profiles, or
+    /// edge rates beyond [`FleetDriverConfig::placement_rate_band`] — are
+    /// re-solved, against the pool's residual capacity; a settled window
+    /// performs zero solver calls and zero allocations. Solve order is
+    /// sorted-name on every path, so the assignment stays independent of
+    /// shard indices and advance order, and the drift-bounded batch
+    /// re-solve inside `replan` keeps sequential repair anchored to what
+    /// [`placement::plan`] would produce.
     fn plan_placements(&self, scratch: &mut FleetScratch, fleet_error: &mut Option<String>) {
         let Some(pool) = &self.machine_pool else {
             return;
         };
+        // The warm state and its slot maps step out of the scratch so the
+        // grant/sample lookups below can keep borrowing it immutably.
+        let mut place = std::mem::take(&mut scratch.place);
+        let mut place_slots = std::mem::take(&mut scratch.place_slots);
+        let mut planned_slots = std::mem::take(&mut scratch.planned_slots);
+        place.begin_window();
+        place.sync_pool(pool);
         for (i, shard) in self.shards.iter().enumerate() {
             if shard.dead {
+                // Not marked seen: the sweep refunds its machine usage
+                // (its executors are ghosts until the lease renews).
                 continue;
             }
             let Some(info) = &shard.placement_info else {
                 continue;
             };
-            let request = {
-                let target: &[u32] = match scratch.grant(&self.negotiator, i) {
-                    Some(grant) => &grant.allocation,
-                    None => &scratch.current_allocs[i],
-                };
-                info.request(target, &scratch.samples[i])
+            // Cached slot, re-validated by name (churn shifts indices);
+            // lookup/insert only on mismatch.
+            let slot = match place_slots[i] {
+                Some(s) if place.slot_name(s) == shard.name => s,
+                _ => place
+                    .slot_of(&shard.name)
+                    .unwrap_or_else(|| place.insert(&shard.name)),
             };
-            scratch.placement_shards.push(i);
-            scratch
-                .placement_requests
-                .push((shard.name.clone(), request));
-        }
-        if scratch.placement_requests.is_empty() {
-            return;
-        }
-        match placement::plan(pool, &scratch.placement_requests) {
-            Ok(placements) => {
-                for (slot, p) in placements.into_iter().enumerate() {
-                    scratch.planned[scratch.placement_shards[slot]] = Some(p);
-                }
+            place_slots[i] = Some(slot);
+            let target: &[u32] = match scratch.grant(&self.negotiator, i) {
+                Some(grant) => &grant.allocation,
+                None => &scratch.current_allocs[i],
+            };
+            let sample = &scratch.samples[i];
+            if !info.request_matches(
+                place.request(slot),
+                target,
+                sample,
+                self.config.placement_rate_band,
+            ) {
+                info.request_into(place.touch(slot), target, sample);
             }
-            Err(e) => {
-                if fleet_error.is_none() {
-                    *fleet_error = Some(format!("placement: {e}"));
-                }
+            place.mark_seen(slot);
+            planned_slots[i] = Some(slot);
+        }
+        if let Err(e) = place.replan() {
+            // No assignment is trusted this window; the warm state batch
+            // re-solves on the next one.
+            for s in planned_slots.iter_mut() {
+                *s = None;
+            }
+            if fleet_error.is_none() {
+                *fleet_error = Some(format!("placement: {e}"));
             }
         }
+        scratch.place = place;
+        scratch.place_slots = place_slots;
+        scratch.planned_slots = planned_slots;
     }
 }
 
 impl<B: CspBackend + Clone> FleetDriver<B> {
     /// Snapshots the full fleet state (see [`FleetCheckpoint`]). Cheap
-    /// relative to re-running a scenario prefix: one deep clone of the
-    /// control plane and every backend.
+    /// relative to re-running a scenario prefix: per-shard state and the
+    /// backends clone, but the negotiator's warm state is shared
+    /// copy-on-write — the checkpoint holds the same `Arc`, and whichever
+    /// driver negotiates next pays the one lazy clone. A branching sweep
+    /// that restores many times from one checkpoint clones the warm state
+    /// once per *diverging* branch, not once per restore.
     pub fn checkpoint(&self) -> FleetCheckpoint<B> {
         FleetCheckpoint {
             driver: self.clone(),
@@ -3092,11 +3216,26 @@ mod tests {
         prefix.run_windows(5);
         let ckpt = prefix.checkpoint();
         assert_eq!(ckpt.window(), 5);
+        // The checkpoint shares the negotiator's warm state copy-on-write:
+        // no deep clone until one of the branches actually negotiates.
+        assert!(
+            Arc::ptr_eq(&prefix.negotiator, &ckpt.driver.negotiator),
+            "checkpoint must share, not clone, the negotiator"
+        );
         let mut branch_a = FleetDriver::from_checkpoint(&ckpt);
+        assert!(Arc::ptr_eq(&prefix.negotiator, &branch_a.negotiator));
         let mut branch_b = ckpt.into_driver();
+        // The original keeps running past the checkpoint too: its lazy
+        // clone at the negotiate site must not leak into the branches.
+        prefix.run_windows(7);
         branch_a.run_windows(7);
         branch_b.run_windows(7);
+        assert!(
+            !Arc::ptr_eq(&prefix.negotiator, &branch_a.negotiator),
+            "diverging branches must have unshared after negotiating"
+        );
 
+        assert_eq!(straight.timeline(), prefix.timeline());
         assert_eq!(straight.timeline(), branch_a.timeline());
         assert_eq!(straight.timeline(), branch_b.timeline());
     }
@@ -3294,6 +3433,93 @@ mod tests {
                 .map(|i| f.backend(i).placement_calls)
                 .collect::<Vec<_>>(),
             "converged fleet must not re-issue identical assignments"
+        );
+    }
+
+    /// Regression: a settled placement-enabled fleet performs *zero*
+    /// per-shard solver calls per window — the warm state sees every
+    /// request unchanged and replans nothing.
+    #[test]
+    fn unchanged_fleet_performs_zero_placement_solver_calls() {
+        let pool = PlacementPool::uniform(2, ResourceProfile::uniform(16.0)).unwrap();
+        let info = ShardPlacementInfo {
+            profiles: vec![ResourceProfile::uniform(2.0)],
+            edges: vec![],
+        };
+        let mut config = FleetDriverConfig::new(20);
+        config.warmup_windows = 1;
+        config.window_secs = 1.0;
+        let mut f = FleetDriver::new(
+            config,
+            vec![
+                FleetShardSpec::new("a", 0.2, StaticShard::new(40.0, 10.0, 5))
+                    .with_placement(info.clone()),
+                FleetShardSpec::new("b", 0.2, StaticShard::new(25.0, 10.0, 4)).with_placement(info),
+            ],
+        )
+        .unwrap();
+        f.set_machine_pool(pool);
+        f.run_windows(6);
+        let solver_calls = f.placement_solver_calls();
+        let full_solves = f.placement_full_solves();
+        assert!(full_solves >= 1, "the first window batch-solves");
+        f.run_windows(10);
+        assert_eq!(
+            f.placement_solver_calls(),
+            solver_calls,
+            "settled windows must not touch the placement solver"
+        );
+        assert_eq!(f.placement_full_solves(), full_solves);
+        // An explicit invalidation forces exactly one batch re-solve.
+        f.invalidate_placement_cache();
+        f.run_windows(1);
+        assert_eq!(f.placement_full_solves(), full_solves + 1);
+    }
+
+    /// The placement rate band: edge-rate wobble inside
+    /// [`FleetDriverConfig::placement_rate_band`] must not dirty a shard
+    /// (no solver call), while a shift beyond the band must.
+    #[test]
+    fn placement_rate_band_absorbs_wobble_but_tracks_real_shifts() {
+        let pool = PlacementPool::uniform(2, ResourceProfile::uniform(16.0)).unwrap();
+        let info = ShardPlacementInfo {
+            profiles: vec![ResourceProfile::uniform(2.0)],
+            // A self-loop edge whose rate is the operator's measured
+            // arrival rate — the only input that wobbles below.
+            edges: vec![(0, 0, 1.0)],
+        };
+        let mut config = FleetDriverConfig::new(20);
+        config.warmup_windows = 1;
+        config.window_secs = 1.0;
+        // Generous latency target: rate wobble in (40, 49] keeps the
+        // demanded allocation at the minimum stable 5, so only the edge
+        // rate moves.
+        let mut f = FleetDriver::new(
+            config,
+            vec![
+                FleetShardSpec::new("a", 0.5, StaticShard::new(40.0, 10.0, 5)).with_placement(info),
+            ],
+        )
+        .unwrap();
+        f.set_machine_pool(pool);
+        f.run_windows(6);
+        let settled = f.placement_solver_calls();
+
+        // +2.5% wobble: inside the 5% band, absorbed.
+        f.backend_mut(0).rate = 41.0;
+        f.run_windows(3);
+        assert_eq!(
+            f.placement_solver_calls(),
+            settled,
+            "in-band rate wobble must not re-solve placement"
+        );
+
+        // +20%: outside the band, the shard goes dirty and re-solves.
+        f.backend_mut(0).rate = 48.0;
+        f.run_windows(3);
+        assert!(
+            f.placement_solver_calls() > settled,
+            "an out-of-band rate shift must reach the solver"
         );
     }
 }

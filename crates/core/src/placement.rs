@@ -43,8 +43,51 @@
 //!
 //! [`plan`] places *several* topologies (fleet shards) into one shared
 //! pool. Shards are processed in sorted-name order regardless of argument
-//! order, so the outcome is deterministic across shard-advance orders —
-//! the property the fleet driver relies on when re-planning each window.
+//! order, so the outcome is deterministic across shard-advance orders.
+//! It re-solves every shard from an empty pool — correct, but at 10⁵+
+//! shards a settled window would pay full placement cost for zero demand
+//! change. The fleet driver therefore plans through the warm-start state
+//! below and uses [`plan`] only as the from-scratch reference.
+//!
+//! # Warm-start protocol ([`FleetPlacementState`])
+//!
+//! [`FleetPlacementState`] persists across windows what [`plan`] rebuilds
+//! each call: every shard's cached [`PlacementRequest`] and solved
+//! [`Placement`], the usage each placement charges per machine, and the
+//! pool's **residual capacity**. Each shard carries a **placement epoch**
+//! that the owner bumps (via [`FleetPlacementState::touch`]) only when the
+//! shard's inputs actually changed — its allocation, its operator resource
+//! loads, or (rate-banded by the caller, to absorb measurement wobble) its
+//! edge traffic. The per-window protocol:
+//!
+//! 1. [`begin_window`](FleetPlacementState::begin_window), then
+//!    [`sync_pool`](FleetPlacementState::sync_pool) — a capacity change
+//!    invalidates everything;
+//! 2. per shard: look the slot up
+//!    ([`slot_of`](FleetPlacementState::slot_of) /
+//!    [`insert`](FleetPlacementState::insert)), compare the cached
+//!    [`request`](FleetPlacementState::request) against this window's
+//!    inputs, rewrite it in place via
+//!    [`touch`](FleetPlacementState::touch) only on a real change, and
+//!    [`mark_seen`](FleetPlacementState::mark_seen);
+//! 3. [`replan`](FleetPlacementState::replan) — shards not seen this
+//!    window are swept out (their usage refunded to the residual), and
+//!    then only **dirty** shards are re-placed: each one's stale usage is
+//!    released delta-style and the shard re-solved via [`solve_into`]
+//!    against the residual capacity, in sorted-name order. No fresh pool
+//!    build, no untouched shard re-solved; an unchanged fleet performs
+//!    zero solver calls and zero heap allocations.
+//!
+//! Sequential repair can stray from the batch greedy optimum (later
+//! shards re-solve against capacity fragmented by earlier history), so
+//! the state tracks a **drift score** — the fraction of the fleet
+//! repaired or removed since the last batch solve. When it reaches 1.0,
+//! `replan` runs a bounded full re-solve: residual reset to the full
+//! capacities, every shard solved in sorted-name order — **bit-for-bit
+//! what [`plan`] returns** for the same requests (the property tests in
+//! `tests/placement_properties.rs` pin this, along with capacity safety
+//! on every path). At churn fraction `c` this amortizes one batch solve
+//! over ~`1/c` windows of O(changed shards) repairs.
 //!
 //! [`round_robin`] provides the locality-blind baseline the `repro place`
 //! bench compares against: same executor counts, machines cycled.
@@ -248,6 +291,18 @@ impl Placement {
             .collect()
     }
 
+    /// Whether this placement realises exactly `allocation` — the
+    /// allocation-free form of `placement.allocation() == allocation`,
+    /// for comparisons on the steady-state fleet path.
+    pub fn allocation_matches(&self, allocation: &[u32]) -> bool {
+        self.counts.len() == allocation.len()
+            && self
+                .counts
+                .iter()
+                .zip(allocation)
+                .all(|(row, &k)| row.iter().sum::<u32>() == k)
+    }
+
     /// Resource usage per machine given the operators' demand profiles.
     pub fn usage(&self, profiles: &[ResourceProfile]) -> Vec<ResourceProfile> {
         let machines = self.machines();
@@ -380,9 +435,14 @@ pub fn solve(pool: &MachinePool, request: &PlacementRequest) -> Result<Placement
 }
 
 /// Like [`solve`], but draws from (and updates) externally tracked
-/// remaining capacities — the building block [`plan`] uses to share one
-/// pool across shards.
-fn solve_into(
+/// remaining capacities — the building block [`plan`] and
+/// [`FleetPlacementState`] use to share one pool across shards.
+///
+/// # Errors
+///
+/// Same conditions as [`solve`]; `remaining.len() == 0` reports
+/// [`PlacementError::InvalidPool`].
+pub fn solve_into(
     remaining: &mut [ResourceProfile],
     request: &PlacementRequest,
 ) -> Result<Placement, PlacementError> {
@@ -682,6 +742,445 @@ pub fn plan(
         .collect())
 }
 
+/// Outcome of one [`FleetPlacementState::replan`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanOutcome {
+    /// Nothing was dirty, removed, or invalidated: every cached placement
+    /// stands and no solver call was made.
+    Unchanged,
+    /// Only the dirty shards (count attached) were re-solved against the
+    /// residual capacity; everything else kept its cached placement.
+    Repaired(usize),
+    /// Accumulated drift, a pool change, or an explicit invalidation
+    /// triggered a batch re-solve of every shard from the full capacities
+    /// — bit-for-bit what [`plan`] returns for the same requests.
+    FullSolve,
+}
+
+/// One shard's warm placement state (see [`FleetPlacementState`]).
+/// Entries live at stable slot indices; a removed shard's slot is
+/// tombstoned and recycled so surviving slots never shift.
+#[derive(Debug, Clone)]
+struct WarmEntry {
+    name: String,
+    live: bool,
+    /// Placement epoch: bumped by [`FleetPlacementState::touch`] exactly
+    /// when the shard's placement inputs actually changed.
+    epoch: u64,
+    /// Window stamp of the last [`FleetPlacementState::mark_seen`].
+    seen: u64,
+    dirty: bool,
+    /// The cached placement inputs (buffers rewritten in place on change).
+    request: PlacementRequest,
+    /// The solved assignment for `request`.
+    placement: Placement,
+    /// What `placement` charges each machine — recorded at solve time, so
+    /// the refund stays correct even after `request` is rewritten.
+    usage: Vec<ResourceProfile>,
+}
+
+/// Warm-start fleet placement: the epoch-stamped, residual-capacity cache
+/// the fleet driver persists across windows so a settled window performs
+/// zero solver calls and a drifting one re-places only the shards that
+/// changed. See the [module docs](self) for the per-window protocol and
+/// the drift-bounded full re-solve that keeps sequential repair honest
+/// against the batch optimum.
+#[derive(Debug, Clone, Default)]
+pub struct FleetPlacementState {
+    entries: Vec<WarmEntry>,
+    /// Live slots in sorted-name order — the solve order, identical to
+    /// [`plan`]'s.
+    order: Vec<usize>,
+    /// Tombstoned slots available for reuse.
+    free: Vec<usize>,
+    /// The pool's full capacities, snapshotted by
+    /// [`FleetPlacementState::sync_pool`].
+    capacities: Vec<ResourceProfile>,
+    /// Residual capacity: `capacities` minus every live entry's `usage`.
+    remaining: Vec<ResourceProfile>,
+    /// Fraction of the fleet repaired or removed since the last batch
+    /// solve; `>= 1.0` triggers one.
+    drift: f64,
+    /// Window stamp (bumped by [`FleetPlacementState::begin_window`]).
+    stamp: u64,
+    seen_count: usize,
+    dirty_count: usize,
+    /// Sticky full-solve request: set by pool changes, repair dead ends,
+    /// solver errors, and [`FleetPlacementState::invalidate`]; cleared
+    /// only by a completed batch solve.
+    needs_full: bool,
+    solver_calls: u64,
+    full_solves: u64,
+}
+
+impl FleetPlacementState {
+    /// An empty warm state (no shards, no pool snapshot).
+    pub fn new() -> Self {
+        FleetPlacementState::default()
+    }
+
+    /// Starts a window: bumps the stamp that
+    /// [`mark_seen`](FleetPlacementState::mark_seen) records, so
+    /// [`replan`](FleetPlacementState::replan) can sweep out shards that
+    /// were not presented this window.
+    pub fn begin_window(&mut self) {
+        self.stamp += 1;
+        self.seen_count = 0;
+    }
+
+    /// Adopts `pool`'s capacities. A change (count or any capacity
+    /// component) invalidates every cached placement — the next
+    /// [`replan`](FleetPlacementState::replan) runs a full re-solve.
+    /// Allocation-free when the pool is unchanged.
+    pub fn sync_pool(&mut self, pool: &MachinePool) {
+        let same = self.capacities.len() == pool.machines().len()
+            && self
+                .capacities
+                .iter()
+                .zip(pool.machines())
+                .all(|(c, m)| *c == m.capacity);
+        if !same {
+            self.capacities.clear();
+            self.capacities
+                .extend(pool.machines().iter().map(|m| m.capacity));
+            self.needs_full = true;
+        }
+    }
+
+    /// Number of live shards in the state.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the state holds no live shards.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The slot of the shard named `name`, if present (binary search over
+    /// the sorted live set; allocation-free).
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.order
+            .binary_search_by(|&s| self.entries[s].name.as_str().cmp(name))
+            .ok()
+            .map(|pos| self.order[pos])
+    }
+
+    /// The name of the shard at `slot` (for validating a cached slot
+    /// across churn without a lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn slot_name(&self, slot: usize) -> &str {
+        &self.entries[slot].name
+    }
+
+    /// Inserts a shard named `name` (or returns its existing slot),
+    /// recycling a tombstoned slot when one is free. A new shard starts
+    /// dirty with an empty request — the caller fills it via
+    /// [`touch`](FleetPlacementState::touch). Slot indices of existing
+    /// shards are never disturbed.
+    pub fn insert(&mut self, name: &str) -> usize {
+        let pos = match self
+            .order
+            .binary_search_by(|&s| self.entries[s].name.as_str().cmp(name))
+        {
+            Ok(pos) => return self.order[pos],
+            Err(pos) => pos,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let e = &mut self.entries[slot];
+                e.name.clear();
+                e.name.push_str(name);
+                e.live = true;
+                e.epoch = 0;
+                e.seen = 0;
+                e.dirty = true;
+                e.request.operators.clear();
+                e.request.edges.clear();
+                e.placement.counts.clear();
+                e.usage.clear();
+                slot
+            }
+            None => {
+                self.entries.push(WarmEntry {
+                    name: name.to_owned(),
+                    live: true,
+                    epoch: 0,
+                    seen: 0,
+                    dirty: true,
+                    request: PlacementRequest::default(),
+                    placement: Placement { counts: Vec::new() },
+                    usage: Vec::new(),
+                });
+                self.entries.len() - 1
+            }
+        };
+        self.dirty_count += 1;
+        self.order.insert(pos, slot);
+        slot
+    }
+
+    /// Marks the shard at `slot` as presented this window, shielding it
+    /// from [`replan`](FleetPlacementState::replan)'s removal sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn mark_seen(&mut self, slot: usize) {
+        let e = &mut self.entries[slot];
+        if e.seen != self.stamp {
+            e.seen = self.stamp;
+            self.seen_count += 1;
+        }
+    }
+
+    /// The cached placement inputs of the shard at `slot` — compare this
+    /// window's inputs against it and call
+    /// [`touch`](FleetPlacementState::touch) only on a real change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn request(&self, slot: usize) -> &PlacementRequest {
+        &self.entries[slot].request
+    }
+
+    /// Declares the shard at `slot` changed: bumps its placement epoch,
+    /// marks it dirty for the next [`replan`](FleetPlacementState::replan),
+    /// and hands back the cached request buffers to rewrite in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn touch(&mut self, slot: usize) -> &mut PlacementRequest {
+        let e = &mut self.entries[slot];
+        if !e.dirty {
+            e.dirty = true;
+            self.dirty_count += 1;
+        }
+        e.epoch += 1;
+        &mut e.request
+    }
+
+    /// The shard's placement epoch: bumped by
+    /// [`touch`](FleetPlacementState::touch) exactly when its placement
+    /// inputs actually changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn epoch(&self, slot: usize) -> u64 {
+        self.entries[slot].epoch
+    }
+
+    /// The solved assignment of the shard at `slot`, valid after the last
+    /// successful [`replan`](FleetPlacementState::replan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn placement(&self, slot: usize) -> &Placement {
+        &self.entries[slot].placement
+    }
+
+    /// Forces the next [`replan`](FleetPlacementState::replan) to run the
+    /// batch re-solve regardless of drift (the from-scratch cross-check
+    /// hook, also useful after external state surgery).
+    pub fn invalidate(&mut self) {
+        self.needs_full = true;
+    }
+
+    /// Total [`solve_into`] invocations so far (one per shard actually
+    /// re-placed — the "unchanged fleet performs zero solver calls"
+    /// regression counter).
+    pub fn solver_calls(&self) -> u64 {
+        self.solver_calls
+    }
+
+    /// Batch re-solves performed so far.
+    pub fn full_solves(&self) -> u64 {
+        self.full_solves
+    }
+
+    /// The current drift score: fraction of the fleet repaired or removed
+    /// since the last batch solve (`0.0` right after one).
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// The residual capacity per machine (capacities minus every live
+    /// shard's solved usage).
+    pub fn remaining(&self) -> &[ResourceProfile] {
+        &self.remaining
+    }
+
+    /// Ends the window: sweeps out shards not
+    /// [`mark_seen`](FleetPlacementState::mark_seen) since
+    /// [`begin_window`](FleetPlacementState::begin_window) (refunding
+    /// their usage), then re-places exactly the dirty shards against the
+    /// residual capacity — or the whole fleet, batch-style, when the pool
+    /// changed, drift reached 1.0, or a repair hit a dead end the batch
+    /// solver might escape. Sorted-name solve order on both paths keeps
+    /// the outcome independent of presentation order.
+    ///
+    /// On [`ReplanOutcome::Unchanged`] the call performs no solver work
+    /// and no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlacementError`] from the underlying solver. After an error
+    /// the cached placements are not trusted (the caller should plan no
+    /// moves this window); the state heals itself by batch re-solving on
+    /// the next call.
+    pub fn replan(&mut self) -> Result<ReplanOutcome, PlacementError> {
+        // Removal sweep: live entries not presented this window left the
+        // fleet — refund their usage, tombstone their slots.
+        let mut removed = 0usize;
+        if self.seen_count < self.order.len() {
+            let FleetPlacementState {
+                entries,
+                order,
+                free,
+                remaining,
+                dirty_count,
+                stamp,
+                ..
+            } = self;
+            order.retain(|&slot| {
+                let e = &mut entries[slot];
+                if e.seen == *stamp {
+                    return true;
+                }
+                for (m, u) in e.usage.iter().enumerate() {
+                    refund(&mut remaining[m], u);
+                }
+                e.usage.clear();
+                e.live = false;
+                if e.dirty {
+                    *dirty_count -= 1;
+                    e.dirty = false;
+                }
+                free.push(slot);
+                removed += 1;
+                false
+            });
+        }
+        if removed == 0 && self.dirty_count == 0 && !self.needs_full {
+            return Ok(ReplanOutcome::Unchanged);
+        }
+        self.drift += (self.dirty_count + removed) as f64 / self.order.len().max(1) as f64;
+        if self.needs_full || self.drift >= 1.0 {
+            self.full_solve()?;
+            return Ok(ReplanOutcome::FullSolve);
+        }
+        // Repair: release every dirty shard's stale usage first (so one
+        // dirty shard's freed capacity is visible to another's re-solve),
+        // then re-place them in sorted-name order against the residual.
+        let repaired = self.dirty_count;
+        {
+            let FleetPlacementState {
+                entries,
+                order,
+                remaining,
+                ..
+            } = self;
+            for &slot in order.iter() {
+                let e = &mut entries[slot];
+                if !e.dirty {
+                    continue;
+                }
+                for (m, u) in e.usage.iter().enumerate() {
+                    refund(&mut remaining[m], u);
+                }
+                e.usage.clear();
+            }
+        }
+        for idx in 0..self.order.len() {
+            let slot = self.order[idx];
+            if !self.entries[slot].dirty {
+                continue;
+            }
+            match solve_into(&mut self.remaining, &self.entries[slot].request) {
+                Ok(p) => {
+                    self.solver_calls += 1;
+                    let machines = self.remaining.len();
+                    let e = &mut self.entries[slot];
+                    usage_into(&p, &e.request.operators, machines, &mut e.usage);
+                    e.placement = p;
+                    e.dirty = false;
+                }
+                Err(PlacementError::Infeasible { .. }) => {
+                    // Sequential repair painted itself into a corner the
+                    // batch solver might escape (capacity fragmented by
+                    // history): fall back to the full re-solve.
+                    self.full_solve()?;
+                    return Ok(ReplanOutcome::FullSolve);
+                }
+                Err(e) => {
+                    // Malformed request: heal by batch re-solving once the
+                    // caller fixes its inputs.
+                    self.needs_full = true;
+                    return Err(e);
+                }
+            }
+        }
+        self.dirty_count = 0;
+        Ok(ReplanOutcome::Repaired(repaired))
+    }
+
+    /// Batch re-solve: residual reset to the full capacities, every live
+    /// shard solved in sorted-name order — bit-for-bit [`plan`] on the
+    /// cached requests. `needs_full` stays sticky until this completes,
+    /// so a failed attempt retries batch-style next window.
+    fn full_solve(&mut self) -> Result<(), PlacementError> {
+        self.needs_full = true;
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&self.capacities);
+        for idx in 0..self.order.len() {
+            let slot = self.order[idx];
+            let p = solve_into(&mut self.remaining, &self.entries[slot].request)?;
+            self.solver_calls += 1;
+            let machines = self.remaining.len();
+            let e = &mut self.entries[slot];
+            usage_into(&p, &e.request.operators, machines, &mut e.usage);
+            e.placement = p;
+        }
+        for idx in 0..self.order.len() {
+            let slot = self.order[idx];
+            self.entries[slot].dirty = false;
+        }
+        self.dirty_count = 0;
+        self.drift = 0.0;
+        self.needs_full = false;
+        self.full_solves += 1;
+        Ok(())
+    }
+}
+
+/// `placement.usage(profiles)` into a reused buffer (the warm state's
+/// per-entry usage record).
+fn usage_into(
+    placement: &Placement,
+    operators: &[OperatorLoad],
+    machines: usize,
+    out: &mut Vec<ResourceProfile>,
+) {
+    out.clear();
+    out.resize(machines, ResourceProfile::uniform(0.0));
+    for (op, per_machine) in placement.counts.iter().enumerate() {
+        let p = operators[op].profile;
+        for (m, &c) in per_machine.iter().enumerate() {
+            let c = c as f64;
+            out[m].cpu += c * p.cpu;
+            out[m].mem += c * p.mem;
+            out[m].net += c * p.net;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +1420,245 @@ mod tests {
         assert!(!PlacementError::InvalidRequest { what: "x".into() }
             .to_string()
             .is_empty());
+    }
+
+    /// Drives one warm-state window the way the fleet driver does:
+    /// present every shard, rewrite requests that changed, replan.
+    fn warm_window(
+        state: &mut FleetPlacementState,
+        pool: &MachinePool,
+        shards: &[(&str, PlacementRequest)],
+    ) -> Result<ReplanOutcome, PlacementError> {
+        state.begin_window();
+        state.sync_pool(pool);
+        for (name, req) in shards {
+            let slot = state.slot_of(name).unwrap_or_else(|| state.insert(name));
+            if state.request(slot) != req {
+                state.touch(slot).clone_from(req);
+            }
+            state.mark_seen(slot);
+        }
+        state.replan()
+    }
+
+    fn warm_placements<'a>(
+        state: &'a FleetPlacementState,
+        shards: &[(&str, PlacementRequest)],
+    ) -> Vec<&'a Placement> {
+        shards
+            .iter()
+            .map(|(name, _)| state.placement(state.slot_of(name).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn warm_state_first_window_is_a_full_solve_matching_plan() {
+        let pool = MachinePool::uniform(4, ResourceProfile::uniform(8.0)).unwrap();
+        let mut ra = uniform_request(&[2, 3]);
+        ra.edges = chain_edges(&[40.0]);
+        let mut rb = uniform_request(&[3, 2]);
+        rb.edges = chain_edges(&[60.0]);
+        let shards = [("a", ra.clone()), ("b", rb.clone())];
+
+        let mut state = FleetPlacementState::new();
+        assert_eq!(
+            warm_window(&mut state, &pool, &shards).unwrap(),
+            ReplanOutcome::FullSolve
+        );
+        let reference = plan(&pool, &[("a".into(), ra), ("b".into(), rb)]).unwrap();
+        for (got, want) in warm_placements(&state, &shards).iter().zip(&reference) {
+            assert_eq!(*got, want, "first warm solve must equal plan()");
+        }
+        assert_eq!(state.len(), 2);
+        assert_eq!(state.full_solves(), 1);
+        assert_eq!(state.drift(), 0.0);
+
+        // Second window, nothing changed: zero solver calls, placements
+        // and epochs stand.
+        let calls = state.solver_calls();
+        let epoch_a = state.epoch(state.slot_of("a").unwrap());
+        assert_eq!(
+            warm_window(&mut state, &pool, &shards).unwrap(),
+            ReplanOutcome::Unchanged
+        );
+        assert_eq!(state.solver_calls(), calls);
+        assert_eq!(state.epoch(state.slot_of("a").unwrap()), epoch_a);
+        for (got, want) in warm_placements(&state, &shards).iter().zip(&reference) {
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn warm_repair_resolves_only_dirty_shards_and_respects_capacity() {
+        let pool = MachinePool::uniform(4, ResourceProfile::uniform(8.0)).unwrap();
+        let mut ra = uniform_request(&[2, 3]);
+        ra.edges = chain_edges(&[40.0]);
+        let mut rb = uniform_request(&[3, 2]);
+        rb.edges = chain_edges(&[60.0]);
+        let mut rc = uniform_request(&[1, 1]);
+        rc.edges = chain_edges(&[5.0]);
+        let mut shards = [("a", ra), ("b", rb), ("c", rc)];
+
+        let mut state = FleetPlacementState::new();
+        warm_window(&mut state, &pool, &shards).unwrap();
+        let calls = state.solver_calls();
+        let epoch_b = state.epoch(state.slot_of("b").unwrap());
+        let placement_a = state.placement(state.slot_of("a").unwrap()).clone();
+
+        // Only b changes (one more executor on operator 1).
+        shards[1].1.operators[1].executors = 3;
+        assert_eq!(
+            warm_window(&mut state, &pool, &shards).unwrap(),
+            ReplanOutcome::Repaired(1)
+        );
+        assert_eq!(state.solver_calls(), calls + 1, "only b re-solved");
+        assert_eq!(state.epoch(state.slot_of("b").unwrap()), epoch_b + 1);
+        assert_eq!(
+            state.placement(state.slot_of("a").unwrap()),
+            &placement_a,
+            "untouched shard keeps its cached placement"
+        );
+        let b = state.placement(state.slot_of("b").unwrap());
+        assert!(b.allocation_matches(&[3, 3]));
+        // Residual capacity never goes negative.
+        for r in state.remaining() {
+            assert!(r.cpu >= -EPS && r.mem >= -EPS && r.net >= -EPS, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn warm_sweep_refunds_removed_shards() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(10.0)).unwrap();
+        let ra = uniform_request(&[4]);
+        let rb = uniform_request(&[3]);
+        let mut state = FleetPlacementState::new();
+        warm_window(&mut state, &pool, &[("a", ra.clone()), ("b", rb)]).unwrap();
+        assert_eq!(state.len(), 2);
+
+        // b leaves the fleet: its usage must flow back to the residual.
+        warm_window(&mut state, &pool, &[("a", ra)]).unwrap();
+        assert_eq!(state.len(), 1);
+        assert!(state.slot_of("b").is_none());
+        let total_remaining: f64 = state.remaining().iter().map(|r| r.cpu).sum();
+        // 2 machines x 10 capacity - 4 executors x 1 cpu.
+        assert!((total_remaining - 16.0).abs() < 1e-9, "{total_remaining}");
+
+        // A recycled slot serves a newcomer without disturbing survivors.
+        let slot_a = state.slot_of("a").unwrap();
+        warm_window(
+            &mut state,
+            &pool,
+            &[("a", uniform_request(&[4])), ("z", uniform_request(&[2]))],
+        )
+        .unwrap();
+        assert_eq!(state.slot_of("a").unwrap(), slot_a);
+        assert_eq!(state.slot_name(state.slot_of("z").unwrap()), "z");
+    }
+
+    #[test]
+    fn warm_drift_triggers_a_batch_resolve() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(20.0)).unwrap();
+        let names = ["a", "b", "c", "d"];
+        let mut shards: Vec<(&str, PlacementRequest)> =
+            names.iter().map(|&n| (n, uniform_request(&[2]))).collect();
+        let mut state = FleetPlacementState::new();
+        warm_window(&mut state, &pool, &shards).unwrap();
+        let full_before = state.full_solves();
+
+        // One shard of four wobbles every window: drift grows by 1/4 per
+        // window, so the 4th dirty window must trigger the batch solve.
+        let mut outcomes = Vec::new();
+        for w in 0..4 {
+            shards[0].1.operators[0].executors = 2 + (w as u32 % 2) + 1;
+            outcomes.push(warm_window(&mut state, &pool, &shards).unwrap());
+        }
+        assert_eq!(
+            outcomes,
+            vec![
+                ReplanOutcome::Repaired(1),
+                ReplanOutcome::Repaired(1),
+                ReplanOutcome::Repaired(1),
+                ReplanOutcome::FullSolve,
+            ]
+        );
+        assert_eq!(state.full_solves(), full_before + 1);
+        assert_eq!(state.drift(), 0.0, "batch solve resets drift");
+    }
+
+    #[test]
+    fn warm_pool_change_invalidates_everything() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(10.0)).unwrap();
+        let shards = [("a", uniform_request(&[2])), ("b", uniform_request(&[2]))];
+        let mut state = FleetPlacementState::new();
+        warm_window(&mut state, &pool, &shards).unwrap();
+
+        let grown = MachinePool::uniform(3, ResourceProfile::uniform(10.0)).unwrap();
+        assert_eq!(
+            warm_window(&mut state, &grown, &shards).unwrap(),
+            ReplanOutcome::FullSolve
+        );
+        let reference = plan(
+            &grown,
+            &[
+                ("a".into(), shards[0].1.clone()),
+                ("b".into(), shards[1].1.clone()),
+            ],
+        )
+        .unwrap();
+        for (got, want) in warm_placements(&state, &shards).iter().zip(&reference) {
+            assert_eq!(*got, want);
+        }
+        // An explicit invalidation forces the batch path too.
+        state.invalidate();
+        assert_eq!(
+            warm_window(&mut state, &grown, &shards).unwrap(),
+            ReplanOutcome::FullSolve
+        );
+    }
+
+    #[test]
+    fn warm_infeasible_heals_by_batch_resolving() {
+        let pool = MachinePool::uniform(2, ResourceProfile::uniform(4.0)).unwrap();
+        let mut shards = vec![("a", uniform_request(&[3])), ("b", uniform_request(&[3]))];
+        let mut state = FleetPlacementState::new();
+        warm_window(&mut state, &pool, &shards).unwrap();
+
+        // a grows beyond what the pool can hold at all: repair falls back
+        // to the batch solve, which also fails — the error surfaces.
+        shards[0].1.operators[0].executors = 9;
+        assert!(matches!(
+            warm_window(&mut state, &pool, &shards),
+            Err(PlacementError::Infeasible { .. })
+        ));
+
+        // The demand relaxes: the sticky full-solve request heals the
+        // state with one batch solve, matching plan() bit-for-bit.
+        shards[0].1.operators[0].executors = 4;
+        assert_eq!(
+            warm_window(&mut state, &pool, &shards).unwrap(),
+            ReplanOutcome::FullSolve
+        );
+        let reference = plan(
+            &pool,
+            &[
+                ("a".into(), shards[0].1.clone()),
+                ("b".into(), shards[1].1.clone()),
+            ],
+        )
+        .unwrap();
+        for (got, want) in warm_placements(&state, &shards).iter().zip(&reference) {
+            assert_eq!(*got, want);
+        }
+    }
+
+    #[test]
+    fn allocation_matches_agrees_with_allocation() {
+        let p = Placement::from_counts(vec![vec![1, 2], vec![0, 3]]);
+        assert!(p.allocation_matches(&[3, 3]));
+        assert!(!p.allocation_matches(&[3, 2]));
+        assert!(!p.allocation_matches(&[3]));
+        assert!(!p.allocation_matches(&[3, 3, 0]));
+        assert_eq!(p.allocation(), vec![3, 3]);
     }
 
     #[test]

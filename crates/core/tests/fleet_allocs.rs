@@ -5,7 +5,9 @@
 //! perform **zero** heap allocations. This pins the tentpole guarantee of
 //! the incremental negotiator end-to-end, not just in the negotiate path:
 //! a million-entity fleet whose demand does not move pays no allocator
-//! traffic per window.
+//! traffic per window. With a machine pool installed the guarantee
+//! extends through the placement phase: the warm epoch-stamped placement
+//! state compares each shard's request in place and replans nothing.
 //!
 //! A counting `#[global_allocator]` wraps the system allocator; the test
 //! warms the fleet past the smoothing fixpoint, then asserts the counter
@@ -20,9 +22,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use drs_core::driver::{
     AppliedRebalance, BackendError, CspBackend, OperatorSample, RebalancePlan, WindowSample,
 };
-use drs_core::fleet::{mmk_measured_sojourn, FleetDriver, FleetDriverConfig, FleetShardSpec};
+use drs_core::fleet::{
+    mmk_measured_sojourn, FleetDriver, FleetDriverConfig, FleetShardSpec, ShardPlacementInfo,
+};
+use drs_core::placement::MachinePool;
 use drs_core::scheduler;
 use drs_queueing::jackson::JacksonNetwork;
+use drs_topology::ResourceProfile;
 
 /// System allocator wrapper that counts every allocation and reallocation
 /// (frees are uncounted: the claim under test is "no new memory", not
@@ -143,24 +149,53 @@ fn desired_k(rate: f64, mu: f64, t_max: f64) -> u32 {
         .into_vec()[0]
 }
 
-fn steady_fleet(k_max: u32) -> FleetDriver<SteadyShard> {
+fn steady_fleet_with(
+    k_max: u32,
+    placement: Option<ShardPlacementInfo>,
+) -> FleetDriver<SteadyShard> {
     let mut config = FleetDriverConfig::new(k_max);
     config.warmup_windows = 2;
     config.window_secs = 1.0;
     // No timeline: steady-state windows must not even record themselves.
     config.record_timeline = false;
     let shard = |name: &str, rate: f64| {
-        FleetShardSpec::new(
+        let spec = FleetShardSpec::new(
             name,
             0.2,
             SteadyShard::new(rate, 10.0, desired_k(rate, 10.0, 0.2)),
-        )
+        );
+        match &placement {
+            Some(info) => spec.with_placement(info.clone()),
+            None => spec,
+        }
     };
     FleetDriver::new(
         config,
         vec![shard("a", 40.0), shard("b", 25.0), shard("c", 55.0)],
     )
     .expect("fleet construction")
+}
+
+fn steady_fleet(k_max: u32) -> FleetDriver<SteadyShard> {
+    steady_fleet_with(k_max, None)
+}
+
+/// The same steady fleet with a shared machine pool and per-shard
+/// placement metadata installed: the placement phase (warm epoch-stamped
+/// state, request comparison, replan) runs every window and must stay
+/// allocation-free once nothing changes.
+fn steady_placed_fleet(k_max: u32) -> FleetDriver<SteadyShard> {
+    // A self-loop edge keeps the measured-rate comparison in play; the
+    // rate is constant, so it always lands inside the band.
+    let info = ShardPlacementInfo {
+        profiles: vec![ResourceProfile::uniform(0.5)],
+        edges: vec![(0, 0, 1.0)],
+    };
+    let mut fleet = steady_fleet_with(k_max, Some(info));
+    fleet.set_machine_pool(
+        MachinePool::uniform(4, ResourceProfile::uniform(64.0)).expect("valid pool"),
+    );
+    fleet
 }
 
 fn assert_steady_windows_allocation_free(mut fleet: FleetDriver<SteadyShard>, label: &str) {
@@ -193,4 +228,19 @@ fn steady_state_windows_allocate_nothing() {
     // Contended: desired totals exceed the budget, so the warm negotiator
     // holds live walk state and the capped fix-up path runs every window.
     assert_steady_windows_allocation_free(steady_fleet(14), "contended");
+}
+
+#[test]
+fn steady_placement_windows_allocate_nothing() {
+    // Placement-enabled: the warm placement state compares every shard's
+    // request against its cache each window (including the rate-banded
+    // edge comparison) and replans nothing — still zero allocations.
+    assert_steady_windows_allocation_free(steady_placed_fleet(40), "placed uncontended");
+    assert_steady_windows_allocation_free(steady_placed_fleet(14), "placed contended");
+    // Sanity: the placed fleet actually solved placements at warm-up (the
+    // zero-alloc windows above exercised the warm path, not a no-op).
+    let mut fleet = steady_placed_fleet(40);
+    fleet.run_windows(20);
+    assert!(fleet.placement_full_solves() >= 1);
+    assert!((0..fleet.shard_count()).all(|i| fleet.shard_placement(i).is_some()));
 }

@@ -2,11 +2,15 @@
 //! topologies, every executor is placed exactly once, no machine's
 //! capacity vector is ever exceeded, the dispatcher is exact on
 //! oracle-sized instances (and the oracle never loses to the greedy
-//! heuristic), and fleet planning is deterministic regardless of the order
-//! shards are presented in.
+//! heuristic), fleet planning is deterministic regardless of the order
+//! shards are presented in, and the warm incremental path
+//! ([`placement::FleetPlacementState`]) stays capacity-safe under
+//! randomized drift/churn while matching [`placement::plan`] bit-for-bit
+//! at every full re-solve and every settled window.
 
 use drs_core::placement::{
-    self, EdgeTraffic, MachinePool, OperatorLoad, Placement, PlacementRequest,
+    self, EdgeTraffic, FleetPlacementState, MachinePool, OperatorLoad, Placement, PlacementRequest,
+    ReplanOutcome,
 };
 use drs_topology::ResourceProfile;
 use proptest::collection::vec;
@@ -54,6 +58,68 @@ fn assert_within_capacity(
         );
     }
     Ok(())
+}
+
+/// The fleet-layer epoch band, replicated for the drift proptest: exact
+/// on executors/profiles and edge endpoints, a 5% relative dead-band on
+/// edge rates.
+fn band_matches(cached: &PlacementRequest, measured: &PlacementRequest) -> bool {
+    cached.operators == measured.operators
+        && cached.edges.len() == measured.edges.len()
+        && cached.edges.iter().zip(&measured.edges).all(|(c, m)| {
+            c.from == m.from && c.to == m.to && (m.rate - c.rate).abs() <= 0.05 * c.rate.abs()
+        })
+}
+
+/// Combined usage of every live shard's cached placement fits the pool.
+fn assert_fleet_within_capacity(
+    state: &FleetPlacementState,
+    fleet: &[(String, PlacementRequest)],
+    pool: &MachinePool,
+    window: usize,
+) -> Result<(), TestCaseError> {
+    let machines = pool.machines().len();
+    let mut used = vec![ResourceProfile::uniform(0.0); machines];
+    for (name, _) in fleet {
+        let slot = state.slot_of(name).unwrap();
+        let profiles: Vec<ResourceProfile> = state
+            .request(slot)
+            .operators
+            .iter()
+            .map(|o| o.profile)
+            .collect();
+        for (m, u) in state
+            .placement(slot)
+            .usage(&profiles)
+            .into_iter()
+            .enumerate()
+        {
+            used[m].cpu += u.cpu;
+            used[m].mem += u.mem;
+            used[m].net += u.net;
+        }
+    }
+    for (m, (u, spec)) in used.iter().zip(pool.machines()).enumerate() {
+        prop_assert!(
+            u.cpu <= spec.capacity.cpu + EPS
+                && u.mem <= spec.capacity.mem + EPS
+                && u.net <= spec.capacity.net + EPS,
+            "window {window}: machine {m} over capacity after repair: {u:?} vs {:?}",
+            spec.capacity
+        );
+    }
+    Ok(())
+}
+
+/// The cached request of every live shard, keyed for [`placement::plan`].
+fn cached_fleet(
+    state: &FleetPlacementState,
+    fleet: &[(String, PlacementRequest)],
+) -> Vec<(String, PlacementRequest)> {
+    fleet
+        .iter()
+        .map(|(n, _)| (n.clone(), state.request(state.slot_of(n).unwrap()).clone()))
+        .collect()
 }
 
 proptest! {
@@ -189,6 +255,178 @@ proptest! {
             (a, b) => prop_assert!(
                 false,
                 "plan feasibility depends on shard order: {a:?} vs {b:?}"
+            ),
+        }
+    }
+
+    /// The warm incremental path under randomized drift: each window one
+    /// event fires — allocation drift, edge-rate wobble inside or outside
+    /// the 5% band, shard add/remove churn, or a pool capacity change —
+    /// and the epoch-band protocol drives [`FleetPlacementState`].
+    /// Invariants: live placements always fit the pool; a window with no
+    /// real change replans `Unchanged`; and wherever a full re-solve fires
+    /// (or the state is settled at zero drift) the cached placements equal
+    /// [`placement::plan`] from scratch, bit for bit — including
+    /// feasibility, when the drawn demand exceeds the pool.
+    #[test]
+    fn incremental_placement_tracks_plan_under_drift(
+        machines in 2usize..=4,
+        cap in 6.0f64..14.0,
+        base in vec((vec((1u32..=3, 0.2f64..0.8), 1..=3), vec((0usize..3, 0usize..3, 0.5f64..5.0), 0..=4)), 2..=5),
+        events in vec((0usize..8, 0usize..8, 0u8..5, 0.0f64..1.0), 1..=12),
+    ) {
+        let mut cur_cap = cap;
+        let mut pool = MachinePool::uniform(machines, ResourceProfile::uniform(cur_cap)).unwrap();
+        // The fleet's *measured* requests; the state caches what it last
+        // accepted through the band.
+        let mut fleet: Vec<(String, PlacementRequest)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, (ops, edges))| (format!("shard-{i}"), request(ops, edges)))
+            .collect();
+        let mut state = FleetPlacementState::new();
+        let mut prev_ok = true;
+
+        for (w, &(s_raw, o_raw, kind, mag)) in events.iter().enumerate() {
+            // One drift event.
+            let mut pool_changed = false;
+            let mut churned = false;
+            match kind {
+                0 => {
+                    // Allocation drift: cycle one operator's executors.
+                    let s = s_raw % fleet.len();
+                    let (_, req) = &mut fleet[s];
+                    let o = o_raw % req.operators.len();
+                    let op = &mut req.operators[o];
+                    op.executors = op.executors % 3 + 1;
+                }
+                1 => {
+                    // In-band rate wobble (≤ 4% of the measured rate —
+                    // usually inside the 5% band of the cached one).
+                    let s = s_raw % fleet.len();
+                    let (_, req) = &mut fleet[s];
+                    if !req.edges.is_empty() {
+                        let n = req.edges.len();
+                        req.edges[o_raw % n].rate *= 1.0 + 0.04 * mag;
+                    }
+                }
+                2 => {
+                    // Out-of-band shift: far past any band.
+                    let s = s_raw % fleet.len();
+                    let (_, req) = &mut fleet[s];
+                    if !req.edges.is_empty() {
+                        let n = req.edges.len();
+                        req.edges[o_raw % n].rate = req.edges[o_raw % n].rate * 1.5 + 1.0;
+                    }
+                }
+                3 => {
+                    // Churn: drop a shard (never the last) or add one.
+                    churned = true;
+                    if fleet.len() > 1 && s_raw % 2 == 0 {
+                        let s = s_raw % fleet.len();
+                        fleet.remove(s);
+                    } else {
+                        fleet.push((format!("new-{w}"), request(&[(1, 0.3)], &[])));
+                    }
+                }
+                _ => {
+                    // Pool capacity change: every machine grows ≥ 5%.
+                    pool_changed = true;
+                    cur_cap *= 1.05 + 0.15 * mag;
+                    pool =
+                        MachinePool::uniform(machines, ResourceProfile::uniform(cur_cap)).unwrap();
+                }
+            }
+
+            // The fleet-layer window protocol, band included.
+            state.begin_window();
+            state.sync_pool(&pool);
+            let mut touched = false;
+            for (name, measured) in &fleet {
+                let slot = match state.slot_of(name) {
+                    Some(slot) => slot,
+                    None => {
+                        touched = true;
+                        state.insert(name)
+                    }
+                };
+                if !band_matches(state.request(slot), measured) {
+                    touched = true;
+                    state.touch(slot).clone_from(measured);
+                }
+                state.mark_seen(slot);
+            }
+            match state.replan() {
+                Ok(outcome) => {
+                    assert_fleet_within_capacity(&state, &fleet, &pool, w)?;
+                    if prev_ok && !touched && !churned && !pool_changed {
+                        prop_assert_eq!(
+                            outcome,
+                            ReplanOutcome::Unchanged,
+                            "window {}: nothing changed but the state replanned",
+                            w
+                        );
+                    }
+                    if outcome == ReplanOutcome::FullSolve
+                        || (outcome == ReplanOutcome::Unchanged && state.drift() == 0.0)
+                    {
+                        let cached = cached_fleet(&state, &fleet);
+                        let reference = placement::plan(&pool, &cached);
+                        prop_assert!(
+                            reference.is_ok(),
+                            "window {w}: warm path solved what plan cannot"
+                        );
+                        for ((name, _), want) in cached.iter().zip(&reference.unwrap()) {
+                            prop_assert_eq!(
+                                state.placement(state.slot_of(name).unwrap()),
+                                want,
+                                "window {}: shard {} diverged from plan()",
+                                w,
+                                name
+                            );
+                        }
+                    }
+                    prev_ok = true;
+                }
+                Err(_) => {
+                    // A failed batch solve must mean the demand genuinely
+                    // does not fit — plan() from scratch fails identically.
+                    let cached = cached_fleet(&state, &fleet);
+                    prop_assert!(
+                        placement::plan(&pool, &cached).is_err(),
+                        "window {w}: warm path failed where plan succeeds"
+                    );
+                    prev_ok = false;
+                }
+            }
+        }
+
+        // Closing anchor: force a batch re-solve and cross-check against
+        // plan one last time (covers runs that ended mid-repair).
+        state.begin_window();
+        state.sync_pool(&pool);
+        for (name, _) in &fleet {
+            let slot = state.slot_of(name).unwrap_or_else(|| state.insert(name));
+            state.mark_seen(slot);
+        }
+        state.invalidate();
+        let cached = cached_fleet(&state, &fleet);
+        match (state.replan(), placement::plan(&pool, &cached)) {
+            (Ok(outcome), Ok(reference)) => {
+                prop_assert_eq!(outcome, ReplanOutcome::FullSolve);
+                for ((name, _), want) in cached.iter().zip(&reference) {
+                    prop_assert_eq!(
+                        state.placement(state.slot_of(name).unwrap()),
+                        want,
+                        "forced full solve diverged from plan() for {}",
+                        name
+                    );
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "forced full solve and plan disagree on feasibility: {a:?} vs {b:?}"
             ),
         }
     }
